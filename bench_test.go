@@ -1,0 +1,149 @@
+// One testing.B benchmark per figure of the paper's evaluation (Sec. 7),
+// plus micro-benchmarks for the three KSJQ algorithms and the three find-k
+// algorithms at the paper's default parameters. Figure benchmarks run at
+// the Small scale (see internal/experiments); the cmd/ksjq-experiments
+// binary regenerates the same figures at paper scale with -scale full.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/join"
+)
+
+func benchFigure(b *testing.B, scale experiments.Scale, pick func(*experiments.Suite) func() []experiments.Row) {
+	b.Helper()
+	s := experiments.NewSuite(scale, nil)
+	run := pick(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := run(); len(rows) == 0 {
+			b.Fatal("figure produced no rows")
+		}
+	}
+}
+
+func BenchmarkFig1a(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig1a })
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig1b })
+}
+
+func BenchmarkFig2a(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig2a })
+}
+
+func BenchmarkFig2b(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig2b })
+}
+
+func BenchmarkFig3a(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig3a })
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig3b })
+}
+
+func BenchmarkFig4(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig4 })
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig5a })
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig5b })
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig6a })
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig6b })
+}
+
+func BenchmarkFig7(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig7 })
+}
+
+func BenchmarkFig8a(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig8a })
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig8b })
+}
+
+func BenchmarkFig9a(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig9a })
+}
+
+func BenchmarkFig9b(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig9b })
+}
+
+func BenchmarkFig10(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig10 })
+}
+
+func BenchmarkFig11(b *testing.B) {
+	benchFigure(b, experiments.Small, func(s *experiments.Suite) func() []experiments.Row { return s.Fig11 })
+}
+
+// defaultQuery builds the paper's Table 7 default workload at a
+// benchmark-friendly size.
+func defaultQuery(n int) core.Query {
+	r1 := datagen.MustGenerate(datagen.Config{
+		Name: "R1", N: n, Local: 5, Agg: 2, Groups: 10, Dist: datagen.Independent, Seed: 2017,
+	})
+	r2 := datagen.MustGenerate(datagen.Config{
+		Name: "R2", N: n, Local: 5, Agg: 2, Groups: 10, Dist: datagen.Independent, Seed: 2018,
+	})
+	return core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: 11}
+}
+
+func benchAlgorithm(b *testing.B, alg core.Algorithm) {
+	b.Helper()
+	q := defaultQuery(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(q, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the three KSJQ algorithms head to head at the default
+// parameters (d=7, a=2, k=11, g=10).
+func BenchmarkAlgorithmGrouping(b *testing.B)  { benchAlgorithm(b, core.Grouping) }
+func BenchmarkAlgorithmDominator(b *testing.B) { benchAlgorithm(b, core.DominatorBased) }
+func BenchmarkAlgorithmNaive(b *testing.B)     { benchAlgorithm(b, core.Naive) }
+
+func benchFindK(b *testing.B, alg core.FindKAlgorithm) {
+	b.Helper()
+	q := defaultQuery(300)
+	q.Spec.Agg = join.Sum
+	q.R1 = datagen.MustGenerate(datagen.Config{Name: "R1", N: 300, Local: 5, Groups: 10, Seed: 2017})
+	q.R2 = datagen.MustGenerate(datagen.Config{Name: "R2", N: 300, Local: 5, Groups: 10, Seed: 2018})
+	q.K = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FindK(q, 250, alg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the three find-k strategies at δ=250 (the Small-scale analogue
+// of the paper's δ=10000).
+func BenchmarkFindKBinary(b *testing.B) { benchFindK(b, core.FindKBinary) }
+func BenchmarkFindKRange(b *testing.B)  { benchFindK(b, core.FindKRange) }
+func BenchmarkFindKNaive(b *testing.B)  { benchFindK(b, core.FindKNaive) }

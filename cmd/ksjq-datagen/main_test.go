@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.csv")
+	if err := run(50, 3, 1, 5, "anti", 7, out, true, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := dataset.ReadCSV(f, dataset.ReadOptions{Name: "r", Local: 3, Agg: 1, HasBand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 50 || r.D() != 4 {
+		t.Errorf("round-trip shape %dx%d, want 50x4", r.Len(), r.D())
+	}
+}
+
+func TestRunFlights(t *testing.T) {
+	dir := t.TempDir()
+	o1 := filepath.Join(dir, "legs1.csv")
+	o2 := filepath.Join(dir, "legs2.csv")
+	if err := run(0, 0, 0, 0, "", 3, "", false, true, o1, o2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o1, o2} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "key,band,") {
+			t.Errorf("%s: unexpected header %q", p, strings.SplitN(string(data), "\n", 2)[0])
+		}
+	}
+	f, err := os.Open(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := dataset.ReadCSV(f, dataset.ReadOptions{Name: "legs1", Local: 3, Agg: 2, HasBand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 192 {
+		t.Errorf("outbound has %d tuples, want 192", r.Len())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(10, 2, 0, 2, "zipf", 1, "", false, false, "", ""); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if err := run(0, 2, 0, 2, "indep", 1, "", false, false, "", ""); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run(10, 2, 0, 2, "indep", 1, "/nonexistent-dir/x.csv", false, false, "", ""); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

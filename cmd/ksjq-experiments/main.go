@@ -1,0 +1,68 @@
+// Command ksjq-experiments regenerates the paper's evaluation figures
+// (Sec. 7). Every figure of the paper has a runner; see DESIGN.md §4 for
+// the experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+//
+// Examples:
+//
+//	ksjq-experiments                      # every figure at small scale
+//	ksjq-experiments -fig 1a,3b           # selected figures
+//	ksjq-experiments -scale full -fig 11  # paper-scale flight experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "experiment scale: smoke, small or full (full = paper's Table 7; hours)")
+		figList   = flag.String("fig", "", "comma-separated figure names (e.g. 1a,3b,11); empty = all")
+		seed      = flag.Int64("seed", 2017, "random seed for the synthetic workloads")
+		chart     = flag.Bool("chart", false, "render stacked bars (like the paper's plots) after the rows")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *scaleName, *figList, *seed, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "ksjq-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, scaleName, figList string, seed int64, chart bool) error {
+	scale, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	suite := experiments.NewSuite(scale, out)
+	suite.Seed = seed
+
+	wanted := map[string]bool{}
+	if figList != "" {
+		for _, name := range strings.Split(figList, ",") {
+			wanted[strings.TrimSpace(name)] = true
+		}
+	}
+	suite.Header()
+	var rows []experiments.Row
+	ran := 0
+	for _, fig := range suite.Figures() {
+		if len(wanted) > 0 && !wanted[fig.Name] {
+			continue
+		}
+		rows = append(rows, fig.Run()...)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no figures matched %q; available: 1a 1b 2a 2b 3a 3b 4 5a 5b 6a 6b 7 8a 8b 9a 9b 10 11", figList)
+	}
+	if chart {
+		fmt.Fprintln(out)
+		experiments.Chart(out, rows, 48)
+	}
+	return nil
+}

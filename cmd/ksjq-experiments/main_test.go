@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "smoke", "11", 1, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "flights k=6") {
+		t.Errorf("missing figure rows:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 11") {
+		t.Error("chart rendered without -chart")
+	}
+}
+
+func TestRunWithChart(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "smoke", "11", 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 11") {
+		t.Errorf("chart missing:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "galactic", "", 1, false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run(&buf, "smoke", "99z", 1, false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

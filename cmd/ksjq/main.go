@@ -1,0 +1,215 @@
+// Command ksjq answers a k-dominant skyline join query over two CSV files.
+//
+// Each CSV has a header row; the first column is the join key, an optional
+// second column (with -band) is the band attribute for non-equality joins,
+// and the remaining columns are skyline attributes (lower preferred), local
+// attributes first and the -agg trailing attributes aggregated.
+//
+// Example:
+//
+//	ksjq -r1 legs1.csv -r2 legs2.csv -l1 3 -l2 3 -agg 2 -k 6 -alg grouping
+//
+// With -delta the tool solves Problem 3 instead: it reports the smallest k
+// whose skyline has at least delta tuples (or, with -atmost, the largest k
+// with at most delta tuples). -alg auto lets the sampling planner choose
+// the algorithm; -workers enables the parallel grouping algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/join"
+	"repro/internal/planner"
+)
+
+// options collects every CLI flag so the run function is testable.
+type options struct {
+	r1Path, r2Path string
+	l1, l2, agg    int
+	aggFn          string
+	k              int
+	algName        string
+	cond           string
+	band           bool
+	delta          int
+	atMost         bool
+	findAlg        string
+	workers        int
+	quiet          bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.r1Path, "r1", "", "CSV file for the first relation (required)")
+	flag.StringVar(&o.r2Path, "r2", "", "CSV file for the second relation (required)")
+	flag.IntVar(&o.l1, "l1", 0, "number of local skyline attributes in r1 (required)")
+	flag.IntVar(&o.l2, "l2", 0, "number of local skyline attributes in r2 (required)")
+	flag.IntVar(&o.agg, "agg", 0, "number of trailing aggregate attributes in each relation")
+	flag.StringVar(&o.aggFn, "aggfn", "sum", "aggregation function: sum, max or min (max/min only with -alg naive)")
+	flag.IntVar(&o.k, "k", 0, "k-dominance parameter (required unless -delta is set)")
+	flag.StringVar(&o.algName, "alg", "grouping", "algorithm: naive, grouping, dominator or auto (sampling planner)")
+	flag.StringVar(&o.cond, "join", "eq", "join condition: eq, cross, lt, le, gt, ge (band conditions need -band)")
+	flag.BoolVar(&o.band, "band", false, "CSV files carry a band column after the key")
+	flag.IntVar(&o.delta, "delta", 0, "find k: smallest k with at least delta skylines (Problem 3)")
+	flag.BoolVar(&o.atMost, "atmost", false, "with -delta: largest k with at most delta skylines (Problem 4)")
+	flag.StringVar(&o.findAlg, "findalg", "binary", "find-k algorithm: naive, range or binary")
+	flag.IntVar(&o.workers, "workers", 0, "run the parallel grouping algorithm with this many workers (0 = serial)")
+	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary, not the skyline tuples")
+	flag.Parse()
+	if err := run(os.Stdout, o); err != nil {
+		fmt.Fprintln(os.Stderr, "ksjq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, o options) error {
+	if o.r1Path == "" || o.r2Path == "" {
+		return fmt.Errorf("both -r1 and -r2 are required")
+	}
+	r1, err := loadRelation(o.r1Path, "r1", o.l1, o.agg, o.band)
+	if err != nil {
+		return err
+	}
+	r2, err := loadRelation(o.r2Path, "r2", o.l2, o.agg, o.band)
+	if err != nil {
+		return err
+	}
+	spec, err := parseSpec(o.cond, o.aggFn)
+	if err != nil {
+		return err
+	}
+	q := core.Query{R1: r1, R2: r2, Spec: spec, K: o.k}
+
+	if o.delta > 0 {
+		return runFindK(out, q, o)
+	}
+
+	var res *core.Result
+	var chosen string
+	switch {
+	case o.workers > 0:
+		res, err = core.RunParallel(q, o.workers)
+		chosen = fmt.Sprintf("parallel-grouping(workers=%s)", core.Workers(o.workers))
+	case strings.EqualFold(o.algName, "auto"):
+		var plan *planner.Plan
+		res, plan, err = planner.Run(q, planner.Options{})
+		if err == nil {
+			chosen = fmt.Sprintf("auto→%s (%s)", plan.Algorithm, plan.Reason)
+		}
+	default:
+		var alg core.Algorithm
+		alg, err = parseAlg(o.algName)
+		if err != nil {
+			return err
+		}
+		res, err = core.Run(q, alg)
+		chosen = alg.String()
+	}
+	if err != nil {
+		return err
+	}
+
+	st := res.Stats
+	fmt.Fprintf(out, "algorithm=%s k=%d joined-width=%d skylines=%d\n", chosen, q.K, q.Width(), len(res.Skyline))
+	fmt.Fprintf(out, "grouping=%v join=%v dominators=%v remaining=%v total=%v\n",
+		st.GroupingTime, st.JoinTime, st.DominatorTime, st.RemainingTime, st.Total)
+	fmt.Fprintf(out, "categorization: R1 SS/SN/NN = %d/%d/%d, R2 SS/SN/NN = %d/%d/%d\n",
+		st.SS1, st.SN1, st.NN1, st.SS2, st.SN2, st.NN2)
+	if !o.quiet {
+		for _, p := range res.Skyline {
+			fmt.Fprintf(out, "%s ⋈ %s  %v\n", r1.Tuples[p.Left].Key, r2.Tuples[p.Right].Key, p.Attrs)
+		}
+	}
+	return nil
+}
+
+func runFindK(out io.Writer, q core.Query, o options) error {
+	alg, err := parseFindAlg(o.findAlg)
+	if err != nil {
+		return err
+	}
+	var res *core.FindKResult
+	if o.atMost {
+		res, err = core.FindKAtMost(q, o.delta, alg)
+	} else {
+		res, err = core.FindK(q, o.delta, alg)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "k = %d (probed %v, %d full skyline computations, %v total)\n",
+		res.K, res.Stats.Probed, res.Stats.SkylinesComputed, res.Stats.Total)
+	return nil
+}
+
+func loadRelation(path, name string, local, agg int, band bool) (*dataset.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, dataset.ReadOptions{Name: name, Local: local, Agg: agg, HasBand: band})
+}
+
+func parseAlg(s string) (core.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "naive", "n":
+		return core.Naive, nil
+	case "grouping", "g":
+		return core.Grouping, nil
+	case "dominator", "dominator-based", "d":
+		return core.DominatorBased, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want naive, grouping, dominator or auto)", s)
+	}
+}
+
+func parseFindAlg(s string) (core.FindKAlgorithm, error) {
+	switch strings.ToLower(s) {
+	case "naive", "n":
+		return core.FindKNaive, nil
+	case "range", "r":
+		return core.FindKRange, nil
+	case "binary", "b":
+		return core.FindKBinary, nil
+	default:
+		return 0, fmt.Errorf("unknown find-k algorithm %q (want naive, range or binary)", s)
+	}
+}
+
+func parseSpec(cond, aggFn string) (join.Spec, error) {
+	var spec join.Spec
+	switch strings.ToLower(cond) {
+	case "eq", "equality":
+		spec.Cond = join.Equality
+	case "cross", "cartesian":
+		spec.Cond = join.Cross
+	case "lt":
+		spec.Cond = join.BandLess
+	case "le":
+		spec.Cond = join.BandLessEq
+	case "gt":
+		spec.Cond = join.BandGreater
+	case "ge":
+		spec.Cond = join.BandGreaterEq
+	default:
+		return spec, fmt.Errorf("unknown join condition %q", cond)
+	}
+	switch strings.ToLower(aggFn) {
+	case "sum":
+		spec.Agg = join.Sum
+	case "max":
+		spec.Agg = join.Max
+	case "min":
+		spec.Agg = join.Min
+	default:
+		return spec, fmt.Errorf("unknown aggregator %q", aggFn)
+	}
+	return spec, nil
+}

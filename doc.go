@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "K-Dominant Skyline
+// Join Queries: Extending the Join Paradigm to K-Dominant Skylines"
+// (Awasthi, Bhattacharya, Gupta, Singh; ICDE 2017).
+//
+// The implementation lives under internal/: see internal/core for the KSJQ
+// algorithms, internal/experiments for the figure harness, and DESIGN.md
+// for the system inventory. Executables are under cmd/ and runnable
+// examples under examples/. The root-level bench_test.go holds one
+// testing.B benchmark per figure of the paper's evaluation.
+package repro

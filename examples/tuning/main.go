@@ -1,0 +1,64 @@
+// Tuning: choosing k from a desired answer-set size (Problems 3 and 4).
+//
+// A user rarely knows a good k up front; she knows how many options she is
+// willing to review. This example asks, over a synthetic anti-correlated
+// join: "what is the smallest k returning at least δ itineraries?" for a
+// range of budgets, comparing the naive, range-based and binary-search
+// algorithms, then shows the at-most-δ variant. Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/join"
+)
+
+func main() {
+	r1 := datagen.MustGenerate(datagen.Config{
+		Name: "R1", N: 400, Local: 5, Groups: 10, Dist: datagen.AntiCorrelated, Seed: 1,
+	})
+	r2 := datagen.MustGenerate(datagen.Config{
+		Name: "R2", N: 400, Local: 5, Groups: 10, Dist: datagen.AntiCorrelated, Seed: 2,
+	})
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+	joined, err := join.CountPairs(r1, r2, q.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joined relation: %d tuples, %d skyline attributes, admissible k: %d..%d\n\n",
+		joined, q.Width(), q.KMin(), q.Width())
+
+	fmt.Println("Problem 3 — smallest k with at least δ skylines:")
+	for _, delta := range []int{10, 100, 1000, 10000} {
+		fmt.Printf("  δ=%-6d", delta)
+		for _, alg := range core.FindKAlgorithms {
+			res, err := core.FindK(q, delta, alg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s: k=%-2d (%d skyline computations, %8v)",
+				alg, res.K, res.Stats.SkylinesComputed, res.Stats.Total)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nProblem 4 — largest k with at most δ skylines (binary search):")
+	for _, delta := range []int{10, 100, 1000} {
+		res, err := core.FindKAtMost(q, delta, core.FindKBinary)
+		if err != nil {
+			log.Fatal(err)
+		}
+		probe := q
+		probe.K = res.K
+		check, err := core.Run(probe, core.Grouping)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  δ=%-6d k=%d (that k yields %d skylines)\n", delta, res.K, len(check.Skyline))
+	}
+}

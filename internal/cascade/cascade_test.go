@@ -1,0 +1,222 @@
+package cascade
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// randChainRelation builds a relation for chain position i of m: first and
+// last have one key, middle relations two.
+func randChainRelation(rng *rand.Rand, name string, n, local, agg, groups int, pos, m int) *dataset.Relation {
+	tuples := make([]dataset.Tuple, n)
+	for t := range tuples {
+		attrs := make([]float64, local+agg)
+		for j := range attrs {
+			attrs[j] = float64(rng.Intn(5))
+		}
+		tuples[t] = dataset.Tuple{
+			Key:   fmt.Sprintf("g%d", rng.Intn(groups)),
+			Key2:  fmt.Sprintf("g%d", rng.Intn(groups)),
+			Attrs: attrs,
+		}
+	}
+	return dataset.MustNew(name, local, agg, tuples)
+}
+
+func comboKeys(res *Result) []string {
+	out := make([]string, len(res.Skyline))
+	for i, c := range res.Skyline {
+		out[i] = fmt.Sprint(c.Indices)
+	}
+	return out
+}
+
+func TestCascadeTwoRelationsMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 30; trial++ {
+		agg := rng.Intn(2)
+		local := 1 + rng.Intn(3)
+		r1 := randChainRelation(rng, "r1", 3+rng.Intn(20), local, agg, 3, 0, 2)
+		r2 := randChainRelation(rng, "r2", 3+rng.Intn(20), local, agg, 3, 1, 2)
+		cq := Query{Relations: []*dataset.Relation{r1, r2}}
+		coreQ := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+		for k := cq.KMin(); k <= cq.Width(); k++ {
+			if k < coreQ.KMin() {
+				continue
+			}
+			cq.K, coreQ.K = k, k
+			want, err := core.Run(coreQ, core.Naive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strategy := range []Strategy{Naive, Pruned} {
+				got, err := Run(cq, strategy)
+				if err != nil {
+					t.Fatalf("trial %d k=%d strategy %d: %v", trial, k, strategy, err)
+				}
+				wantKeys := make([]string, len(want.Skyline))
+				for i, p := range want.Skyline {
+					wantKeys[i] = fmt.Sprint([]int{p.Left, p.Right})
+				}
+				if !reflect.DeepEqual(comboKeys(got), wantKeys) {
+					t.Fatalf("trial %d k=%d strategy %d: cascade %v, core %v", trial, k, strategy, comboKeys(got), wantKeys)
+				}
+			}
+		}
+	}
+}
+
+func TestCascadePrunedMatchesNaiveThreeRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	for trial := 0; trial < 25; trial++ {
+		agg := rng.Intn(2)
+		m := 3 + rng.Intn(2) // 3 or 4 relations
+		rels := make([]*dataset.Relation, m)
+		for i := range rels {
+			rels[i] = randChainRelation(rng, fmt.Sprintf("r%d", i), 3+rng.Intn(10), 1+rng.Intn(2), agg, 2, i, m)
+		}
+		q := Query{Relations: rels}
+		if q.KMin() > q.Width() {
+			continue
+		}
+		for k := q.KMin(); k <= q.Width(); k++ {
+			q.K = k
+			naive, err := Run(q, Naive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned, err := Run(q, Pruned)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(comboKeys(pruned), comboKeys(naive)) {
+				t.Fatalf("trial %d m=%d k=%d agg=%d: pruned %v, naive %v",
+					trial, m, k, agg, comboKeys(pruned), comboKeys(naive))
+			}
+		}
+	}
+}
+
+func TestCascadePruningActuallyPrunes(t *testing.T) {
+	// One group, a clearly dominated tuple in the middle relation.
+	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{
+		{Key: "a", Attrs: []float64{1, 1}},
+	})
+	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{
+		{Key: "a", Key2: "b", Attrs: []float64{1, 1}},
+		{Key: "a", Key2: "b", Attrs: []float64{5, 5}}, // dominated in-group
+	})
+	r3 := dataset.MustNew("r3", 2, 0, []dataset.Tuple{
+		{Key: "b", Attrs: []float64{1, 1}},
+	})
+	q := Query{Relations: []*dataset.Relation{r1, r2, r3}, K: 5}
+	res, err := Run(q, Pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PrunedPerRelation[1] != 1 {
+		t.Errorf("pruned %v tuples in r2, want 1", res.Stats.PrunedPerRelation[1])
+	}
+	if res.Stats.JoinedSize != 1 {
+		t.Errorf("joined size %d, want 1 (pruned before join)", res.Stats.JoinedSize)
+	}
+	if len(res.Skyline) != 1 || !reflect.DeepEqual(res.Skyline[0].Indices, []int{0, 0, 0}) {
+		t.Errorf("skyline = %+v, want the single undominated chain", res.Skyline)
+	}
+}
+
+func TestCascadeKey2Routing(t *testing.T) {
+	// The middle relation routes to different third-relation groups via
+	// Key2; only matching chains may form.
+	r1 := dataset.MustNew("r1", 1, 0, []dataset.Tuple{{Key: "x", Attrs: []float64{1}}})
+	r2 := dataset.MustNew("r2", 1, 0, []dataset.Tuple{
+		{Key: "x", Key2: "p", Attrs: []float64{2}},
+		{Key: "x", Key2: "q", Attrs: []float64{3}},
+	})
+	r3 := dataset.MustNew("r3", 1, 0, []dataset.Tuple{
+		{Key: "p", Attrs: []float64{4}},
+		{Key: "r", Attrs: []float64{5}},
+	})
+	q := Query{Relations: []*dataset.Relation{r1, r2, r3}, K: 3}
+	res, err := Run(q, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.JoinedSize != 1 {
+		t.Fatalf("joined size %d, want 1 (only x→p→p chain exists)", res.Stats.JoinedSize)
+	}
+	if !reflect.DeepEqual(res.Skyline[0].Indices, []int{0, 0, 0}) {
+		t.Errorf("skyline = %+v", res.Skyline)
+	}
+}
+
+func TestCascadeAggregateFold(t *testing.T) {
+	// Aggregates fold across all three relations.
+	mk := func(name, key, key2 string, local, aggVal float64) *dataset.Relation {
+		return dataset.MustNew(name, 1, 1, []dataset.Tuple{
+			{Key: key, Key2: key2, Attrs: []float64{local, aggVal}},
+		})
+	}
+	q := Query{
+		Relations: []*dataset.Relation{
+			mk("r1", "a", "", 1, 10),
+			mk("r2", "a", "b", 2, 20),
+			mk("r3", "b", "", 3, 30),
+		},
+		K: 4,
+	}
+	res, err := Run(q, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 60}
+	if !reflect.DeepEqual(res.Skyline[0].Attrs, want) {
+		t.Errorf("attrs = %v, want %v", res.Skyline[0].Attrs, want)
+	}
+}
+
+func TestCascadeValidation(t *testing.T) {
+	r := dataset.MustNew("r", 2, 0, []dataset.Tuple{{Attrs: []float64{1, 2}}})
+	if _, err := Run(Query{Relations: []*dataset.Relation{r}, K: 2}, Naive); !errors.Is(err, ErrTooFewRelations) {
+		t.Errorf("single relation: %v, want ErrTooFewRelations", err)
+	}
+	q := Query{Relations: []*dataset.Relation{r, r.Clone()}, K: 1}
+	if _, err := Run(q, Naive); !errors.Is(err, ErrBadK) {
+		t.Errorf("low k: %v, want ErrBadK", err)
+	}
+	q.K = 99
+	if _, err := Run(q, Naive); !errors.Is(err, ErrBadK) {
+		t.Errorf("high k: %v, want ErrBadK", err)
+	}
+	rAgg := dataset.MustNew("ra", 1, 1, []dataset.Tuple{{Attrs: []float64{1, 2}}})
+	q = Query{Relations: []*dataset.Relation{r, rAgg}, K: 3}
+	if _, err := Run(q, Naive); !errors.Is(err, join.ErrSchemaMismatch) {
+		t.Errorf("schema mismatch: %v, want ErrSchemaMismatch", err)
+	}
+	q = Query{Relations: []*dataset.Relation{rAgg, rAgg.Clone()}, K: 2, Agg: join.Max}
+	if _, err := Run(q, Pruned); err == nil {
+		t.Error("pruned strategy with non-strict aggregator accepted")
+	}
+}
+
+func TestCascadeKMinForcesEveryRelation(t *testing.T) {
+	// Three relations with 2 locals each: k must exceed 4 so no relation
+	// can be skipped entirely.
+	mk := func(name string) *dataset.Relation {
+		return dataset.MustNew(name, 2, 0, []dataset.Tuple{{Key: "a", Key2: "a", Attrs: []float64{1, 2}}})
+	}
+	q := Query{Relations: []*dataset.Relation{mk("r1"), mk("r2"), mk("r3")}}
+	if q.KMin() != 5 {
+		t.Errorf("KMin = %d, want 5", q.KMin())
+	}
+	if q.Width() != 6 {
+		t.Errorf("Width = %d, want 6", q.Width())
+	}
+}

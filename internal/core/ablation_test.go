@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/join"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// on-the-fly target-set pruning inside the checker, and the sum-ordered
+// probe sequence. Run with:
+//
+//	go test ./internal/core -bench Ablation -benchmem
+
+// ablationQuery is a mid-size instance where verification dominates.
+func ablationQuery() Query {
+	rng := rand.New(rand.NewSource(601))
+	r1 := randRelation(rng, "r1", 250, 5, 0, 10, 1000)
+	r2 := randRelation(rng, "r2", 250, 5, 0, 10, 1000)
+	return Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 9}
+}
+
+// runGroupingWithPruning mirrors runGrouping but lets the benchmark toggle
+// the checker's target-set skip.
+func runGroupingWithPruning(q Query, prune bool) int {
+	st := Stats{}
+	e := newEngine(q, &st)
+	e.noTargetPrune = !prune
+	k1p, k2p := q.KPrimes()
+	c1 := Categorize(q.R1, k1p, e.cond, Left)
+	c2 := Categorize(q.R2, k2p, e.cond, Right)
+	a1 := targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
+	all1 := allIndices(q.R1.Len())
+	all2 := allIndices(q.R2.Len())
+	count := len(e.pairs(c1.SS, c2.SS))
+	for _, cell := range []struct {
+		cand  [][]int
+		check [][]int
+	}{
+		{[][]int{c1.SS, c2.SN}, [][]int{a1, all2}},
+		{[][]int{c1.SN, c2.SN}, [][]int{all1, all2}},
+	} {
+		chk := e.newChecker(cell.check[0], cell.check[1])
+		for _, p := range e.pairs(cell.cand[0], cell.cand[1]) {
+			if !chk.dominates(p.Attrs) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func TestAblationTogglePreservesAnswer(t *testing.T) {
+	q := ablationQuery()
+	with := runGroupingWithPruning(q, true)
+	without := runGroupingWithPruning(q, false)
+	if with != without {
+		t.Fatalf("target pruning changed the answer: %d vs %d", with, without)
+	}
+	if with == 0 {
+		t.Fatal("ablation instance produced no skylines; benchmark would be vacuous")
+	}
+}
+
+func BenchmarkAblationTargetPruningOn(b *testing.B) {
+	q := ablationQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runGroupingWithPruning(q, true)
+	}
+}
+
+func BenchmarkAblationTargetPruningOff(b *testing.B) {
+	q := ablationQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runGroupingWithPruning(q, false)
+	}
+}
+
+// BenchmarkAblationProbeOrder quantifies the SFS-style sum ordering of the
+// checker's probe lists by comparing against identity order.
+func BenchmarkAblationProbeOrder(b *testing.B) {
+	q := ablationQuery()
+	st := Stats{}
+	e := newEngine(q, &st)
+	k1p, k2p := q.KPrimes()
+	c1 := Categorize(q.R1, k1p, e.cond, Left)
+	c2 := Categorize(q.R2, k2p, e.cond, Right)
+	candidates := e.pairs(c1.SN, c2.SN)
+	all1 := allIndices(q.R1.Len())
+	all2 := allIndices(q.R2.Len())
+
+	b.Run("sum-ordered", func(b *testing.B) {
+		chk := e.newChecker(all1, all2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range candidates {
+				chk.dominates(p.Attrs)
+			}
+		}
+	})
+	b.Run("identity-order", func(b *testing.B) {
+		chk := &checker{e: e, left: all1, right: all2}
+		chk.byKey = map[string][2][]int{}
+		for _, i := range all1 {
+			k := q.R1.Tuples[i].Key
+			ent := chk.byKey[k]
+			ent[0] = append(ent[0], i)
+			chk.byKey[k] = ent
+		}
+		for _, j := range all2 {
+			k := q.R2.Tuples[j].Key
+			if ent, ok := chk.byKey[k]; ok {
+				ent[1] = append(ent[1], j)
+				chk.byKey[k] = ent
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range candidates {
+				chk.dominates(p.Attrs)
+			}
+		}
+	})
+}
+
+func BenchmarkMembershipProbe(b *testing.B) {
+	q := ablationQuery()
+	g2 := q.R2.GroupIndex()
+	var pair [2]int
+	for i := range q.R1.Tuples {
+		if js := g2[q.R1.Tuples[i].Key]; len(js) > 0 {
+			pair = [2]int{i, js[0]}
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IsSkylineMember(q, pair[0], pair[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = fmt.Sprint(pair)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/join"
+)
+
+// TestBandJoinFlightConnections encodes Sec. 6.6's motivating scenario
+// exactly: the first leg's arrival time (Band) must precede the second
+// leg's departure time. It checks both the join semantics and the grouping
+// algorithm's prefix-group categorization against a brute-force oracle.
+func TestBandJoinFlightConnections(t *testing.T) {
+	// Legs with arrival times; attrs are (cost, duration).
+	r1 := dataset.MustNew("leg1", 2, 0, []dataset.Tuple{
+		{Band: 10.0, Attrs: []float64{100, 2}}, // arrives 10:00
+		{Band: 11.0, Attrs: []float64{80, 1.5}},
+		{Band: 12.0, Attrs: []float64{60, 1}},
+		{Band: 10.0, Attrs: []float64{90, 2.5}},
+	})
+	r2 := dataset.MustNew("leg2", 2, 0, []dataset.Tuple{
+		{Band: 10.5, Attrs: []float64{70, 1}}, // departs 10:30
+		{Band: 11.5, Attrs: []float64{50, 1.2}},
+		{Band: 13.0, Attrs: []float64{40, 2}},
+	})
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.BandLess}, K: 3}
+
+	// Oracle: enumerate feasible connections and filter by k-dominance.
+	type pair struct {
+		i, j  int
+		attrs []float64
+	}
+	var feasible []pair
+	for i := range r1.Tuples {
+		for j := range r2.Tuples {
+			if r1.Tuples[i].Band < r2.Tuples[j].Band {
+				attrs := append(append([]float64(nil), r1.Tuples[i].Attrs...), r2.Tuples[j].Attrs...)
+				feasible = append(feasible, pair{i, j, attrs})
+			}
+		}
+	}
+	want := map[[2]int]bool{}
+	for _, p := range feasible {
+		dominated := false
+		for _, o := range feasible {
+			if (o.i != p.i || o.j != p.j) && dom.KDominates(o.attrs, p.attrs, q.K) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			want[[2]int{p.i, p.j}] = true
+		}
+	}
+
+	for _, alg := range Algorithms {
+		res, err := Run(q, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		got := map[[2]int]bool{}
+		for _, p := range res.Skyline {
+			got[[2]int{p.Left, p.Right}] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d skylines, oracle has %d (%v vs %v)", alg, len(got), len(want), got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("%v: missing connection %v", alg, k)
+			}
+		}
+	}
+}
+
+// TestBandJoinGroupSemantics verifies the Sec. 6.6 covering rule directly:
+// under R1.band < R2.band, an earlier-arriving leg covers a later one (it
+// can join every partner the later one can), and on the right side the
+// relation flips.
+func TestBandJoinGroupSemantics(t *testing.T) {
+	early := &dataset.Tuple{Band: 9}
+	late := &dataset.Tuple{Band: 15}
+	if !covers(join.BandLess, Left, early, late) {
+		t.Error("earlier arrival must cover later arrival on the left side")
+	}
+	if covers(join.BandLess, Left, late, early) {
+		t.Error("later arrival must not cover earlier arrival on the left side")
+	}
+	if !covers(join.BandLess, Right, late, early) {
+		t.Error("later departure must cover earlier departure on the right side")
+	}
+	if covers(join.BandLess, Right, early, late) {
+		t.Error("earlier departure must not cover later departure on the right side")
+	}
+	// Greater-than conditions mirror the rule.
+	if !covers(join.BandGreaterEq, Left, late, early) || !covers(join.BandGreaterEq, Right, early, late) {
+		t.Error("greater-or-equal condition has mirrored covering")
+	}
+	// Ties cover in both directions.
+	tie := &dataset.Tuple{Band: 9}
+	if !covers(join.BandLess, Left, early, tie) || !covers(join.BandLess, Left, tie, early) {
+		t.Error("equal bands must cover each other")
+	}
+}
+
+// TestBandJoinSNExpansion checks the paper's note that the non-equality
+// modification may only cost efficiency, never correctness: a tuple
+// classified SN because only cross-prefix dominators exist is still
+// verified against the full relation and removed if an actual joined
+// dominator exists.
+func TestBandJoinSNExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		mk := func(name string, n int) *dataset.Relation {
+			tuples := make([]dataset.Tuple, n)
+			for i := range tuples {
+				tuples[i] = dataset.Tuple{
+					Band:  float64(rng.Intn(6)),
+					Attrs: []float64{float64(rng.Intn(4)), float64(rng.Intn(4)), float64(rng.Intn(4))},
+				}
+			}
+			return dataset.MustNew(name, 3, 0, tuples)
+		}
+		r1 := mk("r1", 3+rng.Intn(15))
+		r2 := mk("r2", 3+rng.Intn(15))
+		for _, cond := range []join.Condition{join.BandLess, join.BandLessEq, join.BandGreater, join.BandGreaterEq} {
+			q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: cond}, K: 4}
+			naive, err := Run(q, Naive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grouping, err := Run(q, Grouping)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSkyline(t, fmt.Sprintf("trial %d cond %v", trial, cond), grouping, naive)
+		}
+	}
+}

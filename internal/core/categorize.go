@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/join"
+	"repro/internal/kdominant"
+)
+
+// Category is a base tuple's class per Definitions 1-3.
+type Category int8
+
+const (
+	// SS tuples are k′-dominant skylines in the whole relation.
+	SS Category = iota
+	// SN tuples are k′-dominant only within their join group.
+	SN
+	// NN tuples are k′-dominated within their own group.
+	NN
+)
+
+// String returns the paper's two-letter label.
+func (c Category) String() string {
+	switch c {
+	case SS:
+		return "SS"
+	case SN:
+		return "SN"
+	case NN:
+		return "NN"
+	default:
+		return "??"
+	}
+}
+
+// Side distinguishes the two join operands; group semantics for
+// non-equality conditions depend on which side a relation is on (Sec 6.6).
+type Side int
+
+const (
+	// Left is the R1 side of the join.
+	Left Side = iota
+	// Right is the R2 side.
+	Right
+)
+
+// Categorization is the SS/SN/NN split of one base relation.
+type Categorization struct {
+	// Cat maps tuple index to its category.
+	Cat []Category
+	// SS, SN, NN list the tuple indices per category, ascending.
+	SS, SN, NN []int
+	// KPrime is the threshold used (k′1 or k′2).
+	KPrime int
+}
+
+// covers reports whether tuple x can join every partner tuple u can: x is
+// "in u's group" for the purposes of Definitions 1-3, extended to
+// non-equality conditions per Sec. 6.6.
+//
+// For equality joins this is plain key equality. For a band condition such
+// as R1.band < R2.band, any x with x.band <= u.band joins every partner of
+// u (left side); on the right side the inequality flips. For the Cartesian
+// product every tuple covers every other (Sec. 6.5).
+func covers(cond join.Condition, side Side, x, u *dataset.Tuple) bool {
+	switch cond {
+	case join.Equality:
+		return x.Key == u.Key
+	case join.Cross:
+		return true
+	case join.BandLess, join.BandLessEq:
+		if side == Left {
+			return x.Band <= u.Band
+		}
+		return x.Band >= u.Band
+	case join.BandGreater, join.BandGreaterEq:
+		if side == Left {
+			return x.Band >= u.Band
+		}
+		return x.Band <= u.Band
+	default:
+		return false
+	}
+}
+
+// Categorize splits relation r into SS, SN and NN with respect to
+// kPrime-dominance over the base attribute vectors, using the join
+// condition's group semantics for the given side.
+func Categorize(r *dataset.Relation, kPrime int, cond join.Condition, side Side) Categorization {
+	pts := basePoints(r)
+	n := r.Len()
+	c := Categorization{Cat: make([]Category, n), KPrime: kPrime}
+
+	// Globally k′-dominant tuples form SS.
+	inSS := make([]bool, n)
+	for _, i := range kdominant.TwoScan(pts, kPrime) {
+		inSS[i] = true
+	}
+
+	// Tuples dominated within their own group form NN; a global skyline
+	// tuple is never group-dominated, so the two tests are disjoint.
+	groupDominated := make([]bool, n)
+	switch cond {
+	case join.Equality:
+		for _, idx := range r.GroupIndex() {
+			local := make(map[int]bool, len(idx))
+			for _, i := range kdominant.TwoScanSubset(pts, idx, kPrime) {
+				local[i] = true
+			}
+			for _, i := range idx {
+				if !local[i] {
+					groupDominated[i] = true
+				}
+			}
+		}
+	case join.Cross:
+		// Single group: group-dominated iff not globally dominant.
+		for i := 0; i < n; i++ {
+			groupDominated[i] = !inSS[i]
+		}
+	default:
+		// Band conditions: the "group" of u is the set of tuples covering
+		// u; scan each tuple against its coverers.
+		for i := 0; i < n; i++ {
+			if inSS[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if j == i || !covers(cond, side, &r.Tuples[j], &r.Tuples[i]) {
+					continue
+				}
+				if dom.KDominates(pts[j], pts[i], kPrime) {
+					groupDominated[i] = true
+					break
+				}
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		switch {
+		case inSS[i]:
+			c.Cat[i] = SS
+			c.SS = append(c.SS, i)
+		case groupDominated[i]:
+			c.Cat[i] = NN
+			c.NN = append(c.NN, i)
+		default:
+			c.Cat[i] = SN
+			c.SN = append(c.SN, i)
+		}
+	}
+	return c
+}
+
+// localLeqAtLeast reports whether x is preferred-or-equal to u on at least
+// kpp of the first `local` attributes: the target-set predicate (Def 5,
+// generalized to the aggregate variant; see the package comment).
+func localLeqAtLeast(x, u []float64, local, kpp int) bool {
+	leq := 0
+	for i := 0; i < local; i++ {
+		if x[i] <= u[i] {
+			leq++
+		}
+		if leq+(local-i-1) < kpp {
+			return false
+		}
+	}
+	return leq >= kpp
+}

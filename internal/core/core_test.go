@@ -1,0 +1,414 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// randRelation builds a random relation with small integer attributes (to
+// force ties), `groups` join keys and random bands.
+func randRelation(rng *rand.Rand, name string, n, local, agg, groups, domain int) *dataset.Relation {
+	tuples := make([]dataset.Tuple, n)
+	for i := range tuples {
+		attrs := make([]float64, local+agg)
+		for j := range attrs {
+			attrs[j] = float64(rng.Intn(domain))
+		}
+		tuples[i] = dataset.Tuple{
+			Key:   fmt.Sprintf("g%d", rng.Intn(groups)),
+			Band:  float64(rng.Intn(8)),
+			Attrs: attrs,
+		}
+	}
+	return dataset.MustNew(name, local, agg, tuples)
+}
+
+func pairKeys(res *Result) []string {
+	out := make([]string, len(res.Skyline))
+	for i, p := range res.Skyline {
+		out[i] = fmt.Sprintf("%d/%d", p.Left, p.Right)
+	}
+	return out
+}
+
+func assertSameSkyline(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	ka, kb := pairKeys(a), pairKeys(b)
+	if len(ka) != len(kb) {
+		t.Fatalf("%s: skyline sizes differ: %d vs %d\n%v\n%v", label, len(ka), len(kb), ka, kb)
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("%s: skylines differ at %d: %s vs %s", label, i, ka[i], kb[i])
+		}
+	}
+}
+
+// TestAlgorithmsAgreeRandom is the central correctness test: the grouping
+// and dominator-based algorithms must return exactly the naive answer on
+// every random instance, across join conditions, aggregation settings and
+// the whole admissible k range.
+func TestAlgorithmsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2017))
+	conds := []join.Condition{join.Equality, join.Cross, join.BandLess, join.BandLessEq, join.BandGreater, join.BandGreaterEq}
+	for trial := 0; trial < 120; trial++ {
+		local1 := 1 + rng.Intn(3)
+		local2 := 1 + rng.Intn(3)
+		agg := rng.Intn(3)
+		n1 := 1 + rng.Intn(25)
+		n2 := 1 + rng.Intn(25)
+		groups := 1 + rng.Intn(4)
+		r1 := randRelation(rng, "r1", n1, local1, agg, groups, 5)
+		r2 := randRelation(rng, "r2", n2, local2, agg, groups, 5)
+		cond := conds[rng.Intn(len(conds))]
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: cond, Agg: join.Sum}}
+		for k := q.KMin(); k <= q.Width(); k++ {
+			q.K = k
+			naive, err := Run(q, Naive)
+			if err != nil {
+				t.Fatalf("trial %d k=%d: naive: %v", trial, k, err)
+			}
+			label := fmt.Sprintf("trial %d cond=%v l1=%d l2=%d a=%d k=%d n=(%d,%d) g=%d",
+				trial, cond, local1, local2, agg, k, n1, n2, groups)
+			grouping, err := Run(q, Grouping)
+			if err != nil {
+				t.Fatalf("%s: grouping: %v", label, err)
+			}
+			assertSameSkyline(t, label+" [grouping vs naive]", grouping, naive)
+			dominator, err := Run(q, DominatorBased)
+			if err != nil {
+				t.Fatalf("%s: dominator: %v", label, err)
+			}
+			assertSameSkyline(t, label+" [dominator vs naive]", dominator, naive)
+		}
+	}
+}
+
+// TestAggregateErratum reproduces the a >= 2 counterexample from the
+// package comment: with two aggregate attributes an SS1 ⋈ SS2 tuple can be
+// dominated, so the paper's unverified "yes" cell would return a wrong
+// answer. The implementation must handle it.
+func TestAggregateErratum(t *testing.T) {
+	r1 := dataset.MustNew("r1", 1, 2, []dataset.Tuple{
+		{Key: "g", Attrs: []float64{0, 0, 10}}, // u'
+		{Key: "g", Attrs: []float64{0, 1, 0}},  // x
+	})
+	r2 := dataset.MustNew("r2", 1, 2, []dataset.Tuple{
+		{Key: "g", Attrs: []float64{0, 10, 0}}, // v'
+		{Key: "g", Attrs: []float64{0, 0, 1}},  // y
+	})
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: 4}
+
+	// Both components of u' ⋈ v' are SS (nothing k'-dominates them).
+	k1p, k2p := q.KPrimes()
+	c1 := Categorize(r1, k1p, join.Equality, Left)
+	c2 := Categorize(r2, k2p, join.Equality, Right)
+	if c1.Cat[0] != SS || c2.Cat[0] != SS {
+		t.Fatalf("fixture broken: u'=%v v'=%v, want SS/SS", c1.Cat[0], c2.Cat[0])
+	}
+
+	// Yet x ⋈ y = (0,0,1,1) fully dominates u' ⋈ v' = (0,0,10,10).
+	naive, err := Run(q, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range naive.Skyline {
+		if p.Left == 0 && p.Right == 0 {
+			t.Fatal("fixture broken: u' ⋈ v' should be dominated")
+		}
+	}
+	for _, alg := range []Algorithm{Grouping, DominatorBased} {
+		res, err := Run(q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSkyline(t, alg.String(), res, naive)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r1 := randRelation(rand.New(rand.NewSource(1)), "r1", 5, 2, 0, 2, 5)
+	r2 := randRelation(rand.New(rand.NewSource(2)), "r2", 5, 2, 0, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+
+	q.K = 2 // <= max{d1,d2}
+	if _, err := Run(q, Grouping); !errors.Is(err, ErrBadK) {
+		t.Errorf("low k: err = %v, want ErrBadK", err)
+	}
+	q.K = 5 // > d1+d2
+	if _, err := Run(q, Grouping); !errors.Is(err, ErrBadK) {
+		t.Errorf("high k: err = %v, want ErrBadK", err)
+	}
+	q.K = 3
+	if _, err := Run(q, Algorithm(99)); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("bad algorithm: err = %v, want ErrUnknownAlgorithm", err)
+	}
+	q.R2 = nil
+	if _, err := Run(q, Grouping); err == nil {
+		t.Error("nil relation accepted")
+	}
+
+	// Mismatched aggregate schemas.
+	ra := dataset.MustNew("ra", 1, 1, []dataset.Tuple{{Attrs: []float64{1, 2}}})
+	rb := dataset.MustNew("rb", 2, 0, []dataset.Tuple{{Attrs: []float64{1, 2}}})
+	q = Query{R1: ra, R2: rb, Spec: join.Spec{Cond: join.Cross}, K: 3}
+	if _, err := Run(q, Naive); !errors.Is(err, join.ErrSchemaMismatch) {
+		t.Errorf("schema mismatch: err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+func TestNonStrictAggregatorRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r1 := randRelation(rng, "r1", 6, 2, 1, 2, 5)
+	r2 := randRelation(rng, "r2", 6, 2, 1, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Max}, K: 4}
+	if _, err := Run(q, Grouping); !errors.Is(err, ErrNonStrictAgg) {
+		t.Errorf("grouping with max: err = %v, want ErrNonStrictAgg", err)
+	}
+	if _, err := Run(q, DominatorBased); !errors.Is(err, ErrNonStrictAgg) {
+		t.Errorf("dominator with max: err = %v, want ErrNonStrictAgg", err)
+	}
+	if _, err := Run(q, Naive); err != nil {
+		t.Errorf("naive with max: err = %v, want nil", err)
+	}
+}
+
+func TestMaxAggregatorNaive(t *testing.T) {
+	// The naive algorithm supports any monotonic aggregator; sanity-check
+	// the max variant end to end.
+	r1 := dataset.MustNew("r1", 1, 1, []dataset.Tuple{
+		{Key: "g", Attrs: []float64{1, 5}},
+		{Key: "g", Attrs: []float64{2, 9}},
+	})
+	r2 := dataset.MustNew("r2", 1, 1, []dataset.Tuple{
+		{Key: "g", Attrs: []float64{1, 7}},
+	})
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Max}, K: 3}
+	res, err := Run(q, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joined tuples: (1,1,max(5,7)=7) and (2,1,max(9,7)=9); the first
+	// fully dominates the second.
+	if len(res.Skyline) != 1 || res.Skyline[0].Left != 0 {
+		t.Errorf("skyline = %+v, want only (0,0)", res.Skyline)
+	}
+	if res.Skyline[0].Attrs[2] != 7 {
+		t.Errorf("max-aggregated attr = %v, want 7", res.Skyline[0].Attrs[2])
+	}
+}
+
+// TestCartesianFastPath checks Sec 6.5: with a Cartesian product there is
+// no SN set and the answer is exactly SS1 × SS2.
+func TestCartesianFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		r1 := randRelation(rng, "r1", 1+rng.Intn(20), 3, 0, 1, 5)
+		r2 := randRelation(rng, "r2", 1+rng.Intn(20), 3, 0, 1, 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Cross}, K: 4}
+		k1p, k2p := q.KPrimes()
+		c1 := Categorize(r1, k1p, join.Cross, Left)
+		c2 := Categorize(r2, k2p, join.Cross, Right)
+		if len(c1.SN) != 0 || len(c2.SN) != 0 {
+			t.Fatalf("trial %d: Cartesian product must have empty SN sets", trial)
+		}
+		res, err := Run(q, Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Skyline) != len(c1.SS)*len(c2.SS) {
+			t.Errorf("trial %d: |skyline| = %d, want |SS1|*|SS2| = %d",
+				trial, len(res.Skyline), len(c1.SS)*len(c2.SS))
+		}
+		naive, err := Run(q, Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSkyline(t, fmt.Sprintf("trial %d cartesian", trial), res, naive)
+	}
+}
+
+// TestCategorizePartition checks that SS, SN and NN are mutually exclusive
+// and exhaustive (Eq. 4) on random relations under every condition.
+func TestCategorizePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	conds := []join.Condition{join.Equality, join.Cross, join.BandLess, join.BandGreaterEq}
+	for trial := 0; trial < 50; trial++ {
+		r := randRelation(rng, "r", 1+rng.Intn(40), 3, 1, 1+rng.Intn(4), 5)
+		kp := 2 + rng.Intn(3)
+		for _, cond := range conds {
+			for _, side := range []Side{Left, Right} {
+				c := Categorize(r, kp, cond, side)
+				if len(c.SS)+len(c.SN)+len(c.NN) != r.Len() {
+					t.Fatalf("partition sizes %d+%d+%d != %d", len(c.SS), len(c.SN), len(c.NN), r.Len())
+				}
+				seen := make(map[int]bool)
+				for _, lst := range [][]int{c.SS, c.SN, c.NN} {
+					for _, i := range lst {
+						if seen[i] {
+							t.Fatalf("tuple %d in two categories", i)
+						}
+						seen[i] = true
+					}
+				}
+				for i, cat := range c.Cat {
+					if (cat == SS) != contains(c.SS, i) || (cat == SN) != contains(c.SN, i) || (cat == NN) != contains(c.NN, i) {
+						t.Fatalf("Cat[%d]=%v inconsistent with index lists", i, cat)
+					}
+				}
+			}
+		}
+	}
+}
+
+func contains(lst []int, x int) bool {
+	for _, v := range lst {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestUVPTheorem5 checks Theorem 5: when both relations satisfy the unique
+// value property with respect to k', every SS ⋈ SN and SN ⋈ SS pair is a
+// k-dominant skyline.
+func TestUVPTheorem5(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 25; trial++ {
+		// Large value domain makes UVP likely.
+		r1 := randRelation(rng, "r1", 4+rng.Intn(10), 3, 0, 2, 1000)
+		r2 := randRelation(rng, "r2", 4+rng.Intn(10), 3, 0, 2, 1000)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+		k1p, k2p := q.KPrimes()
+		if !r1.HasUVP(k1p) || !r2.HasUVP(k2p) {
+			continue
+		}
+		checked++
+		c1 := Categorize(r1, k1p, join.Equality, Left)
+		c2 := Categorize(r2, k2p, join.Equality, Right)
+		res, err := Run(q, Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sky := make(map[[2]int]bool)
+		for _, p := range res.Skyline {
+			sky[[2]int{p.Left, p.Right}] = true
+		}
+		st := Stats{}
+		e := newEngine(q, &st)
+		for _, p := range e.pairs(c1.SS, c2.SN) {
+			if !sky[[2]int{p.Left, p.Right}] {
+				t.Errorf("trial %d: UVP holds but SS1⋈SN2 pair (%d,%d) is not a skyline", trial, p.Left, p.Right)
+			}
+		}
+		for _, p := range e.pairs(c1.SN, c2.SS) {
+			if !sky[[2]int{p.Left, p.Right}] {
+				t.Errorf("trial %d: UVP holds but SN1⋈SS2 pair (%d,%d) is not a skyline", trial, p.Left, p.Right)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no UVP instances generated; test is vacuous")
+	}
+}
+
+// TestStatsSanity verifies the bookkeeping the experiments rely on.
+func TestStatsSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	r1 := randRelation(rng, "r1", 30, 3, 0, 3, 6)
+	r2 := randRelation(rng, "r2", 30, 3, 0, 3, 6)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	res, err := Run(q, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.SS1+st.SN1+st.NN1 != r1.Len() {
+		t.Errorf("R1 categorization sizes %d+%d+%d != %d", st.SS1, st.SN1, st.NN1, r1.Len())
+	}
+	if st.SS2+st.SN2+st.NN2 != r2.Len() {
+		t.Errorf("R2 categorization sizes %d+%d+%d != %d", st.SS2, st.SN2, st.NN2, r2.Len())
+	}
+	if st.Total <= 0 {
+		t.Error("Total time not recorded")
+	}
+	res2, err := Run(q, DominatorBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.DominatorTime < 0 {
+		t.Error("DominatorTime negative")
+	}
+}
+
+// TestDeterminism: repeated runs return identical, sorted results.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r1 := randRelation(rng, "r1", 40, 3, 1, 4, 5)
+	r2 := randRelation(rng, "r2", 40, 3, 1, 4, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: 6}
+	for _, alg := range Algorithms {
+		first, err := Run(q, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			again, err := Run(q, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSkyline(t, alg.String(), first, again)
+		}
+		for i := 1; i < len(first.Skyline); i++ {
+			a, b := first.Skyline[i-1], first.Skyline[i]
+			if a.Left > b.Left || (a.Left == b.Left && a.Right >= b.Right) {
+				t.Fatalf("%v: result not sorted at %d", alg, i)
+			}
+		}
+	}
+}
+
+// TestSingleGroupMatchesCross: an equality join where every tuple shares
+// one key is semantically a Cartesian product.
+func TestSingleGroupMatchesCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	r1 := randRelation(rng, "r1", 15, 3, 0, 1, 5)
+	r2 := randRelation(rng, "r2", 15, 3, 0, 1, 5)
+	qEq := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	qCross := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Cross}, K: 4}
+	a, err := Run(qEq, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(qCross, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSkyline(t, "single group vs cross", a, b)
+}
+
+// TestKEqualsWidth: at k = d the query degenerates to the full skyline
+// join; all algorithms agree and every result tuple is undominated in the
+// classic sense.
+func TestKEqualsWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	r1 := randRelation(rng, "r1", 25, 2, 0, 3, 5)
+	r2 := randRelation(rng, "r2", 25, 2, 0, 3, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	naive, err := Run(q, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouping, err := Run(q, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSkyline(t, "k=d", grouping, naive)
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// engine bundles the per-query state shared by the optimized algorithms:
+// schema geometry, the aggregator, and scratch buffers for materializing
+// joined attribute vectors during domination checks.
+type engine struct {
+	q          Query
+	cond       join.Condition
+	agg        join.Aggregator
+	l1, l2, a  int
+	k1pp, k2pp int // k″1, k″2: target-set thresholds over local attributes
+	stats      *Stats
+	buf        []float64
+	// noTargetPrune disables the checker's target-set skip; used only by
+	// the ablation benchmarks to quantify the optimization.
+	noTargetPrune bool
+}
+
+func newEngine(q Query, stats *Stats) *engine {
+	e := &engine{
+		q:     q,
+		cond:  q.Spec.Cond,
+		agg:   q.aggregator(),
+		l1:    q.R1.Local,
+		l2:    q.R2.Local,
+		a:     q.R1.Agg,
+		stats: stats,
+		buf:   make([]float64, 0, join.Width(q.R1, q.R2)),
+	}
+	e.k1pp, e.k2pp = q.KDoublePrimes()
+	return e
+}
+
+// pairs materializes the join-compatible pairs between the given index
+// lists of R1 and R2.
+func (e *engine) pairs(left, right []int) []join.Pair {
+	var out []join.Pair
+	e.forEachPair(left, right, func(i, j int) bool {
+		attrs := join.Combine(e.q.R1, e.q.R2, &e.q.R1.Tuples[i], &e.q.R2.Tuples[j], e.agg,
+			make([]float64, 0, join.Width(e.q.R1, e.q.R2)))
+		out = append(out, join.Pair{Left: i, Right: j, Attrs: attrs})
+		return false
+	})
+	return out
+}
+
+// countPairs returns the number of join-compatible pairs between the index
+// lists without materializing them (used by the find-k bounds).
+func (e *engine) countPairs(left, right []int) int {
+	if e.cond == join.Cross {
+		return len(left) * len(right)
+	}
+	if e.cond == join.Equality {
+		byKey := make(map[string]int)
+		for _, j := range right {
+			byKey[e.q.R2.Tuples[j].Key]++
+		}
+		n := 0
+		for _, i := range left {
+			n += byKey[e.q.R1.Tuples[i].Key]
+		}
+		return n
+	}
+	n := 0
+	for _, i := range left {
+		for _, j := range right {
+			if e.cond.Matches(&e.q.R1.Tuples[i], &e.q.R2.Tuples[j]) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// forEachPair calls fn for every join-compatible (i, j) with i from left
+// and j from right, stopping early when fn returns true. It reports whether
+// fn stopped the iteration.
+func (e *engine) forEachPair(left, right []int, fn func(i, j int) bool) bool {
+	if e.cond == join.Equality {
+		byKey := make(map[string][]int)
+		for _, j := range right {
+			k := e.q.R2.Tuples[j].Key
+			byKey[k] = append(byKey[k], j)
+		}
+		for _, i := range left {
+			for _, j := range byKey[e.q.R1.Tuples[i].Key] {
+				if fn(i, j) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, i := range left {
+		for _, j := range right {
+			if e.cond != join.Cross && !e.cond.Matches(&e.q.R1.Tuples[i], &e.q.R2.Tuples[j]) {
+				continue
+			}
+			if fn(i, j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checker answers "is this joined attribute vector k-dominated by any
+// join-compatible pair drawn from my left × right index lists?". For
+// equality joins it pre-groups both lists by key so each query touches only
+// co-grouped pairs; index lists are sorted by attribute sum so strong
+// dominators are tried first (SFS-style early exit; any order is correct).
+type checker struct {
+	e           *engine
+	left, right []int
+	byKey       map[string][2][]int // equality only: key -> (left idxs, right idxs)
+}
+
+func (e *engine) newChecker(left, right []int) *checker {
+	c := &checker{e: e, left: sortBySum(basePoints(e.q.R1), left), right: sortBySum(basePoints(e.q.R2), right)}
+	if e.cond == join.Equality {
+		c.byKey = make(map[string][2][]int)
+		for _, i := range c.left {
+			k := e.q.R1.Tuples[i].Key
+			ent := c.byKey[k]
+			ent[0] = append(ent[0], i)
+			c.byKey[k] = ent
+		}
+		for _, j := range c.right {
+			k := e.q.R2.Tuples[j].Key
+			ent, ok := c.byKey[k]
+			if !ok {
+				continue // no left partner: pair can never form
+			}
+			ent[1] = append(ent[1], j)
+			c.byKey[k] = ent
+		}
+	}
+	return c
+}
+
+// dominates reports whether some join-compatible pair from the checker's
+// lists k-dominates cand.
+//
+// Two optimizations, both justified by the target-set theorem (Def 5 /
+// DESIGN.md §3): a left tuple x whose local attributes win fewer than
+// k″1 = k − l2 − a positions against cand's left part can never complete a
+// dominator, so all its pairs are skipped; and the k-dominance test runs
+// directly over the base vectors without materializing the joined tuple.
+func (c *checker) dominates(cand []float64) bool {
+	e := c.e
+	l1 := e.l1
+	candL := cand[:l1]
+	if c.byKey != nil {
+		for _, ent := range c.byKey {
+			if len(ent[1]) == 0 {
+				continue
+			}
+			for _, i := range ent[0] {
+				if !e.noTargetPrune && !localLeqAtLeast(e.q.R1.Tuples[i].Attrs, candL, l1, e.k1pp) {
+					continue
+				}
+				for _, j := range ent[1] {
+					if e.pairKDominates(i, j, cand) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for _, i := range c.left {
+		if !e.noTargetPrune && !localLeqAtLeast(e.q.R1.Tuples[i].Attrs, candL, l1, e.k1pp) {
+			continue
+		}
+		for _, j := range c.right {
+			if e.cond != join.Cross && !e.cond.Matches(&e.q.R1.Tuples[i], &e.q.R2.Tuples[j]) {
+				continue
+			}
+			if e.pairKDominates(i, j, cand) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pairKDominates reports whether the joined tuple R1[i] ⋈ R2[j] k-dominates
+// the joined attribute vector cand, without materializing the pair.
+func (e *engine) pairKDominates(i, j int, cand []float64) bool {
+	e.stats.DominationTests++
+	x := e.q.R1.Tuples[i].Attrs
+	y := e.q.R2.Tuples[j].Attrs
+	k := e.q.K
+	d := len(cand)
+	leq, pos := 0, 0
+	strict := false
+	for t := 0; t < e.l1; t++ {
+		if v := x[t]; v <= cand[pos] {
+			leq++
+			if v < cand[pos] {
+				strict = true
+			}
+		}
+		pos++
+		if leq+(d-pos) < k {
+			return false
+		}
+	}
+	for t := 0; t < e.l2; t++ {
+		if v := y[t]; v <= cand[pos] {
+			leq++
+			if v < cand[pos] {
+				strict = true
+			}
+		}
+		pos++
+		if leq+(d-pos) < k {
+			return false
+		}
+	}
+	for t := 0; t < e.a; t++ {
+		if v := e.agg.Fn(x[e.l1+t], y[e.l2+t]); v <= cand[pos] {
+			leq++
+			if v < cand[pos] {
+				strict = true
+			}
+		}
+		pos++
+		if leq+(d-pos) < k {
+			return false
+		}
+	}
+	return leq >= k && strict
+}
+
+// targetUnion returns the indices of every tuple in r that belongs to the
+// target set of at least one tuple in base: the paper's Augment step
+// (Algo 2 lines 6-7) generalized to the aggregate variant. local and kpp
+// are the relation's local-attribute count and k″ threshold.
+func targetUnion(r *dataset.Relation, base []int, local, kpp int) []int {
+	var out []int
+	for x := 0; x < r.Len(); x++ {
+		for _, u := range base {
+			if localLeqAtLeast(r.Tuples[x].Attrs, r.Tuples[u].Attrs, local, kpp) {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// targetSet returns the target set τ(u) (Def 5): every x that could be the
+// same-side component of a joined dominator of a tuple built from u.
+func targetSet(r *dataset.Relation, u, local, kpp int) []int {
+	var out []int
+	for x := 0; x < r.Len(); x++ {
+		if localLeqAtLeast(r.Tuples[x].Attrs, r.Tuples[u].Attrs, local, kpp) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// allIndices returns 0..n-1.
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// sortBySum returns a copy of idx ordered by ascending attribute sum of the
+// referenced points, so likely dominators are probed first.
+func sortBySum(pts [][]float64, idx []int) []int {
+	out := append([]int(nil), idx...)
+	sums := make(map[int]float64, len(out))
+	for _, i := range out {
+		s := 0.0
+		for _, v := range pts[i] {
+			s += v
+		}
+		sums[i] = s
+	}
+	sort.SliceStable(out, func(a, b int) bool { return sums[out[a]] < sums[out[b]] })
+	return out
+}

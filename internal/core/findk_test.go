@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/join"
+)
+
+// bruteFindK computes the reference answer to Problem 3 by exhaustive
+// counting.
+func bruteFindK(t *testing.T, q Query, delta int) int {
+	t.Helper()
+	for k := q.KMin(); k <= q.Width(); k++ {
+		q.K = k
+		res, err := Run(q, Naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Skyline) >= delta {
+			return k
+		}
+	}
+	return q.Width()
+}
+
+func skylineCount(t *testing.T, q Query, k int) int {
+	t.Helper()
+	q.K = k
+	res, err := Run(q, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(res.Skyline)
+}
+
+func TestFindKAlgorithmsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		r1 := randRelation(rng, "r1", 5+rng.Intn(30), 3, 0, 1+rng.Intn(3), 5)
+		r2 := randRelation(rng, "r2", 5+rng.Intn(30), 3, 0, 1+rng.Intn(3), 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+		for _, delta := range []int{1, 3, 10, 50, 100000} {
+			want := bruteFindK(t, q, delta)
+			for _, alg := range FindKAlgorithms {
+				res, err := FindK(q, delta, alg)
+				if err != nil {
+					t.Fatalf("trial %d delta %d alg %v: %v", trial, delta, alg, err)
+				}
+				if res.K != want {
+					t.Fatalf("trial %d delta %d: %v returned k=%d, want %d (probed %v)",
+						trial, delta, alg, res.K, want, res.Stats.Probed)
+				}
+			}
+		}
+	}
+}
+
+func TestFindKAggregateAgree(t *testing.T) {
+	// With a >= 2 the lower bound degrades to 0; answers must still match.
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 15; trial++ {
+		r1 := randRelation(rng, "r1", 5+rng.Intn(15), 2, 2, 2, 5)
+		r2 := randRelation(rng, "r2", 5+rng.Intn(15), 2, 2, 2, 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+		for _, delta := range []int{1, 5, 40} {
+			want := bruteFindK(t, q, delta)
+			for _, alg := range FindKAlgorithms {
+				res, err := FindK(q, delta, alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.K != want {
+					t.Fatalf("trial %d delta %d: %v returned k=%d, want %d", trial, delta, alg, res.K, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFindKBoundsValid checks Δ_lb <= Δ <= Δ_ub for every admissible k.
+func TestFindKBoundsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 30; trial++ {
+		agg := rng.Intn(2)
+		r1 := randRelation(rng, "r1", 5+rng.Intn(25), 3, agg, 1+rng.Intn(3), 5)
+		r2 := randRelation(rng, "r2", 5+rng.Intn(25), 3, agg, 1+rng.Intn(3), 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+		st := FindKStats{}
+		p := &prober{q: q, st: &st}
+		for k := q.KMin(); k <= q.Width(); k++ {
+			lb, ub := p.bounds(k)
+			actual := skylineCount(t, q, k)
+			if lb > actual || actual > ub {
+				t.Fatalf("trial %d k=%d: bounds violated: lb=%d actual=%d ub=%d", trial, k, lb, actual, ub)
+			}
+		}
+	}
+}
+
+// TestSkylineCountMonotone checks Lemma 1 at the join level: the skyline
+// size is non-decreasing in k.
+func TestSkylineCountMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 20; trial++ {
+		r1 := randRelation(rng, "r1", 5+rng.Intn(25), 3, 0, 2, 5)
+		r2 := randRelation(rng, "r2", 5+rng.Intn(25), 3, 0, 2, 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+		prev := -1
+		for k := q.KMin(); k <= q.Width(); k++ {
+			n := skylineCount(t, q, k)
+			if n < prev {
+				t.Fatalf("trial %d: skyline count decreased from %d to %d at k=%d", trial, prev, n, k)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestFindKDefaultsToMaxK(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	r1 := randRelation(rng, "r1", 10, 3, 0, 2, 5)
+	r2 := randRelation(rng, "r2", 10, 3, 0, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+	for _, alg := range FindKAlgorithms {
+		res, err := FindK(q, 1<<30, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K != q.Width() {
+			t.Errorf("%v: unsatisfiable delta should return max k=%d, got %d", alg, q.Width(), res.K)
+		}
+	}
+}
+
+func TestFindKErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	r1 := randRelation(rng, "r1", 10, 3, 0, 2, 5)
+	r2 := randRelation(rng, "r2", 10, 3, 0, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+	if _, err := FindK(q, -1, FindKBinary); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := FindK(q, 1, FindKAlgorithm(99)); err == nil {
+		t.Error("unknown find-k algorithm accepted")
+	}
+	q.R1 = nil
+	if _, err := FindK(q, 1, FindKBinary); err == nil {
+		t.Error("nil relation accepted")
+	}
+}
+
+// TestFindKAtMost checks Problem 4 against exhaustive counting: the answer
+// is the largest k whose skyline has at most delta tuples, or the minimum
+// admissible k when even that exceeds delta.
+func TestFindKAtMost(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 25; trial++ {
+		r1 := randRelation(rng, "r1", 5+rng.Intn(20), 3, 0, 2, 5)
+		r2 := randRelation(rng, "r2", 5+rng.Intn(20), 3, 0, 2, 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+		for _, delta := range []int{0, 1, 5, 30, 100000} {
+			want := q.KMin()
+			found := false
+			for k := q.KMin(); k <= q.Width(); k++ {
+				if skylineCount(t, q, k) <= delta {
+					want, found = k, true
+				}
+			}
+			if !found {
+				want = q.KMin()
+			}
+			for _, alg := range FindKAlgorithms {
+				res, err := FindKAtMost(q, delta, alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.K != want {
+					t.Fatalf("trial %d delta %d %v: at-most k=%d, want %d", trial, delta, alg, res.K, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFindKBinaryProbesFewer confirms the point of the binary search: it
+// examines at most O(log range) candidate values.
+func TestFindKBinaryProbesFewer(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	r1 := randRelation(rng, "r1", 40, 5, 0, 3, 8)
+	r2 := randRelation(rng, "r2", 40, 5, 0, 3, 8)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+	res, err := FindK(q, 10, FindKBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rangeSize := q.Width() - q.KMin() + 1
+	maxProbes := 1
+	for 1<<maxProbes < rangeSize+1 {
+		maxProbes++
+	}
+	if len(res.Stats.Probed) > maxProbes+1 {
+		t.Errorf("binary search probed %d values (%v) for range %d", len(res.Stats.Probed), res.Stats.Probed, rangeSize)
+	}
+}
+
+func TestFindKStatsRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	r1 := randRelation(rng, "r1", 20, 3, 0, 2, 5)
+	r2 := randRelation(rng, "r2", 20, 3, 0, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
+	for _, alg := range FindKAlgorithms {
+		res, err := FindK(q, 5, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Total <= 0 {
+			t.Errorf("%v: total time not recorded", alg)
+		}
+		if len(res.Stats.Probed) == 0 {
+			t.Errorf("%v: no probes recorded", alg)
+		}
+	}
+	_ = fmt.Sprintf("%v %v %v", FindKNaive, FindKRange, FindKBinary) // exercise String()
+}
+
+func TestFindKStringLabels(t *testing.T) {
+	if FindKNaive.String() != "N" || FindKRange.String() != "R" || FindKBinary.String() != "B" {
+		t.Error("find-k labels must match the paper's figures (B, R, N)")
+	}
+	if Naive.String() != "N" || Grouping.String() != "G" || DominatorBased.String() != "D" {
+		t.Error("algorithm labels must match the paper's figures (G, D, N)")
+	}
+}

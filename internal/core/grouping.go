@@ -1,0 +1,95 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/join"
+)
+
+// runGrouping implements Algorithm 2. Both base relations are categorized
+// into SS/SN/NN; Table 5 then decides each joined cell's fate:
+//
+//   - SS1 ⋈ SS2 ("yes") is emitted without checks (verified against the
+//     augmented target sets when a ≥ 2; see the package comment),
+//   - any cell containing NN ("no") is pruned without even joining,
+//   - SS1 ⋈ SN2 and SN1 ⋈ SS2 ("likely") are checked against A1 ⋈ R2 and
+//     R1 ⋈ A2 respectively, where A is the augmented SS target union,
+//   - SN1 ⋈ SN2 ("may be") is checked against the full join R1 ⋈ R2.
+//
+// For Cartesian products (Sec 6.5) the SN sets are empty, so the algorithm
+// degenerates to emitting SS1 × SS2 — exactly the paper's fast path.
+func runGrouping(q Query) *Result {
+	st := Stats{}
+	e := newEngine(q, &st)
+
+	// Phase 1: categorization and target-set augmentation.
+	t0 := time.Now()
+	k1p, k2p := q.KPrimes()
+	c1 := Categorize(q.R1, k1p, e.cond, Left)
+	c2 := Categorize(q.R2, k2p, e.cond, Right)
+	a1 := targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
+	a2 := targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
+	st.GroupingTime = time.Since(t0)
+	recordSizes(&st, c1, c2)
+
+	// Phase 2: join only the cells that can still produce skylines.
+	t0 = time.Now()
+	yes := e.pairs(c1.SS, c2.SS)
+	likely1 := e.pairs(c1.SS, c2.SN)
+	likely2 := e.pairs(c1.SN, c2.SS)
+	maybe := e.pairs(c1.SN, c2.SN)
+	st.JoinTime = time.Since(t0)
+	st.Candidates = len(likely1) + len(likely2) + len(maybe)
+
+	// Phase 3: verify candidates against their target joins.
+	t0 = time.Now()
+	skyline := make([]join.Pair, 0, len(yes))
+	if e.a >= 2 {
+		// Paper erratum: with two or more aggregate attributes SS ⋈ SS
+		// tuples can be dominated; verify them against A1 ⋈ A2.
+		chk := e.newChecker(a1, a2)
+		for _, p := range yes {
+			if !chk.dominates(p.Attrs) {
+				skyline = append(skyline, p)
+			}
+		}
+	} else {
+		skyline = append(skyline, yes...)
+		st.YesEmitted = len(yes)
+	}
+
+	all1 := allIndices(q.R1.Len())
+	all2 := allIndices(q.R2.Len())
+	if len(likely1) > 0 {
+		chk := e.newChecker(a1, all2)
+		for _, p := range likely1 {
+			if !chk.dominates(p.Attrs) {
+				skyline = append(skyline, p)
+			}
+		}
+	}
+	if len(likely2) > 0 {
+		chk := e.newChecker(all1, a2)
+		for _, p := range likely2 {
+			if !chk.dominates(p.Attrs) {
+				skyline = append(skyline, p)
+			}
+		}
+	}
+	if len(maybe) > 0 {
+		chk := e.newChecker(all1, all2)
+		for _, p := range maybe {
+			if !chk.dominates(p.Attrs) {
+				skyline = append(skyline, p)
+			}
+		}
+	}
+	st.RemainingTime = time.Since(t0)
+
+	return &Result{Skyline: skyline, Stats: st}
+}
+
+func recordSizes(st *Stats, c1, c2 Categorization) {
+	st.SS1, st.SN1, st.NN1 = len(c1.SS), len(c1.SN), len(c1.NN)
+	st.SS2, st.SN2, st.NN2 = len(c2.SS), len(c2.SN), len(c2.NN)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+func randTuple(rng *rand.Rand, d, groups, domain int) dataset.Tuple {
+	attrs := make([]float64, d)
+	for j := range attrs {
+		attrs[j] = float64(rng.Intn(domain))
+	}
+	return dataset.Tuple{
+		Key:   fmt.Sprintf("g%d", rng.Intn(groups)),
+		Band:  float64(rng.Intn(8)),
+		Attrs: attrs,
+	}
+}
+
+// TestMaintainerMatchesRecompute interleaves random insertions into both
+// relations and compares the incremental answer against a from-scratch run
+// after every step.
+func TestMaintainerMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 12; trial++ {
+		agg := rng.Intn(3)
+		local := 1 + rng.Intn(3)
+		groups := 1 + rng.Intn(3)
+		r1 := randRelation(rng, "r1", 4+rng.Intn(10), local, agg, groups, 5)
+		r2 := randRelation(rng, "r2", 4+rng.Intn(10), local, agg, groups, 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+		q.K = q.KMin() + rng.Intn(q.Width()-q.KMin()+1)
+
+		m, err := NewMaintainer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 12; step++ {
+			tup := randTuple(rng, local+agg, groups, 5)
+			if rng.Intn(2) == 0 {
+				_, _, err = m.InsertLeft(tup)
+			} else {
+				_, _, err = m.InsertRight(tup)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Run(q, Grouping)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := &Result{Skyline: m.Skyline()}
+			assertSameSkyline(t, fmt.Sprintf("trial %d step %d (k=%d)", trial, step, q.K), got, fresh)
+		}
+	}
+}
+
+func TestMaintainerDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	r1 := randRelation(rng, "r1", 12, 2, 0, 2, 5)
+	r2 := randRelation(rng, "r2", 12, 2, 0, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3}
+	m, err := NewMaintainer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 6; step++ {
+		if rng.Intn(2) == 0 && q.R1.Len() > 2 {
+			if err := m.DeleteLeft(rng.Intn(q.R1.Len())); err != nil {
+				t.Fatal(err)
+			}
+		} else if q.R2.Len() > 2 {
+			if err := m.DeleteRight(rng.Intn(q.R2.Len())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fresh, err := Run(q, Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &Result{Skyline: m.Skyline()}
+		assertSameSkyline(t, fmt.Sprintf("delete step %d", step), got, fresh)
+	}
+	_, recomputes := m.Counters()
+	if recomputes == 0 {
+		t.Error("deletions should have triggered recomputes")
+	}
+	if err := m.DeleteLeft(999); err == nil {
+		t.Error("out-of-range delete accepted")
+	}
+}
+
+func TestMaintainerDisplacement(t *testing.T) {
+	// A dominant insert must displace the current skyline.
+	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{5, 5}}})
+	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{5, 5}}})
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3}
+	m, err := NewMaintainer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("initial skyline size %d, want 1", m.Len())
+	}
+	displaced, admitted, err := m.InsertLeft(dataset.Tuple{Key: "a", Attrs: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if displaced != 1 || admitted != 1 {
+		t.Errorf("displaced=%d admitted=%d, want 1/1", displaced, admitted)
+	}
+	keys := m.sortedKeys()
+	if len(keys) != 1 || keys[0] != [2]int{1, 0} {
+		t.Errorf("skyline keys = %v, want [[1 0]]", keys)
+	}
+}
+
+func TestMaintainerInsertNoPartners(t *testing.T) {
+	// Inserting a tuple whose key matches nothing changes nothing.
+	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
+	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3}
+	m, err := NewMaintainer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	displaced, admitted, err := m.InsertLeft(dataset.Tuple{Key: "zzz", Attrs: []float64{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if displaced != 0 || admitted != 0 {
+		t.Errorf("displaced=%d admitted=%d, want 0/0", displaced, admitted)
+	}
+	if m.Len() != 1 {
+		t.Errorf("skyline size %d, want 1", m.Len())
+	}
+}
+
+func TestMaintainerSchemaCheck(t *testing.T) {
+	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
+	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3}
+	m, err := NewMaintainer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.InsertLeft(dataset.Tuple{Key: "a", Attrs: []float64{1}}); !errors.Is(err, dataset.ErrBadSchema) {
+		t.Errorf("width mismatch: err = %v, want ErrBadSchema", err)
+	}
+	if _, err := NewMaintainer(Query{}); err == nil {
+		t.Error("invalid query accepted by NewMaintainer")
+	}
+}

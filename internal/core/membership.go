@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/join"
+)
+
+// IsSkylineMember answers a point query: is the joined tuple
+// R1[i] ⋈ R2[j] in the k-dominant skyline of q's join? It avoids computing
+// the full answer — the pair is checked against its target sets only — so
+// a single membership probe costs far less than Run. The pair must be
+// join-compatible under q.Spec.
+func IsSkylineMember(q Query, i, j int) (bool, error) {
+	members, err := Membership(q, [][2]int{{i, j}})
+	if err != nil {
+		return false, err
+	}
+	return members[0], nil
+}
+
+// Membership tests many joined pairs at once, sharing one checker across
+// probes. Each entry of pairs is a (R1 index, R2 index) pair; the result
+// slice is parallel to it.
+func Membership(q Query, pairs [][2]int) ([]bool, error) {
+	if err := q.Validate(Grouping); err != nil {
+		return nil, err
+	}
+	st := Stats{}
+	e := newEngine(q, &st)
+	for _, pr := range pairs {
+		i, j := pr[0], pr[1]
+		if i < 0 || i >= q.R1.Len() || j < 0 || j >= q.R2.Len() {
+			return nil, fmt.Errorf("core: pair (%d,%d) out of range", i, j)
+		}
+		if e.cond != join.Cross && !e.cond.Matches(&q.R1.Tuples[i], &q.R2.Tuples[j]) {
+			return nil, fmt.Errorf("core: pair (%d,%d) is not join-compatible under %v", i, j, e.cond)
+		}
+	}
+	chk := e.newChecker(allIndices(q.R1.Len()), allIndices(q.R2.Len()))
+	agg := q.aggregator()
+	buf := make([]float64, 0, q.Width())
+	out := make([]bool, len(pairs))
+	for n, pr := range pairs {
+		buf = join.Combine(q.R1, q.R2, &q.R1.Tuples[pr[0]], &q.R2.Tuples[pr[1]], agg, buf)
+		out[n] = !chk.dominates(buf)
+	}
+	return out, nil
+}
+
+// AnyDominators reports, for each joined attribute vector, whether some
+// joined tuple of q's join k-dominates it. The vectors need not originate
+// from q's relations — this is the primitive a distributed verifier uses
+// to check foreign candidates against its local partition. Every vector
+// must have q.Width() attributes.
+func AnyDominators(q Query, vectors [][]float64) ([]bool, error) {
+	if err := q.Validate(Grouping); err != nil {
+		return nil, err
+	}
+	for i, v := range vectors {
+		if len(v) != q.Width() {
+			return nil, fmt.Errorf("core: vector %d has %d attributes, joined width is %d", i, len(v), q.Width())
+		}
+	}
+	st := Stats{}
+	e := newEngine(q, &st)
+	chk := e.newChecker(allIndices(q.R1.Len()), allIndices(q.R2.Len()))
+	out := make([]bool, len(vectors))
+	for i, v := range vectors {
+		out[i] = chk.dominates(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/kdominant"
+)
+
+// runNaive implements Algorithm 1: materialize the full join, then compute
+// the k-dominant skyline of the joined relation with the Two-Scan
+// Algorithm. Validation has already established schema compatibility, so
+// the join cannot fail.
+func runNaive(q Query) *Result {
+	st := Stats{}
+
+	t0 := time.Now()
+	pairs, err := join.Pairs(q.R1, q.R2, q.Spec)
+	if err != nil {
+		// Unreachable after Validate; kept as a loud failure rather than a
+		// silent wrong answer.
+		panic(err)
+	}
+	st.JoinTime = time.Since(t0)
+
+	t0 = time.Now()
+	attrs := make([][]float64, len(pairs))
+	for i := range pairs {
+		attrs[i] = pairs[i].Attrs
+	}
+	idx := kdominant.TwoScan(attrs, q.K)
+	skyline := make([]join.Pair, len(idx))
+	for i, j := range idx {
+		skyline[i] = pairs[j]
+	}
+	st.RemainingTime = time.Since(t0)
+
+	return &Result{Skyline: skyline, Stats: st}
+}

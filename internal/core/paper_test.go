@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// The flight example of Tables 1-3 and 6. Attribute order (no-aggregation
+// layout): cost, dur, rtg, amn; all preferences are "lower is better"
+// (paper footnote 2).
+//
+// Two errata in the paper's hand-made tables, verified by direct
+// computation and encoded here:
+//
+//  1. Flight 28's amenities value is 39 (as printed twice in Table 3 and
+//     Table 6), not 37 (Table 2). With 37, the joined tuple (18,28) would
+//     be a 7-dominant skyline, contradicting Table 3's "no" verdict; with
+//     39, (19,25) 7-dominates it exactly as the paper's Obs. 3 discussion
+//     describes.
+//  2. Flight 16 (452,3.6,20,36) 3-dominates flight 18 (451,3.7,20,37): it
+//     is preferred-or-equal on dur, rtg, amn with strict preference on dur
+//     and amn. Hence 18 is SN1 by Definitions 1-3, not SS1 as Table 1
+//     prints. The final skyline verdicts are unchanged: (18,28) is
+//     eliminated either way.
+func paperFlights(t *testing.T) (f1, f2 *dataset.Relation) {
+	t.Helper()
+	f1 = dataset.MustNew("f1", 4, 0, []dataset.Tuple{
+		{Key: "C", Attrs: []float64{448, 3.2, 40, 40}}, // 11
+		{Key: "C", Attrs: []float64{468, 4.2, 50, 38}}, // 12
+		{Key: "D", Attrs: []float64{456, 3.8, 60, 34}}, // 13
+		{Key: "D", Attrs: []float64{460, 4.0, 70, 32}}, // 14
+		{Key: "E", Attrs: []float64{450, 3.4, 30, 42}}, // 15
+		{Key: "F", Attrs: []float64{452, 3.6, 20, 36}}, // 16
+		{Key: "G", Attrs: []float64{472, 4.6, 80, 46}}, // 17
+		{Key: "H", Attrs: []float64{451, 3.7, 20, 37}}, // 18
+		{Key: "E", Attrs: []float64{451, 3.7, 40, 37}}, // 19
+	})
+	f2 = dataset.MustNew("f2", 4, 0, []dataset.Tuple{
+		{Key: "D", Attrs: []float64{348, 2.2, 40, 36}}, // 21
+		{Key: "D", Attrs: []float64{368, 3.2, 50, 34}}, // 22
+		{Key: "C", Attrs: []float64{356, 2.8, 60, 30}}, // 23
+		{Key: "C", Attrs: []float64{360, 3.0, 70, 28}}, // 24
+		{Key: "E", Attrs: []float64{350, 2.4, 30, 38}}, // 25
+		{Key: "F", Attrs: []float64{352, 2.6, 20, 32}}, // 26
+		{Key: "G", Attrs: []float64{372, 3.6, 80, 42}}, // 27
+		{Key: "H", Attrs: []float64{350, 2.4, 35, 39}}, // 28 (erratum 1)
+	})
+	return f1, f2
+}
+
+// flightNo translates the paper's flight numbers to tuple indices.
+func flightNo(fno int) int {
+	if fno >= 21 {
+		return fno - 21
+	}
+	return fno - 11
+}
+
+func TestPaperTable12Categorization(t *testing.T) {
+	f1, f2 := paperFlights(t)
+	q := Query{R1: f1, R2: f2, Spec: join.Spec{Cond: join.Equality}, K: 7}
+	k1p, k2p := q.KPrimes()
+	if k1p != 3 || k2p != 3 {
+		t.Fatalf("k' = (%d,%d), want (3,3)", k1p, k2p)
+	}
+	c1 := Categorize(f1, k1p, join.Equality, Left)
+	c2 := Categorize(f2, k2p, join.Equality, Right)
+
+	want1 := map[int]Category{
+		11: SS, 12: NN, 13: SN, 14: NN, 15: SN,
+		16: SS, 17: SN, 18: SN /* erratum 2: paper prints SS */, 19: NN,
+	}
+	for fno, want := range want1 {
+		if got := c1.Cat[flightNo(fno)]; got != want {
+			t.Errorf("flight %d: category %v, want %v", fno, got, want)
+		}
+	}
+	want2 := map[int]Category{
+		21: SS, 22: NN, 23: SN, 24: NN, 25: SN, 26: SS, 27: SN, 28: SN,
+	}
+	for fno, want := range want2 {
+		if got := c2.Cat[flightNo(fno)]; got != want {
+			t.Errorf("flight %d: category %v, want %v", fno, got, want)
+		}
+	}
+}
+
+// paperVerdicts maps each joined pair of Table 3 to its skyline verdict.
+var paperVerdicts = map[[2]int]bool{
+	{11, 23}: true, {11, 24}: false,
+	{12, 23}: false, {12, 24}: false,
+	{13, 21}: true, {13, 22}: false,
+	{14, 21}: false, {14, 22}: false,
+	{15, 25}: true,
+	{16, 26}: true,
+	{17, 27}: false,
+	{18, 28}: false,
+	{19, 25}: false,
+}
+
+func TestPaperTable3Skyline(t *testing.T) {
+	f1, f2 := paperFlights(t)
+	q := Query{R1: f1, R2: f2, Spec: join.Spec{Cond: join.Equality}, K: 7}
+	for _, alg := range Algorithms {
+		res, err := Run(q, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		got := make(map[[2]int]bool)
+		for _, p := range res.Skyline {
+			got[[2]int{p.Left + 11, p.Right + 21}] = true
+		}
+		for pair, want := range paperVerdicts {
+			if got[pair] != want {
+				t.Errorf("%v: pair (%d,%d) skyline = %v, want %v", alg, pair[0], pair[1], got[pair], want)
+			}
+		}
+		if len(res.Skyline) != 4 {
+			t.Errorf("%v: skyline size = %d, want 4", alg, len(res.Skyline))
+		}
+	}
+}
+
+// TestPaperTable6Aggregate reruns the example with cost aggregated
+// (a = 1, l = 3, k = 6 over 7 joined attributes). Attribute layout per the
+// dataset convention: locals [dur, rtg, amn] first, aggregate [cost] last.
+// Table 6's verdicts match Table 3's: the same four pairs survive.
+func TestPaperTable6Aggregate(t *testing.T) {
+	reorder := func(r *dataset.Relation, name string) *dataset.Relation {
+		tuples := make([]dataset.Tuple, r.Len())
+		for i, tup := range r.Tuples {
+			tuples[i] = dataset.Tuple{
+				Key:   tup.Key,
+				Attrs: []float64{tup.Attrs[1], tup.Attrs[2], tup.Attrs[3], tup.Attrs[0]},
+			}
+		}
+		return dataset.MustNew(name, 3, 1, tuples)
+	}
+	f1, f2 := paperFlights(t)
+	q := Query{
+		R1:   reorder(f1, "f1agg"),
+		R2:   reorder(f2, "f2agg"),
+		Spec: join.Spec{Cond: join.Equality, Agg: join.Sum},
+		K:    6,
+	}
+	k1p, k2p := q.KPrimes()
+	if k1p != 3 || k2p != 3 {
+		t.Fatalf("k' = (%d,%d), want (3,3) (k'' + a with k''=2, a=1)", k1p, k2p)
+	}
+	for _, alg := range Algorithms {
+		res, err := Run(q, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		got := make(map[[2]int]bool)
+		for _, p := range res.Skyline {
+			got[[2]int{p.Left + 11, p.Right + 21}] = true
+		}
+		for pair, want := range paperVerdicts {
+			if got[pair] != want {
+				t.Errorf("%v: aggregate pair (%d,%d) skyline = %v, want %v", alg, pair[0], pair[1], got[pair], want)
+			}
+		}
+	}
+}
+
+// TestPaperObservation2 checks the two SN1 ⋈ SN2 cases the paper singles
+// out: (15,25) survives because its component dominators (11 and 21) are
+// join-incompatible, while (17,27) dies because its dominators (16 and 26)
+// share the stop-over city F.
+func TestPaperObservation2(t *testing.T) {
+	f1, f2 := paperFlights(t)
+	q := Query{R1: f1, R2: f2, Spec: join.Spec{Cond: join.Equality}, K: 7}
+	res, err := Run(q, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[[2]int]bool)
+	for _, p := range res.Skyline {
+		got[[2]int{p.Left + 11, p.Right + 21}] = true
+	}
+	if !got[[2]int{15, 25}] {
+		t.Error("(15,25) should be a k-dominant skyline (dominators cannot join)")
+	}
+	if got[[2]int{17, 27}] {
+		t.Error("(17,27) should not be a k-dominant skyline ((16,26) dominates it)")
+	}
+}
+
+// TestPaperTheorem1And2 spot-checks the fate table on the example: the
+// SS ⋈ SS pair is in the answer, and every pair with an NN component is
+// out.
+func TestPaperTheorem1And2(t *testing.T) {
+	f1, f2 := paperFlights(t)
+	q := Query{R1: f1, R2: f2, Spec: join.Spec{Cond: join.Equality}, K: 7}
+	res, err := Run(q, DominatorBased)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[[2]int]bool)
+	for _, p := range res.Skyline {
+		got[[2]int{p.Left + 11, p.Right + 21}] = true
+	}
+	if !got[[2]int{16, 26}] {
+		t.Error("Theorem 1: (16,26) ∈ SS1 ⋈ SS2 must be a skyline")
+	}
+	for _, pair := range [][2]int{{11, 24}, {12, 23}, {12, 24}, {13, 22}, {14, 21}, {14, 22}, {19, 25}} {
+		if got[pair] {
+			t.Errorf("Theorem 2: (%d,%d) has an NN component and must not be a skyline", pair[0], pair[1])
+		}
+	}
+}

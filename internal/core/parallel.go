@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/join"
+)
+
+// RunParallel evaluates the query with a parallelized grouping algorithm —
+// the paper's future-work item ("extend the algorithms to work in
+// parallel", Sec. 8). The structure of Algorithm 2 parallelizes naturally:
+//
+//   - the two base relations are categorized concurrently (they are
+//     independent),
+//   - the two target-set augmentations run concurrently,
+//   - candidate verification — the dominant cost — is embarrassingly
+//     parallel: candidates are sharded across workers, each with its own
+//     checker over the same (read-only) target lists.
+//
+// workers <= 0 selects GOMAXPROCS. The result is identical to
+// Run(q, Grouping); only the phase timings change.
+func RunParallel(q Query, workers int) (*Result, error) {
+	if err := q.Validate(Grouping); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	st := Stats{}
+	e := newEngine(q, &st)
+
+	// Phase 1: categorize both relations and build both target unions
+	// concurrently.
+	t0 := time.Now()
+	k1p, k2p := q.KPrimes()
+	var c1, c2 Categorization
+	var a1, a2 []int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c1 = Categorize(q.R1, k1p, e.cond, Left)
+		a1 = targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
+	}()
+	go func() {
+		defer wg.Done()
+		c2 = Categorize(q.R2, k2p, e.cond, Right)
+		a2 = targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
+	}()
+	wg.Wait()
+	st.GroupingTime = time.Since(t0)
+	recordSizes(&st, c1, c2)
+
+	// Phase 2: enumerate the surviving cells.
+	t0 = time.Now()
+	yes := e.pairs(c1.SS, c2.SS)
+	likely1 := e.pairs(c1.SS, c2.SN)
+	likely2 := e.pairs(c1.SN, c2.SS)
+	maybe := e.pairs(c1.SN, c2.SN)
+	st.JoinTime = time.Since(t0)
+	st.Candidates = len(likely1) + len(likely2) + len(maybe)
+
+	// Phase 3: verify cells in parallel.
+	t0 = time.Now()
+	all1 := allIndices(q.R1.Len())
+	all2 := allIndices(q.R2.Len())
+
+	skyline := make([]join.Pair, 0, len(yes))
+	if e.a >= 2 {
+		skyline = append(skyline, filterParallel(q, &st, workers, yes, a1, a2)...)
+	} else {
+		skyline = append(skyline, yes...)
+		st.YesEmitted = len(yes)
+	}
+	skyline = append(skyline, filterParallel(q, &st, workers, likely1, a1, all2)...)
+	skyline = append(skyline, filterParallel(q, &st, workers, likely2, all1, a2)...)
+	skyline = append(skyline, filterParallel(q, &st, workers, maybe, all1, all2)...)
+	st.RemainingTime = time.Since(t0)
+
+	sortPairs(skyline)
+	st.Total = time.Since(start)
+	return &Result{Skyline: skyline, Stats: st}, nil
+}
+
+// filterParallel returns the candidates not dominated by any
+// join-compatible pair from left × right, verifying shards concurrently.
+// Each worker owns a private engine (for stats counters) and checker; the
+// underlying relations and index lists are read-only.
+func filterParallel(q Query, st *Stats, workers int, candidates []join.Pair, left, right []int) []join.Pair {
+	if len(candidates) == 0 {
+		return nil
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	type shardResult struct {
+		keep  []join.Pair
+		tests int64
+	}
+	results := make([]shardResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			localStats := Stats{}
+			we := newEngine(q, &localStats)
+			chk := we.newChecker(left, right)
+			var keep []join.Pair
+			for i := w; i < len(candidates); i += workers {
+				if !chk.dominates(candidates[i].Attrs) {
+					keep = append(keep, candidates[i])
+				}
+			}
+			results[w] = shardResult{keep: keep, tests: localStats.DominationTests}
+		}(w)
+	}
+	wg.Wait()
+	var out []join.Pair
+	for _, r := range results {
+		out = append(out, r.keep...)
+		st.DominationTests += r.tests
+	}
+	return out
+}
+
+// Workers returns a human-readable description of the parallel degree, for
+// CLI output.
+func Workers(workers int) string {
+	if workers <= 0 {
+		return fmt.Sprintf("auto (%d)", runtime.GOMAXPROCS(0))
+	}
+	return fmt.Sprintf("%d", workers)
+}

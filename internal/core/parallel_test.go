@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/join"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	conds := []join.Condition{join.Equality, join.Cross, join.BandLess}
+	for trial := 0; trial < 40; trial++ {
+		agg := rng.Intn(3)
+		r1 := randRelation(rng, "r1", 5+rng.Intn(40), 1+rng.Intn(3), agg, 1+rng.Intn(4), 5)
+		r2 := randRelation(rng, "r2", 5+rng.Intn(40), 1+rng.Intn(3), agg, 1+rng.Intn(4), 5)
+		cond := conds[rng.Intn(len(conds))]
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: cond, Agg: join.Sum}}
+		q.K = q.KMin() + rng.Intn(q.Width()-q.KMin()+1)
+		serial, err := Run(q, Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4, 7} {
+			par, err := RunParallel(q, workers)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+			assertSameSkyline(t, fmt.Sprintf("trial %d workers=%d cond=%v k=%d", trial, workers, cond, q.K), par, serial)
+		}
+	}
+}
+
+func TestParallelValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	r1 := randRelation(rng, "r1", 5, 2, 0, 2, 5)
+	r2 := randRelation(rng, "r2", 5, 2, 0, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 1}
+	if _, err := RunParallel(q, 4); err == nil {
+		t.Error("invalid k accepted")
+	}
+}
+
+func TestParallelStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	r1 := randRelation(rng, "r1", 60, 3, 0, 3, 6)
+	r2 := randRelation(rng, "r2", 60, 3, 0, 3, 6)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	res, err := RunParallel(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SS1+res.Stats.SN1+res.Stats.NN1 != r1.Len() {
+		t.Error("categorization sizes wrong under parallel run")
+	}
+	serial, err := Run(q, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DominationTests != serial.Stats.DominationTests {
+		// Work sharding must not change the amount of work (each shard
+		// early-exits the same candidates the serial run would).
+		t.Logf("note: parallel tests=%d serial=%d (may differ only via checker ordering)",
+			res.Stats.DominationTests, serial.Stats.DominationTests)
+	}
+}
+
+func TestWorkersLabel(t *testing.T) {
+	if Workers(4) != "4" {
+		t.Errorf("Workers(4) = %q", Workers(4))
+	}
+	if !strings.HasPrefix(Workers(0), "auto") {
+		t.Errorf("Workers(0) = %q, want auto prefix", Workers(0))
+	}
+}
+
+func TestProgressiveMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(214))
+	for trial := 0; trial < 30; trial++ {
+		agg := rng.Intn(3)
+		r1 := randRelation(rng, "r1", 5+rng.Intn(30), 2, agg, 1+rng.Intn(3), 5)
+		r2 := randRelation(rng, "r2", 5+rng.Intn(30), 2, agg, 1+rng.Intn(3), 5)
+		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+		q.K = q.KMin() + rng.Intn(q.Width()-q.KMin()+1)
+
+		var streamed []join.Pair
+		st, err := RunProgressive(q, func(p join.Pair) bool {
+			streamed = append(streamed, p)
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := Run(q, Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortPairs(streamed)
+		got := Result{Skyline: streamed, Stats: *st}
+		assertSameSkyline(t, fmt.Sprintf("trial %d", trial), &got, batch)
+	}
+}
+
+func TestProgressiveEmitsYesCellFirst(t *testing.T) {
+	f1, f2 := paperFlights(t)
+	q := Query{R1: f1, R2: f2, Spec: join.Spec{Cond: join.Equality}, K: 7}
+	k1p, k2p := q.KPrimes()
+	c1 := Categorize(f1, k1p, join.Equality, Left)
+	c2 := Categorize(f2, k2p, join.Equality, Right)
+
+	var order []string
+	_, err := RunProgressive(q, func(p join.Pair) bool {
+		order = append(order, fmt.Sprintf("%v⋈%v", c1.Cat[p.Left], c2.Cat[p.Right]))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) == 0 {
+		t.Fatal("nothing emitted")
+	}
+	if order[0] != "SS⋈SS" {
+		t.Errorf("first emission from cell %s, want SS⋈SS (progressiveness)", order[0])
+	}
+	// Once a non-yes cell starts, no more SS⋈SS tuples may appear.
+	seenOther := false
+	for _, cell := range order {
+		if cell != "SS⋈SS" {
+			seenOther = true
+		} else if seenOther {
+			t.Errorf("SS⋈SS tuple emitted after verification began: %v", order)
+		}
+	}
+}
+
+func TestProgressiveEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(215))
+	r1 := randRelation(rng, "r1", 50, 3, 0, 3, 6)
+	r2 := randRelation(rng, "r2", 50, 3, 0, 3, 6)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	full, err := Run(q, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Skyline) < 3 {
+		t.Skip("instance too small for an early-stop test")
+	}
+	want := 2
+	count := 0
+	if _, err := RunProgressive(q, func(join.Pair) bool {
+		count++
+		return count < want
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != want {
+		t.Errorf("emitted %d tuples after cancellation, want %d", count, want)
+	}
+}
+
+func TestProgressiveValidates(t *testing.T) {
+	q := Query{}
+	if _, err := RunProgressive(q, func(join.Pair) bool { return true }); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func BenchmarkParallelGrouping(b *testing.B) {
+	rng := rand.New(rand.NewSource(216))
+	r1 := randRelation(rng, "r1", 400, 5, 2, 10, 1000)
+	r2 := randRelation(rng, "r2", 400, 5, 2, 10, 1000)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: 11}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunParallel(q, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

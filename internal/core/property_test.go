@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/join"
+)
+
+// quickRelation decodes a fixed-shape byte matrix into a relation: two
+// join groups, three attributes, tiny value domain to force ties. The
+// encoding keeps testing/quick's shrinking useful.
+type quickRelation [8][4]uint8
+
+func (qr quickRelation) relation(name string) *dataset.Relation {
+	tuples := make([]dataset.Tuple, len(qr))
+	for i, row := range qr {
+		tuples[i] = dataset.Tuple{
+			Key:   string(rune('A' + row[0]%2)),
+			Attrs: []float64{float64(row[1] % 4), float64(row[2] % 4), float64(row[3] % 4)},
+		}
+	}
+	return dataset.MustNew(name, 3, 0, tuples)
+}
+
+func quickQuery(a, b quickRelation, kRaw uint8) Query {
+	q := Query{R1: a.relation("r1"), R2: b.relation("r2"), Spec: join.Spec{Cond: join.Equality}}
+	q.K = q.KMin() + int(kRaw)%(q.Width()-q.KMin()+1)
+	return q
+}
+
+// TestPropertyResultIsSubsetOfJoin: every reported pair is an actual
+// join-compatible pair with correctly combined attributes.
+func TestPropertyResultIsSubsetOfJoin(t *testing.T) {
+	f := func(a, b quickRelation, kRaw uint8) bool {
+		q := quickQuery(a, b, kRaw)
+		res, err := Run(q, Grouping)
+		if err != nil {
+			return false
+		}
+		for _, p := range res.Skyline {
+			u, v := q.R1.Tuples[p.Left], q.R2.Tuples[p.Right]
+			if u.Key != v.Key {
+				return false
+			}
+			want := append(append([]float64(nil), u.Attrs...), v.Attrs...)
+			if len(p.Attrs) != len(want) {
+				return false
+			}
+			for i := range want {
+				if p.Attrs[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyResultDefinition: the answer holds exactly the joined tuples
+// not k-dominated by any joined tuple (checked from first principles, no
+// algorithm machinery).
+func TestPropertyResultDefinition(t *testing.T) {
+	f := func(a, b quickRelation, kRaw uint8) bool {
+		q := quickQuery(a, b, kRaw)
+		res, err := Run(q, DominatorBased)
+		if err != nil {
+			return false
+		}
+		in := map[[2]int]bool{}
+		for _, p := range res.Skyline {
+			in[[2]int{p.Left, p.Right}] = true
+		}
+		pairs, err := join.Pairs(q.R1, q.R2, q.Spec)
+		if err != nil {
+			return false
+		}
+		for _, p := range pairs {
+			dominated := false
+			for _, o := range pairs {
+				if (o.Left != p.Left || o.Right != p.Right) && dom.KDominates(o.Attrs, p.Attrs, q.K) {
+					dominated = true
+					break
+				}
+			}
+			if in[[2]int{p.Left, p.Right}] == dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFateTable: Theorem 1 and Theorem 2 as universal properties —
+// SS⋈SS pairs are always in the answer, NN-containing pairs never are.
+func TestPropertyFateTable(t *testing.T) {
+	f := func(a, b quickRelation, kRaw uint8) bool {
+		q := quickQuery(a, b, kRaw)
+		if q.R1.Agg >= 2 {
+			return true // Theorem 1 does not hold there (see erratum)
+		}
+		k1p, k2p := q.KPrimes()
+		c1 := Categorize(q.R1, k1p, join.Equality, Left)
+		c2 := Categorize(q.R2, k2p, join.Equality, Right)
+		res, err := Run(q, Grouping)
+		if err != nil {
+			return false
+		}
+		in := map[[2]int]bool{}
+		for _, p := range res.Skyline {
+			in[[2]int{p.Left, p.Right}] = true
+		}
+		pairs, err := join.Pairs(q.R1, q.R2, q.Spec)
+		if err != nil {
+			return false
+		}
+		for _, p := range pairs {
+			cat1, cat2 := c1.Cat[p.Left], c2.Cat[p.Right]
+			member := in[[2]int{p.Left, p.Right}]
+			if cat1 == SS && cat2 == SS && !member {
+				return false // Theorem 1 violated
+			}
+			if (cat1 == NN || cat2 == NN) && member {
+				return false // Theorem 2 violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyKMonotonicity: Lemma 1 lifted to the query level — the
+// answer at k is contained in the answer at k+1.
+func TestPropertyKMonotonicity(t *testing.T) {
+	f := func(a, b quickRelation) bool {
+		q := Query{R1: a.relation("r1"), R2: b.relation("r2"), Spec: join.Spec{Cond: join.Equality}}
+		prev := map[[2]int]bool{}
+		for k := q.KMin(); k <= q.Width(); k++ {
+			q.K = k
+			res, err := Run(q, Grouping)
+			if err != nil {
+				return false
+			}
+			cur := map[[2]int]bool{}
+			for _, p := range res.Skyline {
+				cur[[2]int{p.Left, p.Right}] = true
+			}
+			for key := range prev {
+				if !cur[key] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTargetSetsComplete: for every joined dominator pair (x,y) of
+// a joined tuple built from (u,v), x lies in u's target set and y in v's —
+// the completeness half of Def. 5 that all pruning rests on.
+func TestPropertyTargetSetsComplete(t *testing.T) {
+	f := func(a, b quickRelation, kRaw uint8) bool {
+		q := quickQuery(a, b, kRaw)
+		st := Stats{}
+		e := newEngine(q, &st)
+		pairs, err := join.Pairs(q.R1, q.R2, q.Spec)
+		if err != nil {
+			return false
+		}
+		for _, p := range pairs {
+			for _, o := range pairs {
+				if !dom.KDominates(o.Attrs, p.Attrs, q.K) {
+					continue
+				}
+				if !localLeqAtLeast(q.R1.Tuples[o.Left].Attrs, q.R1.Tuples[p.Left].Attrs, e.l1, e.k1pp) {
+					return false
+				}
+				if !localLeqAtLeast(q.R2.Tuples[o.Right].Attrs, q.R2.Tuples[p.Right].Attrs, e.l2, e.k2pp) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFindKBoundsBracketAnswer: for the k returned by Problem 3,
+// every smaller admissible k has fewer than delta skylines.
+func TestPropertyFindKBoundsBracketAnswer(t *testing.T) {
+	f := func(a, b quickRelation, deltaRaw uint8) bool {
+		q := Query{R1: a.relation("r1"), R2: b.relation("r2"), Spec: join.Spec{Cond: join.Equality}}
+		delta := int(deltaRaw)%20 + 1
+		res, err := FindK(q, delta, FindKBinary)
+		if err != nil {
+			return false
+		}
+		for k := q.KMin(); k < res.K; k++ {
+			q.K = k
+			r, err := Run(q, Grouping)
+			if err != nil {
+				return false
+			}
+			if len(r.Skyline) >= delta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/join"
+)
+
+func TestGenerateShape(t *testing.T) {
+	r := MustGenerate(Config{Name: "r", N: 100, Local: 3, Agg: 2, Groups: 10, Seed: 1})
+	if r.Len() != 100 || r.D() != 5 || r.Local != 3 || r.Agg != 2 {
+		t.Fatalf("unexpected shape: n=%d d=%d", r.Len(), r.D())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range r.Tuples {
+		for _, v := range tup.Attrs {
+			if v < 0 || v >= 1 {
+				t.Fatalf("attribute %v outside [0,1)", v)
+			}
+		}
+		if tup.Band < 0 || tup.Band >= 1 {
+			t.Fatalf("band %v outside [0,1)", tup.Band)
+		}
+	}
+}
+
+func TestGenerateGroupsBalanced(t *testing.T) {
+	r := MustGenerate(Config{Name: "r", N: 100, Local: 2, Groups: 10, Seed: 2})
+	idx := r.GroupIndex()
+	if len(idx) != 10 {
+		t.Fatalf("got %d groups, want 10", len(idx))
+	}
+	for key, members := range idx {
+		if len(members) != 10 {
+			t.Errorf("group %s has %d members, want 10", key, len(members))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{Name: "r", N: 50, Local: 3, Groups: 5, Dist: AntiCorrelated, Seed: 7})
+	b := MustGenerate(Config{Name: "r", N: 50, Local: 3, Groups: 5, Dist: AntiCorrelated, Seed: 7})
+	for i := range a.Tuples {
+		for j := range a.Tuples[i].Attrs {
+			if a.Tuples[i].Attrs[j] != b.Tuples[i].Attrs[j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c := MustGenerate(Config{Name: "r", N: 50, Local: 3, Groups: 5, Dist: AntiCorrelated, Seed: 8})
+	same := true
+	for i := range a.Tuples {
+		for j := range a.Tuples[i].Attrs {
+			if a.Tuples[i].Attrs[j] != c.Tuples[i].Attrs[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: 0, Local: 2, Groups: 1}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Generate(Config{N: 10, Local: 0, Groups: 1}); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := Generate(Config{N: 10, Local: 2, Groups: 0}); err == nil {
+		t.Error("g=0 accepted")
+	}
+}
+
+// pairwiseCorrelation computes the mean Pearson correlation across
+// attribute pairs.
+func pairwiseCorrelation(t *testing.T, dist Distribution) float64 {
+	t.Helper()
+	r := MustGenerate(Config{Name: "r", N: 3000, Local: 4, Groups: 1, Dist: dist, Seed: 42})
+	d := r.D()
+	total, pairs := 0.0, 0
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			var sa, sb, saa, sbb, sab float64
+			n := float64(r.Len())
+			for _, tup := range r.Tuples {
+				x, y := tup.Attrs[a], tup.Attrs[b]
+				sa += x
+				sb += y
+				saa += x * x
+				sbb += y * y
+				sab += x * y
+			}
+			cov := sab/n - (sa/n)*(sb/n)
+			va := saa/n - (sa/n)*(sa/n)
+			vb := sbb/n - (sb/n)*(sb/n)
+			total += cov / math.Sqrt(va*vb)
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+func TestDistributionShapes(t *testing.T) {
+	indep := pairwiseCorrelation(t, Independent)
+	corr := pairwiseCorrelation(t, Correlated)
+	anti := pairwiseCorrelation(t, AntiCorrelated)
+	if math.Abs(indep) > 0.1 {
+		t.Errorf("independent correlation %.3f, want ~0", indep)
+	}
+	if corr < 0.5 {
+		t.Errorf("correlated correlation %.3f, want strongly positive", corr)
+	}
+	if anti > -0.2 {
+		t.Errorf("anti-correlated correlation %.3f, want clearly negative", anti)
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for s, want := range map[string]Distribution{
+		"independent": Independent, "indep": Independent, "I": Independent,
+		"correlated": Correlated, "corr": Correlated, "C": Correlated,
+		"anticorrelated": AntiCorrelated, "anti": AntiCorrelated, "A": AntiCorrelated,
+	} {
+		got, err := ParseDistribution(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q) = %v,%v, want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseDistribution("zipf"); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Independent.String() != "Independent" || Correlated.String() != "Correlated" ||
+		AntiCorrelated.String() != "Anti-Correlated" {
+		t.Error("distribution labels must match the paper's figures")
+	}
+}
+
+func TestFlightsShape(t *testing.T) {
+	out, in, err := Flights(DefaultFlightsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 192 || in.Len() != 155 {
+		t.Fatalf("cardinalities %d/%d, want 192/155 (paper Sec 7.4)", out.Len(), in.Len())
+	}
+	if out.Local != 3 || out.Agg != 2 || in.Local != 3 || in.Agg != 2 {
+		t.Fatal("flight schema must be 3 local + 2 aggregate attributes")
+	}
+	if err := join.CheckSchemas(out, in); err != nil {
+		t.Fatal(err)
+	}
+	if hubs := len(out.Keys()); hubs > 13 {
+		t.Errorf("outbound uses %d hubs, want <= 13", hubs)
+	}
+	joined, err := join.CountPairs(out, in, join.Spec{Cond: join.Equality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper reports 2649 joined tuples for the real data; the simulator
+	// should land in the same ballpark (n1*n2/hubs ≈ 2289).
+	if joined < 1200 || joined > 4500 {
+		t.Errorf("joined relation has %d tuples, want the paper's ballpark (~2649)", joined)
+	}
+}
+
+func TestFlightsCostTimeAntiCorrelated(t *testing.T) {
+	out, _, err := Flights(DefaultFlightsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attrs: [fee, pop, amen, cost, flyTime]; cost vs time should be
+	// negatively correlated.
+	var sa, sb, saa, sbb, sab float64
+	n := float64(out.Len())
+	for _, tup := range out.Tuples {
+		x, y := tup.Attrs[3], tup.Attrs[4]
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vb := sbb/n - (sb/n)*(sb/n)
+	if r := cov / math.Sqrt(va*vb); r > -0.3 {
+		t.Errorf("cost/time correlation %.3f, want clearly negative", r)
+	}
+}
+
+func TestFlightsErrors(t *testing.T) {
+	if _, _, err := Flights(FlightsConfig{Outbound: 0, Inbound: 10, Hubs: 3}); err == nil {
+		t.Error("zero outbound accepted")
+	}
+	if _, _, err := Flights(FlightsConfig{Outbound: 10, Inbound: 10, Hubs: 0}); err == nil {
+		t.Error("zero hubs accepted")
+	}
+}
+
+func TestFlightsConnectionsExist(t *testing.T) {
+	out, in := MustFlights(DefaultFlightsConfig())
+	// Band joins (arrival < departure) must produce some valid itineraries
+	// and fewer than the unconstrained equality join.
+	eq, err := join.CountPairs(out, in, join.Spec{Cond: join.Equality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed := 0
+	g2 := in.GroupIndex()
+	for i := range out.Tuples {
+		for _, j := range g2[out.Tuples[i].Key] {
+			if out.Tuples[i].Band < in.Tuples[j].Band {
+				timed++
+			}
+		}
+	}
+	if timed == 0 {
+		t.Fatal("no time-feasible connections generated")
+	}
+	if timed >= eq {
+		t.Fatalf("timed connections (%d) should be fewer than all hub pairs (%d)", timed, eq)
+	}
+}

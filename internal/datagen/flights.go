@@ -1,0 +1,96 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// FlightsConfig describes the simulated two-legged flight dataset of
+// Sec. 7.4. The paper crawled makemytrip.com: 192 flights from New Delhi to
+// 13 hub cities and 155 flights from those hubs to Mumbai, five attributes
+// each (cost, flying time, date-change fee, popularity, amenities), with
+// cost and flying time aggregated and the rest local. That crawl is
+// proprietary; this simulator reproduces its shape: identical cardinalities
+// and schema, the same hub structure, anti-correlation between cost and
+// flying time (fast flights are expensive), and popularity correlated with
+// amenities. See DESIGN.md §2 for the substitution rationale.
+type FlightsConfig struct {
+	// Outbound and Inbound are the two leg cardinalities (paper: 192, 155).
+	Outbound, Inbound int
+	// Hubs is the number of intermediate cities (paper: 13).
+	Hubs int
+	// Seed makes the dataset reproducible.
+	Seed int64
+}
+
+// DefaultFlightsConfig matches the paper's real-dataset dimensions.
+func DefaultFlightsConfig() FlightsConfig {
+	return FlightsConfig{Outbound: 192, Inbound: 155, Hubs: 13, Seed: 2017}
+}
+
+// Flights generates the two base relations. Attribute layout (all lower is
+// better, as in the paper): locals [date-change fee, popularity rank,
+// amenity rank] then aggregates [cost, flying time]; so Local = 3, Agg = 2
+// and each joined tuple has 3+3+2 = 8 skyline attributes, matching
+// Sec. 7.4. The join key is the hub city; departure/arrival times are
+// stored in Band so non-equality (connection-time) joins can be expressed.
+func Flights(cfg FlightsConfig) (outbound, inbound *dataset.Relation, err error) {
+	if cfg.Outbound <= 0 || cfg.Inbound <= 0 || cfg.Hubs <= 0 {
+		return nil, nil, fmt.Errorf("datagen: invalid flights config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	outbound, err = dataset.New("delhi-to-hub", 3, 2, flightLeg(rng, cfg.Outbound, cfg.Hubs, true))
+	if err != nil {
+		return nil, nil, err
+	}
+	inbound, err = dataset.New("hub-to-mumbai", 3, 2, flightLeg(rng, cfg.Inbound, cfg.Hubs, false))
+	if err != nil {
+		return nil, nil, err
+	}
+	return outbound, inbound, nil
+}
+
+// MustFlights is Flights but panics on error.
+func MustFlights(cfg FlightsConfig) (outbound, inbound *dataset.Relation) {
+	outbound, inbound, err := Flights(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return outbound, inbound
+}
+
+func flightLeg(rng *rand.Rand, n, hubs int, outbound bool) []dataset.Tuple {
+	tuples := make([]dataset.Tuple, n)
+	for i := range tuples {
+		hub := fmt.Sprintf("hub%02d", rng.Intn(hubs))
+		// Flying time in hours; short-haul domestic legs.
+		flyTime := 1.0 + 2.5*rng.Float64()
+		// Cost anti-correlates with flying time (fast, direct routings
+		// cost more) plus airline noise; rupees.
+		cost := 7000 - 1200*flyTime + 900*rng.NormFloat64()
+		if cost < 1500 {
+			cost = 1500 + 100*rng.Float64()
+		}
+		// Date-change fee: a few discrete airline policies.
+		fee := float64(1000 + 500*rng.Intn(5))
+		// Popularity rank (lower = more popular) correlates with amenity
+		// rank: well-equipped flights are popular.
+		amen := rng.Float64() * 100
+		pop := 0.7*amen + 0.3*rng.Float64()*100
+		// Departure time of day in hours: outbound flights depart Delhi
+		// early, inbound legs leave hubs later so connections exist.
+		var depart float64
+		if outbound {
+			depart = 5 + 8*rng.Float64() // arrival at hub ~ depart+flyTime
+			tuples[i].Band = depart + flyTime
+		} else {
+			depart = 8 + 12*rng.Float64()
+			tuples[i].Band = depart
+		}
+		tuples[i].Key = hub
+		tuples[i].Attrs = []float64{fee, pop, amen, cost, flyTime}
+	}
+	return tuples
+}

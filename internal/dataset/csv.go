@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV layout: the first column is the join key, an optional "band" column
+// follows (enabled via ReadOptions.HasBand), and the remaining columns are
+// skyline attributes. A header row is required; attribute column names are
+// preserved only for error messages.
+
+// ReadOptions controls CSV parsing.
+type ReadOptions struct {
+	// Name for the resulting relation.
+	Name string
+	// Local and Agg give the skyline-attribute split; their sum must match
+	// the number of attribute columns.
+	Local, Agg int
+	// HasBand indicates that the second column is the band attribute used
+	// for non-equality joins.
+	HasBand bool
+}
+
+// ReadCSV parses a relation from CSV. The first row must be a header.
+func ReadCSV(r io.Reader, opts ReadOptions) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // we validate widths ourselves for better messages
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	attrStart := 1
+	if opts.HasBand {
+		attrStart = 2
+	}
+	wantCols := attrStart + opts.Local + opts.Agg
+	if len(header) != wantCols {
+		return nil, fmt.Errorf("%w: header has %d columns, schema requires %d (key%s + %d attrs)",
+			ErrBadSchema, len(header), wantCols, bandNote(opts.HasBand), opts.Local+opts.Agg)
+	}
+
+	var tuples []Tuple
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != wantCols {
+			return nil, fmt.Errorf("%w: line %d has %d columns, want %d", ErrBadSchema, line, len(rec), wantCols)
+		}
+		t := Tuple{Key: rec[0]}
+		if opts.HasBand {
+			t.Band, err = strconv.ParseFloat(rec[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, header[1], err)
+			}
+		}
+		t.Attrs = make([]float64, 0, opts.Local+opts.Agg)
+		for c := attrStart; c < wantCols; c++ {
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d column %q: %w", line, header[c], err)
+			}
+			t.Attrs = append(t.Attrs, v)
+		}
+		tuples = append(tuples, t)
+	}
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrEmptyRelation, opts.Name)
+	}
+	return New(opts.Name, opts.Local, opts.Agg, tuples)
+}
+
+func bandNote(hasBand bool) string {
+	if hasBand {
+		return " + band"
+	}
+	return ""
+}
+
+// WriteCSV emits the relation in the layout ReadCSV expects. Attribute
+// columns are named a0..a<d-1>; aggregate columns get an "agg" suffix.
+func WriteCSV(w io.Writer, r *Relation, withBand bool) error {
+	cw := csv.NewWriter(w)
+	header := []string{"key"}
+	if withBand {
+		header = append(header, "band")
+	}
+	for i := 0; i < r.Local; i++ {
+		header = append(header, fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < r.Agg; i++ {
+		header = append(header, fmt.Sprintf("a%d_agg", r.Local+i))
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, 0, len(header))
+	for i := range r.Tuples {
+		t := &r.Tuples[i]
+		rec = rec[:0]
+		rec = append(rec, t.Key)
+		if withBand {
+			rec = append(rec, strconv.FormatFloat(t.Band, 'g', -1, 64))
+		}
+		for _, v := range t.Attrs {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,172 @@
+// Package dataset defines the relation and tuple model used throughout the
+// KSJQ implementation: relations carrying join keys, optional band
+// attributes for non-equality joins, and skyline attribute vectors split
+// into local and aggregate parts (Sec. 3 and Sec. 5.6 of the paper).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Tuple is one row of a base relation.
+//
+// Attrs holds the skyline attributes: first the local attributes, then the
+// aggregate ones (Relation.Local and Relation.Agg give the split). Lower
+// values are preferred on every attribute.
+type Tuple struct {
+	// ID identifies the tuple within its relation. IDs are assigned by the
+	// relation constructor and are stable across algorithm runs so results
+	// can be compared set-wise.
+	ID int
+	// Key is the equality-join attribute (the h attributes of Eq. 1-3,
+	// collapsed to a single comparable key). For the flight example this is
+	// the stop-over city.
+	Key string
+	// Key2 is the secondary equality-join key used when the relation sits
+	// in the middle of a cascaded multi-relation join (Sec. 2.3): it joins
+	// to the *next* relation's Key. Ignored by two-relation queries.
+	Key2 string
+	// Band is the attribute used by non-equality join conditions
+	// (Sec. 6.6), e.g. an arrival or departure time. Ignored for equality
+	// joins.
+	Band float64
+	// Attrs are the skyline attribute values.
+	Attrs []float64
+}
+
+// Relation is a base relation: a named list of tuples with a common schema.
+type Relation struct {
+	// Name is used in error messages and CLI output.
+	Name string
+	// Local is the number of local skyline attributes (l in Sec. 5.6).
+	Local int
+	// Agg is the number of aggregate skyline attributes (a in Sec. 5.6).
+	// Attrs[Local:Local+Agg] of each tuple are combined with the other
+	// relation's aggregate attributes on join.
+	Agg int
+	// Tuples holds the rows.
+	Tuples []Tuple
+}
+
+// Errors reported by relation validation.
+var (
+	ErrEmptyRelation = errors.New("dataset: relation has no tuples")
+	ErrBadSchema     = errors.New("dataset: invalid schema")
+)
+
+// New creates a relation with the given schema and assigns tuple IDs
+// 0..len(tuples)-1 in order. It validates that every tuple matches the
+// schema width local+agg.
+func New(name string, local, agg int, tuples []Tuple) (*Relation, error) {
+	if local < 0 || agg < 0 || local+agg == 0 {
+		return nil, fmt.Errorf("%w: local=%d agg=%d", ErrBadSchema, local, agg)
+	}
+	r := &Relation{Name: name, Local: local, Agg: agg, Tuples: tuples}
+	for i := range r.Tuples {
+		if len(r.Tuples[i].Attrs) != local+agg {
+			return nil, fmt.Errorf("%w: tuple %d has %d attributes, schema requires %d",
+				ErrBadSchema, i, len(r.Tuples[i].Attrs), local+agg)
+		}
+		r.Tuples[i].ID = i
+	}
+	return r, nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples with
+// hand-written literals.
+func MustNew(name string, local, agg int, tuples []Tuple) *Relation {
+	r, err := New(name, local, agg, tuples)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// D returns the total number of skyline attributes (d = l + a).
+func (r *Relation) D() int { return r.Local + r.Agg }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Validate checks the relation invariants: non-empty, consistent widths,
+// IDs matching positions.
+func (r *Relation) Validate() error {
+	if len(r.Tuples) == 0 {
+		return fmt.Errorf("%w: %s", ErrEmptyRelation, r.Name)
+	}
+	if r.Local < 0 || r.Agg < 0 || r.D() == 0 {
+		return fmt.Errorf("%w: %s: local=%d agg=%d", ErrBadSchema, r.Name, r.Local, r.Agg)
+	}
+	for i, t := range r.Tuples {
+		if len(t.Attrs) != r.D() {
+			return fmt.Errorf("%w: %s: tuple %d has width %d, want %d",
+				ErrBadSchema, r.Name, i, len(t.Attrs), r.D())
+		}
+		if t.ID != i {
+			return fmt.Errorf("%w: %s: tuple at index %d has ID %d", ErrBadSchema, r.Name, i, t.ID)
+		}
+	}
+	return nil
+}
+
+// Keys returns the distinct join-key values in deterministic (sorted) order.
+func (r *Relation) Keys() []string {
+	seen := make(map[string]bool)
+	for i := range r.Tuples {
+		seen[r.Tuples[i].Key] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GroupIndex maps each join-key value to the indices of the tuples holding
+// it, preserving tuple order within each group.
+func (r *Relation) GroupIndex() map[string][]int {
+	idx := make(map[string][]int)
+	for i := range r.Tuples {
+		idx[r.Tuples[i].Key] = append(idx[r.Tuples[i].Key], i)
+	}
+	return idx
+}
+
+// Clone returns a deep copy of the relation. Algorithms never mutate their
+// inputs, but experiments reuse relations across runs and occasionally want
+// an isolated copy.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Name: r.Name, Local: r.Local, Agg: r.Agg, Tuples: make([]Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		c.Tuples[i] = t
+		c.Tuples[i].Attrs = append([]float64(nil), t.Attrs...)
+	}
+	return c
+}
+
+// HasUVP reports whether the relation satisfies the unique value property
+// (Def. 4) with respect to i attributes: no two tuples agree on any i-sized
+// subset of skyline attributes. Equivalently, no pair of tuples agrees on i
+// or more attribute positions.
+func (r *Relation) HasUVP(i int) bool {
+	if i <= 0 {
+		return len(r.Tuples) <= 1
+	}
+	for a := 0; a < len(r.Tuples); a++ {
+		for b := a + 1; b < len(r.Tuples); b++ {
+			eq := 0
+			for j, v := range r.Tuples[a].Attrs {
+				if v == r.Tuples[b].Attrs[j] {
+					eq++
+				}
+			}
+			if eq >= i {
+				return false
+			}
+		}
+	}
+	return true
+}

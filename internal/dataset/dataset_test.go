@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sample() *Relation {
+	return MustNew("r", 2, 1, []Tuple{
+		{Key: "A", Attrs: []float64{1, 2, 3}},
+		{Key: "B", Attrs: []float64{4, 5, 6}},
+		{Key: "A", Attrs: []float64{7, 8, 9}},
+	})
+}
+
+func TestNewAssignsIDs(t *testing.T) {
+	r := sample()
+	for i, tup := range r.Tuples {
+		if tup.ID != i {
+			t.Errorf("tuple %d has ID %d", i, tup.ID)
+		}
+	}
+	if r.D() != 3 {
+		t.Errorf("D() = %d, want 3", r.D())
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", r.Len())
+	}
+}
+
+func TestNewRejectsBadSchema(t *testing.T) {
+	if _, err := New("r", 0, 0, nil); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("zero-width schema: err = %v, want ErrBadSchema", err)
+	}
+	if _, err := New("r", -1, 2, nil); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("negative local: err = %v, want ErrBadSchema", err)
+	}
+	_, err := New("r", 2, 0, []Tuple{{Attrs: []float64{1}}})
+	if !errors.Is(err, ErrBadSchema) {
+		t.Errorf("width mismatch: err = %v, want ErrBadSchema", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := sample()
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid relation failed validation: %v", err)
+	}
+	empty := &Relation{Name: "e", Local: 1}
+	if err := empty.Validate(); !errors.Is(err, ErrEmptyRelation) {
+		t.Errorf("empty relation: err = %v, want ErrEmptyRelation", err)
+	}
+	bad := sample()
+	bad.Tuples[1].Attrs = bad.Tuples[1].Attrs[:2]
+	if err := bad.Validate(); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("width mismatch: err = %v, want ErrBadSchema", err)
+	}
+	badID := sample()
+	badID.Tuples[2].ID = 99
+	if err := badID.Validate(); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("bad ID: err = %v, want ErrBadSchema", err)
+	}
+}
+
+func TestKeysAndGroupIndex(t *testing.T) {
+	r := sample()
+	keys := r.Keys()
+	if len(keys) != 2 || keys[0] != "A" || keys[1] != "B" {
+		t.Errorf("Keys() = %v, want [A B]", keys)
+	}
+	idx := r.GroupIndex()
+	if got := idx["A"]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("GroupIndex()[A] = %v, want [0 2]", got)
+	}
+	if got := idx["B"]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("GroupIndex()[B] = %v, want [1]", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := sample()
+	c := r.Clone()
+	c.Tuples[0].Attrs[0] = 999
+	if r.Tuples[0].Attrs[0] == 999 {
+		t.Error("Clone shares attribute storage with original")
+	}
+}
+
+func TestHasUVP(t *testing.T) {
+	r := MustNew("r", 3, 0, []Tuple{
+		{Attrs: []float64{1, 2, 3}},
+		{Attrs: []float64{1, 5, 6}}, // shares 1 attr with tuple 0
+	})
+	if !r.HasUVP(2) {
+		t.Error("relation should have UVP wrt 2")
+	}
+	if r.HasUVP(1) {
+		t.Error("relation shares a value on one attribute, UVP wrt 1 must fail")
+	}
+	dup := MustNew("r", 3, 0, []Tuple{
+		{Attrs: []float64{1, 2, 3}},
+		{Attrs: []float64{1, 2, 6}},
+	})
+	if dup.HasUVP(2) {
+		t.Error("two tuples agree on 2 attributes, UVP wrt 2 must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r, false); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, ReadOptions{Name: "r", Local: 2, Agg: 1})
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Len() != r.Len() || got.D() != r.D() {
+		t.Fatalf("round trip changed shape: got %dx%d, want %dx%d", got.Len(), got.D(), r.Len(), r.D())
+	}
+	for i := range r.Tuples {
+		if got.Tuples[i].Key != r.Tuples[i].Key {
+			t.Errorf("tuple %d key = %q, want %q", i, got.Tuples[i].Key, r.Tuples[i].Key)
+		}
+		for j, v := range r.Tuples[i].Attrs {
+			if got.Tuples[i].Attrs[j] != v {
+				t.Errorf("tuple %d attr %d = %v, want %v", i, j, got.Tuples[i].Attrs[j], v)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripWithBand(t *testing.T) {
+	r := MustNew("r", 1, 0, []Tuple{
+		{Key: "X", Band: 10.5, Attrs: []float64{1}},
+		{Key: "Y", Band: -3, Attrs: []float64{2}},
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r, true); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, ReadOptions{Name: "r", Local: 1, HasBand: true})
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Tuples[0].Band != 10.5 || got.Tuples[1].Band != -3 {
+		t.Errorf("band values lost: %v, %v", got.Tuples[0].Band, got.Tuples[1].Band)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		opts ReadOptions
+	}{
+		{"empty input", "", ReadOptions{Local: 1}},
+		{"header width mismatch", "key,a0,a1\n", ReadOptions{Local: 1}},
+		{"row width mismatch", "key,a0\nA,1,2\n", ReadOptions{Local: 1}},
+		{"non-numeric attribute", "key,a0\nA,abc\n", ReadOptions{Local: 1}},
+		{"non-numeric band", "key,band,a0\nA,xx,1\n", ReadOptions{Local: 1, HasBand: true}},
+		{"no data rows", "key,a0\n", ReadOptions{Local: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in), tt.opts); err == nil {
+				t.Error("expected an error, got nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts that arbitrary input never panics and that anything
+// successfully parsed survives a write/read round trip unchanged.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("key,a0,a1\nA,1,2\nB,3,4\n", 2, 0, false)
+	f.Add("key,band,a0\nA,0.5,1\n", 1, 0, true)
+	f.Add("key,a0\n\"quoted,key\",7\n", 1, 0, false)
+	f.Add("", 1, 0, false)
+	f.Add("key,a0\nA,not-a-number\n", 1, 0, false)
+	f.Fuzz(func(t *testing.T, input string, local, agg int, band bool) {
+		if local < 0 || agg < 0 || local+agg > 16 {
+			t.Skip()
+		}
+		r, err := ReadCSV(strings.NewReader(input), ReadOptions{
+			Name: "fuzz", Local: local, Agg: agg, HasBand: band,
+		})
+		if err != nil {
+			return // rejecting garbage is the correct behaviour
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("parsed relation fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, r, band); err != nil {
+			t.Fatalf("WriteCSV on parsed relation: %v", err)
+		}
+		again, err := ReadCSV(&buf, ReadOptions{Name: "fuzz", Local: local, Agg: agg, HasBand: band})
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if again.Len() != r.Len() {
+			t.Fatalf("round trip changed cardinality: %d -> %d", r.Len(), again.Len())
+		}
+		for i := range r.Tuples {
+			if again.Tuples[i].Key != r.Tuples[i].Key {
+				t.Fatalf("tuple %d key changed: %q -> %q", i, r.Tuples[i].Key, again.Tuples[i].Key)
+			}
+			for j, v := range r.Tuples[i].Attrs {
+				got := again.Tuples[i].Attrs[j]
+				if got != v && !(v != v && got != got) { // NaN-tolerant equality
+					t.Fatalf("tuple %d attr %d changed: %v -> %v", i, j, v, got)
+				}
+			}
+		}
+	})
+}

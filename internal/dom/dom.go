@@ -1,0 +1,137 @@
+// Package dom provides the dominance-comparison kernels shared by every
+// layer of the KSJQ implementation: full (Pareto) dominance, k-dominance,
+// and the counting primitives the paper's categorization and target-set
+// machinery are built from.
+//
+// Throughout the repository a lower attribute value is preferred, matching
+// Sec. 2.1 of the paper ("without loss of generality, the preference is
+// assumed to be less than").
+package dom
+
+// CountLeq returns the number of positions i with a[i] <= b[i].
+// Both slices must have the same length.
+func CountLeq(a, b []float64) int {
+	n := 0
+	for i, av := range a {
+		if av <= b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CountLess returns the number of positions i with a[i] < b[i].
+func CountLess(a, b []float64) int {
+	n := 0
+	for i, av := range a {
+		if av < b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CountEq returns the number of positions i with a[i] == b[i].
+func CountEq(a, b []float64) int {
+	n := 0
+	for i, av := range a {
+		if av == b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Dominates reports whether a fully dominates b: a is preferred-or-equal on
+// every attribute and strictly preferred on at least one.
+func Dominates(a, b []float64) bool {
+	strict := false
+	for i, av := range a {
+		switch {
+		case av > b[i]:
+			return false
+		case av < b[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// KDominates reports whether a k-dominates b: a is preferred-or-equal on at
+// least k attributes and strictly preferred on at least one attribute
+// (Sec. 2.2). This is equivalent to the subset formulation of Chan et al.:
+// any strictly-better attribute is also a <=-attribute, so it can always be
+// placed inside a k-sized subset of the <=-attributes.
+func KDominates(a, b []float64, k int) bool {
+	leq, strict := 0, false
+	d := len(a)
+	for i, av := range a {
+		switch {
+		case av < b[i]:
+			leq++
+			strict = true
+		case av == b[i]:
+			leq++
+		}
+		// Early exit: even if a wins every remaining attribute it cannot
+		// reach k <=-positions.
+		if leq+(d-i-1) < k {
+			return false
+		}
+	}
+	return leq >= k && strict
+}
+
+// KDomCompare classifies the k-dominance relationship between a and b in a
+// single pass. It returns two booleans: whether a k-dominates b and whether
+// b k-dominates a. With k <= d/2 both can be true simultaneously
+// (Sec. 2.2 notes the relation is cyclic and non-transitive).
+func KDomCompare(a, b []float64, k int) (abDom, baDom bool) {
+	aLeq, bLeq := 0, 0
+	aStrict, bStrict := false, false
+	for i, av := range a {
+		switch {
+		case av < b[i]:
+			aLeq++
+			aStrict = true
+		case av > b[i]:
+			bLeq++
+			bStrict = true
+		default:
+			aLeq++
+			bLeq++
+		}
+	}
+	return aLeq >= k && aStrict, bLeq >= k && bStrict
+}
+
+// Equal reports whether a and b agree on every attribute.
+func Equal(a, b []float64) bool {
+	for i, av := range a {
+		if av != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InTargetSet reports whether x belongs to the target set of u with respect
+// to k' attributes (Def. 5 collapsed into a single predicate): x can
+// contribute the left/right half of a joined dominator of any tuple built
+// from u if and only if x is preferred-or-equal to u on at least k'
+// attributes. This single test covers the paper's three-way union of
+// "k'-dominators of u", "tuples equal to u on some k'-subset", and "u
+// itself".
+func InTargetSet(x, u []float64, kPrime int) bool {
+	d := len(x)
+	leq := 0
+	for i, xv := range x {
+		if xv <= u[i] {
+			leq++
+		}
+		if leq+(d-i-1) < kPrime {
+			return false
+		}
+	}
+	return leq >= kPrime
+}

@@ -1,0 +1,51 @@
+package dom
+
+import (
+	"math"
+	"testing"
+)
+
+// refKDominates is an intentionally naive reference implementation: count
+// preferred-or-equal positions without early exit, then require at least
+// one strict win.
+func refKDominates(a, b []float64, k int) bool {
+	leq, strict := 0, false
+	for i := range a {
+		if a[i] <= b[i] {
+			leq++
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return leq >= k && strict
+}
+
+func FuzzKDominates(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 3.0, 2.0, 1.0, 2)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1)
+	f.Add(-1.5, 2.25, 1e300, 1.5, -2.25, -1e300, 3)
+	f.Fuzz(func(t *testing.T, a0, a1, a2, b0, b1, b2 float64, k int) {
+		for _, v := range []float64{a0, a1, a2, b0, b1, b2} {
+			if math.IsNaN(v) {
+				t.Skip("NaN ordering is unspecified for skyline attributes")
+			}
+		}
+		if k < 1 || k > 3 {
+			t.Skip()
+		}
+		a := []float64{a0, a1, a2}
+		b := []float64{b0, b1, b2}
+		if got, want := KDominates(a, b, k), refKDominates(a, b, k); got != want {
+			t.Errorf("KDominates(%v,%v,%d) = %v, reference %v", a, b, k, got, want)
+		}
+		ab, ba := KDomCompare(a, b, k)
+		if ab != refKDominates(a, b, k) || ba != refKDominates(b, a, k) {
+			t.Errorf("KDomCompare(%v,%v,%d) = (%v,%v), references (%v,%v)",
+				a, b, k, ab, ba, refKDominates(a, b, k), refKDominates(b, a, k))
+		}
+		if Dominates(a, b) != refKDominates(a, b, 3) {
+			t.Errorf("Dominates(%v,%v) disagrees with 3-dominance", a, b)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Chart renders rows as horizontal stacked bars mirroring the paper's
+// figures: one bar per (setting, algorithm), split into the grouping /
+// join / dominator-generation / remaining phases. Bars are normalized to
+// the figure's slowest total so relative heights read exactly like the
+// paper's plots.
+//
+// Phase glyphs: G '▓' (grouping), J '█' (join), D '▒' (dominator
+// generation), R '░' (remaining).
+func Chart(w io.Writer, rows []Row, width int) {
+	if len(rows) == 0 || w == nil {
+		return
+	}
+	if width <= 0 {
+		width = 48
+	}
+	byFigure := make(map[string][]Row)
+	var order []string
+	for _, r := range rows {
+		if _, seen := byFigure[r.Figure]; !seen {
+			order = append(order, r.Figure)
+		}
+		byFigure[r.Figure] = append(byFigure[r.Figure], r)
+	}
+	for _, fig := range order {
+		chartFigure(w, fig, byFigure[fig], width)
+	}
+}
+
+func chartFigure(w io.Writer, fig string, rows []Row, width int) {
+	var max time.Duration
+	for _, r := range rows {
+		if r.Total > max {
+			max = r.Total
+		}
+	}
+	if max == 0 {
+		max = time.Nanosecond
+	}
+	fmt.Fprintf(w, "Figure %s  (phases: ▓ grouping, █ join, ▒ dominators, ░ remaining; full bar = %s)\n",
+		fig, round(max))
+	prevSetting := ""
+	for _, r := range rows {
+		if r.Setting != prevSetting {
+			fmt.Fprintf(w, "  %s\n", r.Setting)
+			prevSetting = r.Setting
+		}
+		bar := stackedBar(r, max, width)
+		result := fmt.Sprintf("|S|=%d", r.Skyline)
+		if r.K > 0 {
+			result = fmt.Sprintf("k=%d", r.K)
+		}
+		fmt.Fprintf(w, "    %-2s %-*s %10s %9s\n", r.Alg, width, bar, round(r.Total), result)
+	}
+}
+
+// stackedBar builds the glyph run for one row, scaled to width at max.
+func stackedBar(r Row, max time.Duration, width int) string {
+	segment := func(d time.Duration) int {
+		return int(float64(d) / float64(max) * float64(width))
+	}
+	var b strings.Builder
+	b.WriteString(strings.Repeat("▓", segment(r.Grouping)))
+	b.WriteString(strings.Repeat("█", segment(r.Join)))
+	b.WriteString(strings.Repeat("▒", segment(r.Dominator)))
+	b.WriteString(strings.Repeat("░", segment(r.Remaining)))
+	if b.Len() == 0 && r.Total > 0 {
+		return "·" // sub-pixel bar: visible but honest about its size
+	}
+	return b.String()
+}

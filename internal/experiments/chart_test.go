@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chartRows() []Row {
+	return []Row{
+		{Figure: "1a", Setting: "k=8", Alg: "G", Grouping: 10 * time.Millisecond, Remaining: 10 * time.Millisecond, Total: 20 * time.Millisecond, Skyline: 5},
+		{Figure: "1a", Setting: "k=8", Alg: "D", Dominator: 20 * time.Millisecond, Remaining: 20 * time.Millisecond, Total: 40 * time.Millisecond, Skyline: 5},
+		{Figure: "1a", Setting: "k=8", Alg: "N", Join: 40 * time.Millisecond, Remaining: 40 * time.Millisecond, Total: 80 * time.Millisecond, Skyline: 5},
+		{Figure: "8a", Setting: "delta=10", Alg: "B", Grouping: time.Millisecond, Total: time.Millisecond, K: 7},
+	}
+}
+
+func TestChartStructure(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, chartRows(), 40)
+	out := buf.String()
+	for _, want := range []string{"Figure 1a", "Figure 8a", "k=8", "delta=10", "|S|=5", "k=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The slowest bar (N, 80ms) should be about full width; the fastest
+	// KSJQ bar (G, 20ms) about a quarter.
+	lines := strings.Split(out, "\n")
+	var gBar, nBar int
+	for _, line := range lines {
+		runes := []rune(line)
+		bar := 0
+		for _, r := range runes {
+			switch r {
+			case '▓', '█', '▒', '░':
+				bar++
+			}
+		}
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "G ") {
+			gBar = bar
+		}
+		if strings.HasPrefix(trimmed, "N ") {
+			nBar = bar
+		}
+	}
+	if nBar < 35 || nBar > 41 {
+		t.Errorf("N bar width %d, want ~40", nBar)
+	}
+	if gBar < 7 || gBar > 12 {
+		t.Errorf("G bar width %d, want ~10", gBar)
+	}
+}
+
+func TestChartTinyBarStillVisible(t *testing.T) {
+	rows := []Row{
+		{Figure: "x", Setting: "s", Alg: "G", Remaining: time.Nanosecond, Total: time.Nanosecond},
+		{Figure: "x", Setting: "s", Alg: "N", Remaining: time.Second, Total: time.Second},
+	}
+	var buf bytes.Buffer
+	Chart(&buf, rows, 30)
+	if !strings.Contains(buf.String(), "·") {
+		t.Errorf("sub-pixel bar not rendered:\n%s", buf.String())
+	}
+}
+
+func TestChartEmptyAndNil(t *testing.T) {
+	Chart(nil, chartRows(), 10) // must not panic
+	var buf bytes.Buffer
+	Chart(&buf, nil, 10)
+	if buf.Len() != 0 {
+		t.Errorf("empty rows produced output: %q", buf.String())
+	}
+}
+
+func TestChartDefaultsWidth(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, chartRows(), 0)
+	if buf.Len() == 0 {
+		t.Error("no output with default width")
+	}
+}

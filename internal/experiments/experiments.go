@@ -1,0 +1,240 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Sec. 7). Each runner sweeps the same parameter the paper varies, runs
+// the three KSJQ algorithms (G/D/N) or the three find-k algorithms (B/R/N),
+// and reports the same per-phase time breakdown the paper's stacked bars
+// plot: grouping time, join time, dominator generation, and remaining.
+//
+// Scales: the paper's defaults (Table 7: n=3300, joined relation ≈ 1.09M
+// tuples) take minutes per figure; the Small scale shrinks n while keeping
+// every ratio the paper's claims depend on, so the full suite runs in
+// seconds and the qualitative shape (who wins, how phases stack) is
+// preserved. EXPERIMENTS.md records paper-vs-measured for both scales.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+const (
+	// Smoke is for unit tests: tiny inputs, shape checks only.
+	Smoke Scale = iota
+	// Small is the default for benchmarks and the CLI: seconds per figure.
+	Small
+	// Full matches the paper's Table 7 (n=3300, sweeps to n=33000).
+	Full
+)
+
+// ParseScale maps CLI spellings to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "smoke":
+		return Smoke, nil
+	case "small":
+		return Small, nil
+	case "full":
+		return Full, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown scale %q (want smoke, small or full)", s)
+	}
+}
+
+// baseN returns the base-relation size n for the scale (paper default 3300).
+func (s Scale) baseN() int {
+	switch s {
+	case Smoke:
+		return 60
+	case Small:
+		return 300
+	default:
+		return 3300
+	}
+}
+
+// sweepN returns the dataset-size sweep (paper: 100..33000).
+func (s Scale) sweepN() []int {
+	switch s {
+	case Smoke:
+		return []int{30, 60}
+	case Small:
+		return []int{50, 100, 200, 400, 800}
+	default:
+		return []int{100, 330, 1000, 3300, 10000, 33000}
+	}
+}
+
+// sweepG returns the join-group sweep (paper: 1..100).
+func (s Scale) sweepG() []int {
+	switch s {
+	case Smoke:
+		return []int{1, 5}
+	default:
+		return []int{1, 2, 5, 10, 25, 50, 100}
+	}
+}
+
+// sweepDelta returns the find-k threshold sweep (paper: 10..100K).
+func (s Scale) sweepDelta() []int {
+	switch s {
+	case Smoke:
+		return []int{5, 1000}
+	case Small:
+		return []int{10, 100, 1000, 10000, 100000}
+	default:
+		return []int{10, 100, 1000, 10000, 100000}
+	}
+}
+
+// defaultDelta is the find-k default threshold (paper: 10000), scaled with
+// the joined-relation size.
+func (s Scale) defaultDelta() int {
+	switch s {
+	case Smoke:
+		return 20
+	case Small:
+		return 250
+	default:
+		return 10000
+	}
+}
+
+// Row is one bar of a figure: one algorithm at one parameter setting.
+type Row struct {
+	Figure  string // e.g. "1a"
+	Setting string // e.g. "k=8"
+	Alg     string // G, D, N (KSJQ) or B, R, N (find-k)
+
+	Grouping  time.Duration
+	Join      time.Duration
+	Dominator time.Duration
+	Remaining time.Duration
+	Total     time.Duration
+
+	// Skyline is the answer size (KSJQ figures) and K the chosen value
+	// (find-k figures).
+	Skyline int
+	K       int
+}
+
+// Suite runs figures at one scale, writing rows to Out as they complete.
+type Suite struct {
+	Scale Scale
+	Seed  int64
+	// Out receives a formatted row per run; nil discards output.
+	Out io.Writer
+}
+
+// NewSuite returns a suite with the canonical seed.
+func NewSuite(scale Scale, out io.Writer) *Suite {
+	return &Suite{Scale: scale, Seed: 2017, Out: out}
+}
+
+func (s *Suite) printf(format string, args ...any) {
+	if s.Out != nil {
+		fmt.Fprintf(s.Out, format, args...)
+	}
+}
+
+// Header prints the column header for row output.
+func (s *Suite) Header() {
+	s.printf("%-4s %-22s %-3s %10s %10s %10s %10s %10s %9s\n",
+		"fig", "setting", "alg", "grouping", "join", "dominator", "remaining", "total", "result")
+}
+
+func (s *Suite) emit(r Row) {
+	result := fmt.Sprintf("|S|=%d", r.Skyline)
+	if r.K > 0 {
+		result = fmt.Sprintf("k=%d", r.K)
+	}
+	s.printf("%-4s %-22s %-3s %10s %10s %10s %10s %10s %9s\n",
+		r.Figure, r.Setting, r.Alg,
+		round(r.Grouping), round(r.Join), round(r.Dominator), round(r.Remaining), round(r.Total), result)
+}
+
+func round(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// workload bundles the generator parameters of one experimental point.
+type workload struct {
+	n, local, agg, groups int
+	dist                  datagen.Distribution
+}
+
+// relations generates the two base relations for a workload with
+// deterministic but distinct seeds.
+func (s *Suite) relations(w workload) (*dataset.Relation, *dataset.Relation) {
+	r1 := datagen.MustGenerate(datagen.Config{
+		Name: "R1", N: w.n, Local: w.local, Agg: w.agg, Groups: w.groups, Dist: w.dist, Seed: s.Seed,
+	})
+	r2 := datagen.MustGenerate(datagen.Config{
+		Name: "R2", N: w.n, Local: w.local, Agg: w.agg, Groups: w.groups, Dist: w.dist, Seed: s.Seed + 1,
+	})
+	return r1, r2
+}
+
+// runKSJQ runs all three KSJQ algorithms on one setting and emits a row
+// each.
+func (s *Suite) runKSJQ(fig, setting string, w workload, k int) []Row {
+	r1, r2 := s.relations(w)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: k}
+	return s.runQuery(fig, setting, q)
+}
+
+// runQuery runs all three KSJQ algorithms on a prepared query.
+func (s *Suite) runQuery(fig, setting string, q core.Query) []Row {
+	rows := make([]Row, 0, len(core.Algorithms))
+	for _, alg := range core.Algorithms {
+		res, err := core.Run(q, alg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s %s %v: %v", fig, setting, alg, err))
+		}
+		row := Row{
+			Figure: fig, Setting: setting, Alg: alg.String(),
+			Grouping: res.Stats.GroupingTime, Join: res.Stats.JoinTime,
+			Dominator: res.Stats.DominatorTime, Remaining: res.Stats.RemainingTime,
+			Total: res.Stats.Total, Skyline: len(res.Skyline),
+		}
+		s.emit(row)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// runFindK runs all three find-k algorithms on one setting.
+func (s *Suite) runFindK(fig, setting string, w workload, delta int) []Row {
+	r1, r2 := s.relations(w)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+	rows := make([]Row, 0, len(core.FindKAlgorithms))
+	for _, alg := range core.FindKAlgorithms {
+		res, err := core.FindK(q, delta, alg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s %s %v: %v", fig, setting, alg, err))
+		}
+		row := Row{
+			Figure: fig, Setting: setting, Alg: alg.String(),
+			Grouping: res.Stats.GroupingTime, Join: res.Stats.JoinTime,
+			Remaining: res.Stats.RemainingTime, Total: res.Stats.Total,
+			K: res.K,
+		}
+		s.emit(row)
+		rows = append(rows, row)
+	}
+	return rows
+}

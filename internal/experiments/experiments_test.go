@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smokeSuite() *Suite {
+	return NewSuite(Smoke, nil)
+}
+
+func TestParseScale(t *testing.T) {
+	for s, want := range map[string]Scale{"smoke": Smoke, "small": Small, "full": Full} {
+		got, err := ParseScale(s)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v,%v", s, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestScaleParameters(t *testing.T) {
+	if Full.baseN() != 3300 {
+		t.Errorf("Full baseN = %d, want the paper's 3300", Full.baseN())
+	}
+	full := Full.sweepN()
+	if full[len(full)-1] != 33000 {
+		t.Errorf("Full sweepN tops at %d, want 33000", full[len(full)-1])
+	}
+	g := Full.sweepG()
+	if g[0] != 1 || g[len(g)-1] != 100 {
+		t.Errorf("group sweep %v, want paper's 1..100", g)
+	}
+	if Full.defaultDelta() != 10000 {
+		t.Errorf("Full defaultDelta = %d, want 10000", Full.defaultDelta())
+	}
+}
+
+// TestFiguresRunAtSmokeScale executes every figure end to end at smoke
+// scale and checks structural invariants of the rows.
+func TestFiguresRunAtSmokeScale(t *testing.T) {
+	s := smokeSuite()
+	for _, fig := range s.Figures() {
+		fig := fig
+		t.Run("fig"+fig.Name, func(t *testing.T) {
+			rows := fig.Run()
+			if len(rows) == 0 {
+				t.Fatal("no rows produced")
+			}
+			findK := strings.HasPrefix(fig.Name, "8") || strings.HasPrefix(fig.Name, "9") || fig.Name == "10"
+			for _, r := range rows {
+				if r.Figure != fig.Name {
+					t.Errorf("row figure %q, want %q", r.Figure, fig.Name)
+				}
+				if r.Total <= 0 {
+					t.Errorf("row %+v has no total time", r)
+				}
+				if findK {
+					if r.K <= 0 {
+						t.Errorf("find-k row has no k: %+v", r)
+					}
+					if r.Alg != "B" && r.Alg != "R" && r.Alg != "N" {
+						t.Errorf("find-k row alg %q", r.Alg)
+					}
+				} else {
+					if r.Alg != "G" && r.Alg != "D" && r.Alg != "N" {
+						t.Errorf("KSJQ row alg %q", r.Alg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAlgorithmsAgreeWithinFigure: rows of the same setting must report
+// identical skyline sizes (all three algorithms compute the same answer)
+// and identical chosen k for the find-k figures.
+func TestAlgorithmsAgreeWithinFigure(t *testing.T) {
+	s := smokeSuite()
+	rows := s.All()
+	bySetting := map[string][]Row{}
+	for _, r := range rows {
+		key := r.Figure + "|" + r.Setting
+		bySetting[key] = append(bySetting[key], r)
+	}
+	for key, group := range bySetting {
+		if len(group) != 3 {
+			t.Errorf("%s: %d rows, want 3 (one per algorithm)", key, len(group))
+			continue
+		}
+		for _, r := range group[1:] {
+			if r.Skyline != group[0].Skyline {
+				t.Errorf("%s: skyline size disagreement: %s=%d vs %s=%d",
+					key, group[0].Alg, group[0].Skyline, r.Alg, r.Skyline)
+			}
+			if r.K != group[0].K {
+				t.Errorf("%s: chosen k disagreement: %s=%d vs %s=%d",
+					key, group[0].Alg, group[0].K, r.Alg, r.K)
+			}
+		}
+	}
+}
+
+func TestRowFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(Smoke, &buf)
+	s.Header()
+	s.Fig11()
+	out := buf.String()
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "flights k=6") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	// All three algorithms should appear.
+	for _, alg := range []string{" G ", " D ", " N "} {
+		if !strings.Contains(out, alg) {
+			t.Errorf("output missing algorithm %q:\n%s", alg, out)
+		}
+	}
+}
+
+// TestFindKMonotoneInDelta: the k chosen by find-k must not decrease as
+// delta grows (Lemma 1).
+func TestFindKMonotoneInDelta(t *testing.T) {
+	s := smokeSuite()
+	rows := s.Fig8a()
+	var prev int
+	for _, r := range rows {
+		if r.Alg != "B" {
+			continue
+		}
+		if r.K < prev {
+			t.Errorf("chosen k decreased from %d to %d as delta grew", prev, r.K)
+		}
+		prev = r.K
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteRowsCSV exports rows in a layout convenient for external plotting
+// tools (one row per bar, durations in microseconds). The column set is
+// stable; EXPERIMENTS.md's tables are derived from this output.
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"figure", "setting", "alg", "grouping_us", "join_us", "dominator_us", "remaining_us", "total_us", "skyline", "k"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for i, r := range rows {
+		rec := []string{
+			r.Figure, r.Setting, r.Alg,
+			strconv.FormatInt(r.Grouping.Microseconds(), 10),
+			strconv.FormatInt(r.Join.Microseconds(), 10),
+			strconv.FormatInt(r.Dominator.Microseconds(), 10),
+			strconv.FormatInt(r.Remaining.Microseconds(), 10),
+			strconv.FormatInt(r.Total.Microseconds(), 10),
+			strconv.Itoa(r.Skyline),
+			strconv.Itoa(r.K),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRowsCSV parses rows previously written by WriteRowsCSV; used by
+// tooling that post-processes archived runs.
+func ReadRowsCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("experiments: empty rows CSV")
+	}
+	rows := make([]Row, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != 10 {
+			return nil, fmt.Errorf("experiments: row %d has %d columns, want 10", i+1, len(rec))
+		}
+		var row Row
+		row.Figure, row.Setting, row.Alg = rec[0], rec[1], rec[2]
+		durs := make([]int64, 5)
+		for j := 0; j < 5; j++ {
+			durs[j], err = strconv.ParseInt(rec[3+j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: row %d column %d: %w", i+1, 3+j, err)
+			}
+		}
+		row.Grouping = microseconds(durs[0])
+		row.Join = microseconds(durs[1])
+		row.Dominator = microseconds(durs[2])
+		row.Remaining = microseconds(durs[3])
+		row.Total = microseconds(durs[4])
+		if row.Skyline, err = strconv.Atoi(rec[8]); err != nil {
+			return nil, fmt.Errorf("experiments: row %d skyline: %w", i+1, err)
+		}
+		if row.K, err = strconv.Atoi(rec[9]); err != nil {
+			return nil, fmt.Errorf("experiments: row %d k: %w", i+1, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func microseconds(us int64) (d time.Duration) { return time.Duration(us) * time.Microsecond }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRowsCSVRoundTrip(t *testing.T) {
+	rows := []Row{
+		{Figure: "1a", Setting: "k=8 d=7 a=2", Alg: "G",
+			Grouping: 120 * time.Microsecond, Join: 30 * time.Microsecond,
+			Remaining: 999 * time.Microsecond, Total: 1149 * time.Microsecond, Skyline: 42},
+		{Figure: "8a", Setting: "delta=10", Alg: "B",
+			Grouping: time.Millisecond, Total: 2 * time.Millisecond, K: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRowsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Errorf("round trip changed rows:\n got %+v\nwant %+v", got, rows)
+	}
+}
+
+func TestRowsCSVRealRows(t *testing.T) {
+	s := NewSuite(Smoke, nil)
+	rows := s.Fig11()
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRowsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("row count changed: %d -> %d", len(rows), len(got))
+	}
+	for i := range rows {
+		if got[i].Figure != rows[i].Figure || got[i].Alg != rows[i].Alg || got[i].Skyline != rows[i].Skyline {
+			t.Errorf("row %d changed: %+v -> %+v", i, rows[i], got[i])
+		}
+	}
+}
+
+func TestReadRowsCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"short row":       "figure,setting,alg,grouping_us,join_us,dominator_us,remaining_us,total_us,skyline,k\n1a,s,G,1\n",
+		"bad duration":    "figure,setting,alg,grouping_us,join_us,dominator_us,remaining_us,total_us,skyline,k\n1a,s,G,x,0,0,0,0,0,0\n",
+		"bad skyline":     "figure,setting,alg,grouping_us,join_us,dominator_us,remaining_us,total_us,skyline,k\n1a,s,G,0,0,0,0,0,x,0\n",
+		"bad k":           "figure,setting,alg,grouping_us,join_us,dominator_us,remaining_us,total_us,skyline,k\n1a,s,G,0,0,0,0,0,0,x\n",
+		"ragged csv rows": "a,b\nc\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadRowsCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/join"
+)
+
+// Paper defaults (Table 7): d=7 with a=2 aggregate attributes, k=11, g=10,
+// independent data. n comes from the scale.
+
+func (s *Suite) defaultAggWorkload() workload {
+	return workload{n: s.Scale.baseN(), local: 5, agg: 2, groups: 10, dist: datagen.Independent}
+}
+
+// Fig1a reproduces Fig. 1a: effect of k with d=7, a=2.
+func (s *Suite) Fig1a() []Row {
+	var rows []Row
+	for _, k := range []int{8, 9, 10, 11} {
+		rows = append(rows, s.runKSJQ("1a", fmt.Sprintf("k=%d d=7 a=2", k), s.defaultAggWorkload(), k)...)
+	}
+	return rows
+}
+
+// Fig1b reproduces Fig. 1b: effect of k with d=6, a=1.
+func (s *Suite) Fig1b() []Row {
+	w := s.defaultAggWorkload()
+	w.local, w.agg = 5, 1
+	var rows []Row
+	for _, k := range []int{7, 8, 9, 10} {
+		rows = append(rows, s.runKSJQ("1b", fmt.Sprintf("k=%d d=6 a=1", k), w, k)...)
+	}
+	return rows
+}
+
+// Fig2a reproduces Fig. 2a: effect of the number of aggregate attributes
+// with d=7, k=11.
+func (s *Suite) Fig2a() []Row {
+	var rows []Row
+	for _, a := range []int{0, 1, 2, 3} {
+		w := s.defaultAggWorkload()
+		w.local, w.agg = 7-a, a
+		rows = append(rows, s.runKSJQ("2a", fmt.Sprintf("a=%d d=7 k=11", a), w, 11)...)
+	}
+	return rows
+}
+
+// Fig2b reproduces Fig. 2b: the (d,k,a) medley.
+func (s *Suite) Fig2b() []Row {
+	var rows []Row
+	for _, p := range [][3]int{{5, 7, 1}, {5, 7, 2}, {6, 7, 1}, {6, 7, 2}, {6, 8, 2}} {
+		d, k, a := p[0], p[1], p[2]
+		w := s.defaultAggWorkload()
+		w.local, w.agg = d-a, a
+		rows = append(rows, s.runKSJQ("2b", fmt.Sprintf("d=%d k=%d a=%d", d, k, a), w, k)...)
+	}
+	return rows
+}
+
+// Fig3a reproduces Fig. 3a: effect of the number of join groups
+// (aggregate defaults). g=1 is the Cartesian-product special case.
+func (s *Suite) Fig3a() []Row {
+	var rows []Row
+	for _, g := range s.Scale.sweepG() {
+		w := s.defaultAggWorkload()
+		w.groups = g
+		rows = append(rows, s.runKSJQ("3a", fmt.Sprintf("g=%d", g), w, 11)...)
+	}
+	return rows
+}
+
+// Fig3b reproduces Fig. 3b: effect of dataset size (aggregate defaults).
+func (s *Suite) Fig3b() []Row {
+	var rows []Row
+	for _, n := range s.Scale.sweepN() {
+		w := s.defaultAggWorkload()
+		w.n = n
+		rows = append(rows, s.runKSJQ("3b", fmt.Sprintf("n=%d", n), w, 11)...)
+	}
+	return rows
+}
+
+// Fig4 reproduces Fig. 4: effect of the data distribution (aggregate
+// defaults).
+func (s *Suite) Fig4() []Row {
+	var rows []Row
+	for _, dist := range []datagen.Distribution{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated} {
+		w := s.defaultAggWorkload()
+		w.dist = dist
+		rows = append(rows, s.runKSJQ("4", dist.String(), w, 11)...)
+	}
+	return rows
+}
+
+func (s *Suite) noAggWorkload(d int) workload {
+	return workload{n: s.Scale.baseN(), local: d, agg: 0, groups: 10, dist: datagen.Independent}
+}
+
+// Fig5a reproduces Fig. 5a: effect of k without aggregation (d=5).
+func (s *Suite) Fig5a() []Row {
+	var rows []Row
+	for _, k := range []int{6, 7, 8, 9} {
+		rows = append(rows, s.runKSJQ("5a", fmt.Sprintf("k=%d d=5 a=0", k), s.noAggWorkload(5), k)...)
+	}
+	return rows
+}
+
+// Fig5b reproduces Fig. 5b: the (d,k) medley without aggregation.
+func (s *Suite) Fig5b() []Row {
+	var rows []Row
+	for _, p := range [][2]int{{4, 7}, {5, 7}, {6, 7}, {6, 11}, {7, 11}, {10, 11}} {
+		d, k := p[0], p[1]
+		rows = append(rows, s.runKSJQ("5b", fmt.Sprintf("d=%d k=%d", d, k), s.noAggWorkload(d), k)...)
+	}
+	return rows
+}
+
+// Fig6a reproduces Fig. 6a: group sweep without aggregation (d=4, k=7).
+func (s *Suite) Fig6a() []Row {
+	var rows []Row
+	for _, g := range s.Scale.sweepG() {
+		w := s.noAggWorkload(4)
+		w.groups = g
+		rows = append(rows, s.runKSJQ("6a", fmt.Sprintf("g=%d", g), w, 7)...)
+	}
+	return rows
+}
+
+// Fig6b reproduces Fig. 6b: dataset-size sweep without aggregation
+// (d=5, k=7).
+func (s *Suite) Fig6b() []Row {
+	var rows []Row
+	for _, n := range s.Scale.sweepN() {
+		w := s.noAggWorkload(5)
+		w.n = n
+		rows = append(rows, s.runKSJQ("6b", fmt.Sprintf("n=%d", n), w, 7)...)
+	}
+	return rows
+}
+
+// Fig7 reproduces Fig. 7: data distributions without aggregation
+// (d=5, k=7).
+func (s *Suite) Fig7() []Row {
+	var rows []Row
+	for _, dist := range []datagen.Distribution{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated} {
+		w := s.noAggWorkload(5)
+		w.dist = dist
+		rows = append(rows, s.runKSJQ("7", dist.String(), w, 7)...)
+	}
+	return rows
+}
+
+// Fig8a reproduces Fig. 8a: find-k versus the threshold δ (d=5, a=0).
+func (s *Suite) Fig8a() []Row {
+	var rows []Row
+	for _, delta := range s.Scale.sweepDelta() {
+		rows = append(rows, s.runFindK("8a", fmt.Sprintf("delta=%d", delta), s.noAggWorkload(5), delta)...)
+	}
+	return rows
+}
+
+// Fig8b reproduces Fig. 8b: find-k versus dimensionality (δ at the
+// scale's default, paper 10000).
+func (s *Suite) Fig8b() []Row {
+	var rows []Row
+	for _, d := range []int{3, 4, 5, 7, 10} {
+		rows = append(rows, s.runFindK("8b", fmt.Sprintf("d=%d", d), s.noAggWorkload(d), s.Scale.defaultDelta())...)
+	}
+	return rows
+}
+
+// Fig9a reproduces Fig. 9a: find-k versus the number of join groups.
+func (s *Suite) Fig9a() []Row {
+	var rows []Row
+	for _, g := range s.Scale.sweepG() {
+		w := s.noAggWorkload(5)
+		w.groups = g
+		rows = append(rows, s.runFindK("9a", fmt.Sprintf("g=%d", g), w, s.Scale.defaultDelta())...)
+	}
+	return rows
+}
+
+// Fig9b reproduces Fig. 9b: find-k versus dataset size (paper: δ=1000,
+// scaled with the joined-relation size).
+func (s *Suite) Fig9b() []Row {
+	delta := s.Scale.defaultDelta() / 10
+	if delta < 1 {
+		delta = 1
+	}
+	var rows []Row
+	for _, n := range s.Scale.sweepN() {
+		w := s.noAggWorkload(5)
+		w.n = n
+		rows = append(rows, s.runFindK("9b", fmt.Sprintf("n=%d", n), w, delta)...)
+	}
+	return rows
+}
+
+// Fig10 reproduces Fig. 10: find-k versus the data distribution.
+func (s *Suite) Fig10() []Row {
+	var rows []Row
+	for _, dist := range []datagen.Distribution{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated} {
+		w := s.noAggWorkload(5)
+		w.dist = dist
+		rows = append(rows, s.runFindK("10", dist.String(), w, s.Scale.defaultDelta())...)
+	}
+	return rows
+}
+
+// Fig11 reproduces Fig. 11: the (simulated) real flight dataset, k=6..8
+// over 3 local + 3 local + 2 aggregate = 8 joined attributes.
+func (s *Suite) Fig11() []Row {
+	cfg := datagen.DefaultFlightsConfig()
+	if s.Scale == Smoke {
+		cfg.Outbound, cfg.Inbound = 40, 30
+	}
+	out, in := datagen.MustFlights(cfg)
+	var rows []Row
+	for _, k := range []int{6, 7, 8} {
+		q := core.Query{R1: out, R2: in, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: k}
+		rows = append(rows, s.runQuery("11", fmt.Sprintf("flights k=%d", k), q)...)
+	}
+	return rows
+}
+
+// Figures maps figure names to runners, in the paper's order.
+func (s *Suite) Figures() []struct {
+	Name string
+	Run  func() []Row
+} {
+	return []struct {
+		Name string
+		Run  func() []Row
+	}{
+		{"1a", s.Fig1a}, {"1b", s.Fig1b},
+		{"2a", s.Fig2a}, {"2b", s.Fig2b},
+		{"3a", s.Fig3a}, {"3b", s.Fig3b},
+		{"4", s.Fig4},
+		{"5a", s.Fig5a}, {"5b", s.Fig5b},
+		{"6a", s.Fig6a}, {"6b", s.Fig6b},
+		{"7", s.Fig7},
+		{"8a", s.Fig8a}, {"8b", s.Fig8b},
+		{"9a", s.Fig9a}, {"9b", s.Fig9b},
+		{"10", s.Fig10},
+		{"11", s.Fig11},
+	}
+}
+
+// All runs every figure and returns the concatenated rows.
+func (s *Suite) All() []Row {
+	var rows []Row
+	for _, fig := range s.Figures() {
+		rows = append(rows, fig.Run()...)
+	}
+	return rows
+}

@@ -1,0 +1,218 @@
+// Package join provides the join machinery under the KSJQ algorithms:
+// equality (hash) joins, the Cartesian product, non-equality band joins
+// (Sec. 6.6), and the monotonic aggregation operators (Assumption 2) that
+// combine aggregate attributes when two base tuples join.
+package join
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Condition selects the join predicate between two base tuples u ∈ R1 and
+// v ∈ R2.
+type Condition int
+
+const (
+	// Equality joins on u.Key == v.Key (Assumption 1).
+	Equality Condition = iota
+	// Cross is the Cartesian product: every pair joins (Sec. 6.5).
+	Cross
+	// BandLess joins on u.Band < v.Band (e.g. arrival before departure).
+	BandLess
+	// BandLessEq joins on u.Band <= v.Band.
+	BandLessEq
+	// BandGreater joins on u.Band > v.Band.
+	BandGreater
+	// BandGreaterEq joins on u.Band >= v.Band.
+	BandGreaterEq
+)
+
+// String returns the SQL-ish rendering of the condition.
+func (c Condition) String() string {
+	switch c {
+	case Equality:
+		return "R1.key = R2.key"
+	case Cross:
+		return "true"
+	case BandLess:
+		return "R1.band < R2.band"
+	case BandLessEq:
+		return "R1.band <= R2.band"
+	case BandGreater:
+		return "R1.band > R2.band"
+	case BandGreaterEq:
+		return "R1.band >= R2.band"
+	default:
+		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// Matches reports whether tuples u and v satisfy the condition.
+func (c Condition) Matches(u, v *dataset.Tuple) bool {
+	switch c {
+	case Equality:
+		return u.Key == v.Key
+	case Cross:
+		return true
+	case BandLess:
+		return u.Band < v.Band
+	case BandLessEq:
+		return u.Band <= v.Band
+	case BandGreater:
+		return u.Band > v.Band
+	case BandGreaterEq:
+		return u.Band >= v.Band
+	default:
+		return false
+	}
+}
+
+// Aggregator combines one aggregate attribute from each side of the join.
+// Every provided aggregator is monotonic (Assumption 2): x1 <= x2 and
+// y1 <= y2 imply Fn(x1,y1) <= Fn(x2,y2), which is what makes the SS/SN/NN
+// categorization carry over to the aggregate variant unchanged.
+type Aggregator struct {
+	Name string
+	Fn   func(x, y float64) float64
+	// Strict reports strict monotonicity in each argument (x1 < x2 implies
+	// Fn(x1,y) < Fn(x2,y)). The optimized KSJQ algorithms require it: a
+	// non-strict aggregator can erase the strict attribute the pruning
+	// theorems rely on.
+	Strict bool
+}
+
+// Built-in monotonic aggregators.
+var (
+	Sum = Aggregator{Name: "sum", Strict: true, Fn: func(x, y float64) float64 { return x + y }}
+	Max = Aggregator{Name: "max", Fn: func(x, y float64) float64 {
+		if x > y {
+			return x
+		}
+		return y
+	}}
+	Min = Aggregator{Name: "min", Fn: func(x, y float64) float64 {
+		if x < y {
+			return x
+		}
+		return y
+	}}
+)
+
+// Spec describes how two relations are joined.
+type Spec struct {
+	Cond Condition
+	// Agg combines aggregate attributes. Zero value means Sum.
+	Agg Aggregator
+}
+
+func (s Spec) aggregator() Aggregator {
+	if s.Agg.Fn == nil {
+		return Sum
+	}
+	return s.Agg
+}
+
+// ErrSchemaMismatch is returned when two relations cannot be joined because
+// their aggregate-attribute counts differ.
+var ErrSchemaMismatch = errors.New("join: relations have different aggregate attribute counts")
+
+// CheckSchemas validates that r1 and r2 can be joined: the paper requires
+// the a aggregate attributes to pair up one-to-one (Sec. 2.3).
+func CheckSchemas(r1, r2 *dataset.Relation) error {
+	if r1.Agg != r2.Agg {
+		return fmt.Errorf("%w: %s has a=%d, %s has a=%d", ErrSchemaMismatch, r1.Name, r1.Agg, r2.Name, r2.Agg)
+	}
+	return nil
+}
+
+// Width returns the number of skyline attributes in the joined relation:
+// l1 + l2 + a (Sec. 5.6); with a = 0 this is d1 + d2.
+func Width(r1, r2 *dataset.Relation) int {
+	return r1.Local + r2.Local + r1.Agg
+}
+
+// Combine materializes the joined attribute vector for u ∈ r1, v ∈ r2 into
+// dst (allocating if dst lacks capacity) and returns it. Layout:
+// [u.local..., v.local..., agg(u.agg_i, v.agg_i)...].
+func Combine(r1, r2 *dataset.Relation, u, v *dataset.Tuple, agg Aggregator, dst []float64) []float64 {
+	dst = dst[:0]
+	dst = append(dst, u.Attrs[:r1.Local]...)
+	dst = append(dst, v.Attrs[:r2.Local]...)
+	for i := 0; i < r1.Agg; i++ {
+		dst = append(dst, agg.Fn(u.Attrs[r1.Local+i], v.Attrs[r2.Local+i]))
+	}
+	return dst
+}
+
+// Pair is one joined tuple: indices of its two base tuples plus the
+// materialized skyline attribute vector.
+type Pair struct {
+	Left, Right int
+	Attrs       []float64
+}
+
+// Pairs materializes the full join r1 ⋈ r2 under the spec. The equality
+// case uses hash grouping; band conditions use a nested scan. Used by the
+// naive KSJQ algorithm and by tests; the optimized algorithms avoid full
+// materialization.
+func Pairs(r1, r2 *dataset.Relation, spec Spec) ([]Pair, error) {
+	if err := CheckSchemas(r1, r2); err != nil {
+		return nil, err
+	}
+	agg := spec.aggregator()
+	var out []Pair
+	emit := func(i, j int) {
+		attrs := Combine(r1, r2, &r1.Tuples[i], &r2.Tuples[j], agg, make([]float64, 0, Width(r1, r2)))
+		out = append(out, Pair{Left: i, Right: j, Attrs: attrs})
+	}
+	if spec.Cond == Equality {
+		g2 := r2.GroupIndex()
+		for i := range r1.Tuples {
+			for _, j := range g2[r1.Tuples[i].Key] {
+				emit(i, j)
+			}
+		}
+		return out, nil
+	}
+	for i := range r1.Tuples {
+		for j := range r2.Tuples {
+			if spec.Cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
+				emit(i, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CountPairs returns |r1 ⋈ r2| without materializing attribute vectors.
+func CountPairs(r1, r2 *dataset.Relation, spec Spec) (int, error) {
+	if err := CheckSchemas(r1, r2); err != nil {
+		return 0, err
+	}
+	if spec.Cond == Cross {
+		return r1.Len() * r2.Len(), nil
+	}
+	if spec.Cond == Equality {
+		g2 := make(map[string]int)
+		for i := range r2.Tuples {
+			g2[r2.Tuples[i].Key]++
+		}
+		n := 0
+		for i := range r1.Tuples {
+			n += g2[r1.Tuples[i].Key]
+		}
+		return n, nil
+	}
+	n := 0
+	for i := range r1.Tuples {
+		for j := range r2.Tuples {
+			if spec.Cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
+				n++
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,230 @@
+package join
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func rel(name string, local, agg int, tuples []dataset.Tuple) *dataset.Relation {
+	return dataset.MustNew(name, local, agg, tuples)
+}
+
+func TestConditionMatches(t *testing.T) {
+	u := &dataset.Tuple{Key: "A", Band: 5}
+	v := &dataset.Tuple{Key: "A", Band: 7}
+	w := &dataset.Tuple{Key: "B", Band: 5}
+	tests := []struct {
+		cond    Condition
+		a, b    *dataset.Tuple
+		want    bool
+		display string
+	}{
+		{Equality, u, v, true, "R1.key = R2.key"},
+		{Equality, u, w, false, "R1.key = R2.key"},
+		{Cross, u, w, true, "true"},
+		{BandLess, u, v, true, "R1.band < R2.band"},
+		{BandLess, u, w, false, "R1.band < R2.band"},
+		{BandLessEq, u, w, true, "R1.band <= R2.band"},
+		{BandGreater, v, u, true, "R1.band > R2.band"},
+		{BandGreaterEq, u, w, true, "R1.band >= R2.band"},
+	}
+	for _, tt := range tests {
+		if got := tt.cond.Matches(tt.a, tt.b); got != tt.want {
+			t.Errorf("%v.Matches = %v, want %v", tt.cond, got, tt.want)
+		}
+		if tt.cond.String() != tt.display {
+			t.Errorf("%d.String() = %q, want %q", int(tt.cond), tt.cond.String(), tt.display)
+		}
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	if got := Sum.Fn(2, 3); got != 5 {
+		t.Errorf("Sum(2,3) = %v", got)
+	}
+	if got := Max.Fn(2, 3); got != 3 {
+		t.Errorf("Max(2,3) = %v", got)
+	}
+	if got := Min.Fn(2, 3); got != 2 {
+		t.Errorf("Min(2,3) = %v", got)
+	}
+}
+
+func TestPropertyAggregatorsMonotone(t *testing.T) {
+	// Assumption 2: x1<=x2 && y1<=y2 => agg(x1,y1) <= agg(x2,y2).
+	for _, agg := range []Aggregator{Sum, Max, Min} {
+		f := func(x1, y1 float64, dx, dy uint8) bool {
+			x2 := x1 + float64(dx)
+			y2 := y1 + float64(dy)
+			return agg.Fn(x1, y1) <= agg.Fn(x2, y2)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", agg.Name, err)
+		}
+	}
+}
+
+func TestCombineLayout(t *testing.T) {
+	r1 := rel("r1", 2, 1, []dataset.Tuple{{Attrs: []float64{1, 2, 10}}})
+	r2 := rel("r2", 1, 1, []dataset.Tuple{{Attrs: []float64{3, 20}}})
+	got := Combine(r1, r2, &r1.Tuples[0], &r2.Tuples[0], Sum, nil)
+	want := []float64{1, 2, 3, 30}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Combine = %v, want %v", got, want)
+	}
+	if Width(r1, r2) != 4 {
+		t.Errorf("Width = %d, want 4", Width(r1, r2))
+	}
+}
+
+func TestCombineReusesBuffer(t *testing.T) {
+	r1 := rel("r1", 1, 0, []dataset.Tuple{{Attrs: []float64{1}}})
+	r2 := rel("r2", 1, 0, []dataset.Tuple{{Attrs: []float64{2}}})
+	buf := make([]float64, 0, 8)
+	got := Combine(r1, r2, &r1.Tuples[0], &r2.Tuples[0], Sum, buf)
+	if &got[:1][0] != &buf[:1][0] {
+		t.Error("Combine did not reuse the provided buffer")
+	}
+}
+
+func TestCheckSchemas(t *testing.T) {
+	r1 := rel("r1", 2, 1, []dataset.Tuple{{Attrs: []float64{1, 2, 3}}})
+	r2 := rel("r2", 1, 2, []dataset.Tuple{{Attrs: []float64{1, 2, 3}}})
+	if err := CheckSchemas(r1, r2); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("CheckSchemas = %v, want ErrSchemaMismatch", err)
+	}
+	r3 := rel("r3", 2, 1, []dataset.Tuple{{Attrs: []float64{1, 2, 3}}})
+	if err := CheckSchemas(r1, r3); err != nil {
+		t.Errorf("CheckSchemas on matching schemas = %v", err)
+	}
+}
+
+func TestPairsEquality(t *testing.T) {
+	r1 := rel("r1", 1, 0, []dataset.Tuple{
+		{Key: "A", Attrs: []float64{1}},
+		{Key: "B", Attrs: []float64{2}},
+		{Key: "A", Attrs: []float64{3}},
+	})
+	r2 := rel("r2", 1, 0, []dataset.Tuple{
+		{Key: "A", Attrs: []float64{10}},
+		{Key: "C", Attrs: []float64{20}},
+	})
+	pairs, err := Pairs(r1, r2, Spec{Cond: Equality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{
+		{Left: 0, Right: 0, Attrs: []float64{1, 10}},
+		{Left: 2, Right: 0, Attrs: []float64{3, 10}},
+	}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("Pairs = %+v, want %+v", pairs, want)
+	}
+	n, err := CountPairs(r1, r2, Spec{Cond: Equality})
+	if err != nil || n != 2 {
+		t.Errorf("CountPairs = %d,%v, want 2,nil", n, err)
+	}
+}
+
+func TestPairsCross(t *testing.T) {
+	r1 := rel("r1", 1, 0, []dataset.Tuple{{Key: "A", Attrs: []float64{1}}, {Key: "B", Attrs: []float64{2}}})
+	r2 := rel("r2", 1, 0, []dataset.Tuple{{Key: "X", Attrs: []float64{3}}})
+	pairs, err := Pairs(r1, r2, Spec{Cond: Cross})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Errorf("Cross join produced %d pairs, want 2", len(pairs))
+	}
+	n, _ := CountPairs(r1, r2, Spec{Cond: Cross})
+	if n != 2 {
+		t.Errorf("CountPairs = %d, want 2", n)
+	}
+}
+
+func TestPairsBand(t *testing.T) {
+	r1 := rel("r1", 1, 0, []dataset.Tuple{
+		{Band: 1, Attrs: []float64{1}},
+		{Band: 5, Attrs: []float64{2}},
+	})
+	r2 := rel("r2", 1, 0, []dataset.Tuple{
+		{Band: 3, Attrs: []float64{3}},
+	})
+	pairs, err := Pairs(r1, r2, Spec{Cond: BandLess})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Left != 0 {
+		t.Errorf("BandLess join = %+v, want only (0,0)", pairs)
+	}
+	n, _ := CountPairs(r1, r2, Spec{Cond: BandLess})
+	if n != 1 {
+		t.Errorf("CountPairs = %d, want 1", n)
+	}
+}
+
+func TestPairsAggregation(t *testing.T) {
+	r1 := rel("r1", 1, 1, []dataset.Tuple{{Key: "A", Attrs: []float64{1, 100}}})
+	r2 := rel("r2", 1, 1, []dataset.Tuple{{Key: "A", Attrs: []float64{2, 200}}})
+	pairs, err := Pairs(r1, r2, Spec{Cond: Equality, Agg: Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 300}
+	if !reflect.DeepEqual(pairs[0].Attrs, want) {
+		t.Errorf("aggregated attrs = %v, want %v", pairs[0].Attrs, want)
+	}
+	pairs, _ = Pairs(r1, r2, Spec{Cond: Equality, Agg: Max})
+	if pairs[0].Attrs[2] != 200 {
+		t.Errorf("max-aggregated attr = %v, want 200", pairs[0].Attrs[2])
+	}
+}
+
+func TestPairsSchemaMismatch(t *testing.T) {
+	r1 := rel("r1", 1, 1, []dataset.Tuple{{Attrs: []float64{1, 2}}})
+	r2 := rel("r2", 2, 0, []dataset.Tuple{{Attrs: []float64{1, 2}}})
+	if _, err := Pairs(r1, r2, Spec{}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("Pairs = %v, want ErrSchemaMismatch", err)
+	}
+	if _, err := CountPairs(r1, r2, Spec{}); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("CountPairs = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+func TestCountPairsMatchesPairsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conds := []Condition{Equality, Cross, BandLess, BandLessEq, BandGreater, BandGreaterEq}
+	for trial := 0; trial < 100; trial++ {
+		mk := func(name string) *dataset.Relation {
+			n := 1 + rng.Intn(20)
+			tuples := make([]dataset.Tuple, n)
+			for i := range tuples {
+				tuples[i] = dataset.Tuple{
+					Key:   string(rune('A' + rng.Intn(4))),
+					Band:  float64(rng.Intn(10)),
+					Attrs: []float64{rng.Float64()},
+				}
+			}
+			return rel(name, 1, 0, tuples)
+		}
+		r1, r2 := mk("r1"), mk("r2")
+		for _, cond := range conds {
+			pairs, err := Pairs(r1, r2, Spec{Cond: cond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := CountPairs(r1, r2, Spec{Cond: cond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(pairs) {
+				t.Fatalf("trial %d cond %v: CountPairs = %d, len(Pairs) = %d", trial, cond, n, len(pairs))
+			}
+		}
+	}
+}

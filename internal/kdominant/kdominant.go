@@ -1,0 +1,155 @@
+// Package kdominant implements k-dominant skyline computation (Chan et al.,
+// SIGMOD'06), the substrate the paper's KSJQ algorithms build on: the naive
+// O(n²) method, the Two-Scan Algorithm (TSA), and a skyline-verifier method
+// that exploits the fact that any k-dominated point is k-dominated by a
+// full-skyline point.
+//
+// k-dominance is neither transitive nor acyclic (Sec. 2.2 of the KSJQ
+// paper), so window-based skyline algorithms cannot be reused directly; the
+// two optimized methods here restore correctness with a verification pass.
+//
+// All functions return indices into the input slice, in ascending order.
+package kdominant
+
+import (
+	"sort"
+
+	"repro/internal/dom"
+	"repro/internal/skyline"
+)
+
+// Naive returns the k-dominant skyline by comparing every pair of points.
+// It is the correctness oracle for the optimized algorithms.
+func Naive(points [][]float64, k int) []int {
+	all := identity(len(points))
+	return NaiveSubset(points, all, k)
+}
+
+// NaiveSubset is Naive restricted to the points whose indices appear in
+// subset. Only subset members may act as dominators, matching the paper's
+// per-group categorization (Defs. 1-3).
+func NaiveSubset(points [][]float64, subset []int, k int) []int {
+	var result []int
+	for _, i := range subset {
+		dominated := false
+		for _, j := range subset {
+			if i != j && dom.KDominates(points[j], points[i], k) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			result = append(result, i)
+		}
+	}
+	return result
+}
+
+// TwoScan returns the k-dominant skyline with the Two-Scan Algorithm.
+//
+// Scan 1 maintains a candidate window: an incoming point is dropped if a
+// window point k-dominates it and evicts window points it k-dominates.
+// Because k-dominance is cyclic, a point evicted (or never admitted) in
+// scan 1 may still k-dominate a surviving candidate, so scan 2 re-verifies
+// every candidate against all non-candidate points.
+func TwoScan(points [][]float64, k int) []int {
+	return TwoScanSubset(points, identity(len(points)), k)
+}
+
+// TwoScanSubset is TwoScan restricted to a subset of point indices.
+func TwoScanSubset(points [][]float64, subset []int, k int) []int {
+	// Scan 1: candidate filtering.
+	window := make([]int, 0, 16)
+	for _, i := range subset {
+		p := points[i]
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if dominated {
+				keep = append(keep, w)
+				continue
+			}
+			wDomP, pDomW := dom.KDomCompare(points[w], p, k)
+			if wDomP {
+				dominated = true
+				// w stays even if p also k-dominates w: p is out, so w's
+				// fate is decided by scan 2 like every other candidate.
+				keep = append(keep, w)
+				continue
+			}
+			if !pDomW {
+				keep = append(keep, w)
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+
+	// Scan 2: verify candidates against non-candidates.
+	inWindow := make(map[int]bool, len(window))
+	for _, w := range window {
+		inWindow[w] = true
+	}
+	var result []int
+	for _, c := range window {
+		dominated := false
+		for _, j := range subset {
+			if !inWindow[j] && dom.KDominates(points[j], points[c], k) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			result = append(result, c)
+		}
+	}
+	sort.Ints(result)
+	return result
+}
+
+// SkylineVerify returns the k-dominant skyline by first computing the full
+// (d-dominance) skyline S with SFS and then keeping exactly the points not
+// k-dominated by any member of S.
+//
+// Correctness rests on: if q k-dominates p then some full-skyline point s
+// k-dominates p. (Take s ∈ S with s fully dominating q, or s = q itself;
+// s ≤ q componentwise carries q's k ≤-positions and strict position over
+// to s.) Full dominance is transitive, so the chain terminates in S.
+func SkylineVerify(points [][]float64, k int) []int {
+	sky := skyline.SFS(points)
+	var result []int
+	for i, p := range points {
+		dominated := false
+		for _, s := range sky {
+			if s != i && dom.KDominates(points[s], p, k) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			result = append(result, i)
+		}
+	}
+	return result
+}
+
+// IsKDominated reports whether points[i] is k-dominated by any point in
+// subset (excluding itself).
+func IsKDominated(points [][]float64, subset []int, i, k int) bool {
+	for _, j := range subset {
+		if j != i && dom.KDominates(points[j], points[i], k) {
+			return true
+		}
+	}
+	return false
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

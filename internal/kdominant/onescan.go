@@ -1,0 +1,80 @@
+package kdominant
+
+import (
+	"sort"
+
+	"repro/internal/dom"
+)
+
+// OneScan computes the k-dominant skyline in a single pass (the One-Scan
+// Algorithm of Chan et al., SIGMOD'06).
+//
+// It exploits two facts. First, every k-dominant skyline point is a full
+// skyline point (full domination implies k-domination). Second, a point
+// that is k-dominated but not *fully* dominated can still k-dominate
+// others, so it cannot simply be discarded: it is retained in a shadow set
+// D of pruners. Fully dominated points can be dropped outright because
+// their dominator inherits their entire pruning power (full dominance is
+// componentwise, so it composes with any later k-domination).
+//
+// Invariant: after processing a prefix, T holds the prefix's k-dominant
+// skyline and T ∪ D contains every full-skyline point of the prefix.
+// Incoming points are checked against T (both directions) and D (one
+// direction), which is exactly enough: any eventual dominator of a T
+// member is represented in T ∪ D by itself or by a full dominator.
+func OneScan(points [][]float64, k int) []int {
+	var T, D []int
+	for i, p := range points {
+		dominated := false // p is k-dominated by some earlier point
+		fully := false     // p is fully dominated (useless even as pruner)
+
+		keepT := T[:0]
+		var demoted []int
+		for _, t := range T {
+			tDomP, pDomT := dom.KDomCompare(points[t], p, k)
+			if tDomP {
+				dominated = true
+				if dom.Dominates(points[t], p) {
+					fully = true
+				}
+			}
+			if pDomT {
+				// t is no longer a k-dominant skyline candidate; keep it
+				// as a pruner unless p fully dominates it.
+				if !dom.Dominates(p, points[t]) {
+					demoted = append(demoted, t)
+				}
+			} else {
+				keepT = append(keepT, t)
+			}
+		}
+		T = keepT
+
+		keepD := D[:0]
+		for _, q := range D {
+			if !fully && dom.KDominates(points[q], p, k) {
+				dominated = true
+				if dom.Dominates(points[q], p) {
+					fully = true
+				}
+			}
+			if dom.Dominates(p, points[q]) {
+				continue // p inherits q's pruning power
+			}
+			keepD = append(keepD, q)
+		}
+		D = append(keepD, demoted...)
+
+		switch {
+		case !dominated:
+			T = append(T, i)
+		case !fully:
+			D = append(D, i)
+		}
+	}
+	if len(T) == 0 {
+		return nil
+	}
+	sort.Ints(T)
+	return T
+}

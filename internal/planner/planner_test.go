@@ -1,0 +1,190 @@
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+func synthetic(n, local, groups int, dist datagen.Distribution, seed int64) *dataset.Relation {
+	return datagen.MustGenerate(datagen.Config{
+		Name: fmt.Sprintf("r%d", seed), N: n, Local: local, Groups: groups, Dist: dist, Seed: seed,
+	})
+}
+
+func TestMembershipMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 20; trial++ {
+		r1 := synthetic(10+rng.Intn(20), 3, 2, datagen.Independent, int64(trial*2+1))
+		r2 := synthetic(10+rng.Intn(20), 3, 2, datagen.Independent, int64(trial*2+2))
+		q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+		res, err := core.Run(q, core.Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inSky := map[[2]int]bool{}
+		for _, p := range res.Skyline {
+			inSky[[2]int{p.Left, p.Right}] = true
+		}
+		var pairs [][2]int
+		g2 := r2.GroupIndex()
+		for i := range r1.Tuples {
+			for _, j := range g2[r1.Tuples[i].Key] {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+		members, err := core.Membership(q, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, pr := range pairs {
+			if members[n] != inSky[pr] {
+				t.Fatalf("trial %d: membership of %v = %v, Run says %v", trial, pr, members[n], inSky[pr])
+			}
+		}
+	}
+}
+
+func TestMembershipErrors(t *testing.T) {
+	r1 := synthetic(10, 3, 2, datagen.Independent, 1)
+	r2 := synthetic(10, 3, 2, datagen.Independent, 2)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	if _, err := core.Membership(q, [][2]int{{-1, 0}}); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	// Find a non-compatible pair (different keys).
+	for j := range r2.Tuples {
+		if r2.Tuples[j].Key != r1.Tuples[0].Key {
+			if _, err := core.Membership(q, [][2]int{{0, j}}); err == nil {
+				t.Error("join-incompatible pair accepted")
+			}
+			break
+		}
+	}
+}
+
+func TestEstimateCardinalityExactWhenSampleCoversJoin(t *testing.T) {
+	// SampleSize >= joined size: the estimate must be exact.
+	r1 := synthetic(30, 3, 3, datagen.Independent, 11)
+	r2 := synthetic(30, 3, 3, datagen.Independent, 12)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	est, err := EstimateCardinality(q, Options{SampleSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(q, core.Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cardinality != len(res.Skyline) {
+		t.Errorf("full-sample estimate %d, actual %d", est.Cardinality, len(res.Skyline))
+	}
+	if est.SampleSize != est.JoinedSize {
+		t.Errorf("sample size %d, want joined size %d", est.SampleSize, est.JoinedSize)
+	}
+}
+
+func TestEstimateCardinalityApproximates(t *testing.T) {
+	r1 := synthetic(200, 4, 5, datagen.AntiCorrelated, 21)
+	r2 := synthetic(200, 4, 5, datagen.AntiCorrelated, 22)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 6}
+	res, err := core.Run(q, core.Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := float64(len(res.Skyline))
+	est, err := EstimateCardinality(q, Options{SampleSize: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 400 samples the binomial standard error is below 0.025; allow a
+	// generous 4-sigma band plus slack for small counts.
+	frac := actual / float64(est.JoinedSize)
+	if math.Abs(est.SkylineFraction-frac) > 0.1+4*math.Sqrt(frac*(1-frac)/400) {
+		t.Errorf("estimated fraction %.3f, actual %.3f (joined %d, actual skyline %.0f)",
+			est.SkylineFraction, frac, est.JoinedSize, actual)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	r1 := synthetic(100, 3, 4, datagen.Independent, 31)
+	r2 := synthetic(100, 3, 4, datagen.Independent, 32)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	a, err := EstimateCardinality(q, Options{SampleSize: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateCardinality(q, Options{SampleSize: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cardinality != b.Cardinality || a.SkylineFraction != b.SkylineFraction {
+		t.Error("same seed produced different estimates")
+	}
+}
+
+func TestChooseTinyJoinPicksNaive(t *testing.T) {
+	r1 := synthetic(20, 3, 4, datagen.Independent, 41)
+	r2 := synthetic(20, 3, 4, datagen.Independent, 42)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	plan, err := Choose(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != core.Naive {
+		t.Errorf("tiny join planned %v, want Naive (%s)", plan.Algorithm, plan.Reason)
+	}
+}
+
+func TestChooseLargeJoinAvoidsNaive(t *testing.T) {
+	r1 := synthetic(300, 5, 10, datagen.Independent, 51)
+	r2 := synthetic(300, 5, 10, datagen.Independent, 52)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 7}
+	plan, err := Choose(q, Options{SampleSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm == core.Naive {
+		t.Errorf("large join planned Naive (%s)", plan.Reason)
+	}
+	if plan.Estimate == nil || plan.Reason == "" {
+		t.Error("plan missing estimate or rationale")
+	}
+}
+
+func TestPlannerRun(t *testing.T) {
+	r1 := synthetic(80, 3, 4, datagen.Independent, 61)
+	r2 := synthetic(80, 3, 4, datagen.Independent, 62)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
+	res, plan, err := Run(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Run(q, core.Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skyline) != len(want.Skyline) {
+		t.Errorf("planned run returned %d skylines, want %d (alg %v)", len(res.Skyline), len(want.Skyline), plan.Algorithm)
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	if _, err := EstimateCardinality(core.Query{}, Options{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+	// Empty join: keys never match.
+	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 2}}})
+	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "b", Attrs: []float64{1, 2}}})
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3}
+	if _, err := EstimateCardinality(q, Options{}); !errors.Is(err, ErrEmptyJoin) {
+		t.Errorf("empty join: err = %v, want ErrEmptyJoin", err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package skyline implements classic (full-dominance) skyline algorithms
+// used as baselines and as correctness oracles for the k-dominant layer:
+// block-nested-loop (BNL, Börzsönyi et al. ICDE'01) and sort-filter-skyline
+// (SFS, Chomicki et al. ICDE'03).
+//
+// All functions operate on a slice of attribute vectors and return the
+// indices of skyline points in ascending order. Lower values are preferred.
+package skyline
+
+import (
+	"sort"
+
+	"repro/internal/dom"
+)
+
+// BNL computes the skyline with the block-nested-loop algorithm: a window of
+// current candidates is maintained; each incoming point is dropped if
+// dominated by a window point, and evicts window points it dominates.
+// Because full dominance is transitive, the window at the end is exactly
+// the skyline.
+func BNL(points [][]float64) []int {
+	window := make([]int, 0, 16)
+	for i, p := range points {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if dominated {
+				keep = append(keep, w)
+				continue
+			}
+			switch {
+			case dom.Dominates(points[w], p):
+				dominated = true
+				keep = append(keep, w)
+			case dom.Dominates(p, points[w]):
+				// evict w
+			default:
+				keep = append(keep, w)
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	sort.Ints(window)
+	return window
+}
+
+// SFS computes the skyline with sort-filter-skyline: points are scanned in
+// ascending order of an entropy-like monotone score (here: attribute sum),
+// which guarantees no later point can dominate an earlier one, so a point
+// only needs to be checked against already-accepted skyline points.
+func SFS(points [][]float64) []int {
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sums := make([]float64, len(points))
+	for i, p := range points {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		sums[i] = s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] < sums[order[b]] })
+
+	sky := make([]int, 0, 16)
+	for _, i := range order {
+		dominated := false
+		for _, s := range sky {
+			if dom.Dominates(points[s], points[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, i)
+		}
+	}
+	sort.Ints(sky)
+	return sky
+}
+
+// Naive computes the skyline by comparing every pair; it is the O(n²)
+// correctness oracle for the other algorithms.
+func Naive(points [][]float64) []int {
+	var sky []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && dom.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			sky = append(sky, i)
+		}
+	}
+	return sky
+}

@@ -1,0 +1,151 @@
+package skyline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkylineSimple(t *testing.T) {
+	points := [][]float64{
+		{1, 4}, // skyline
+		{2, 3}, // skyline
+		{3, 3}, // dominated by {2,3}
+		{4, 1}, // skyline
+		{5, 5}, // dominated
+	}
+	want := []int{0, 1, 3}
+	for name, fn := range map[string]func([][]float64) []int{"BNL": BNL, "SFS": SFS, "Naive": Naive} {
+		if got := fn(points); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSkylineDuplicates(t *testing.T) {
+	// Equal points never dominate each other: both stay in the skyline.
+	points := [][]float64{{1, 1}, {1, 1}, {2, 2}}
+	want := []int{0, 1}
+	for name, fn := range map[string]func([][]float64) []int{"BNL": BNL, "SFS": SFS, "Naive": Naive} {
+		if got := fn(points); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSkylineSinglePoint(t *testing.T) {
+	points := [][]float64{{3, 1, 4}}
+	for name, fn := range map[string]func([][]float64) []int{"BNL": BNL, "SFS": SFS, "Naive": Naive} {
+		if got := fn(points); !reflect.DeepEqual(got, []int{0}) {
+			t.Errorf("%s = %v, want [0]", name, got)
+		}
+	}
+}
+
+func TestSkylineEmpty(t *testing.T) {
+	for name, fn := range map[string]func([][]float64) []int{"BNL": BNL, "SFS": SFS} {
+		if got := fn(nil); len(got) != 0 {
+			t.Errorf("%s(nil) = %v, want empty", name, got)
+		}
+	}
+}
+
+func TestSkylineTotalOrder(t *testing.T) {
+	// On a chain p0 dom p1 dom p2 ... only p0 survives.
+	points := [][]float64{{4, 4}, {3, 3}, {2, 2}, {1, 1}}
+	want := []int{3}
+	for name, fn := range map[string]func([][]float64) []int{"BNL": BNL, "SFS": SFS, "Naive": Naive} {
+		if got := fn(points); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func randomPoints(rng *rand.Rand, n, d int) [][]float64 {
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = make([]float64, d)
+		for j := range points[i] {
+			// Small integer domain to force ties and duplicates.
+			points[i][j] = float64(rng.Intn(6))
+		}
+	}
+	return points
+}
+
+func TestAlgorithmsAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		d := 1 + rng.Intn(5)
+		points := randomPoints(rng, n, d)
+		naive := Naive(points)
+		if bnl := BNL(points); !reflect.DeepEqual(bnl, naive) {
+			t.Fatalf("trial %d: BNL = %v, Naive = %v\npoints=%v", trial, bnl, naive, points)
+		}
+		if sfs := SFS(points); !reflect.DeepEqual(sfs, naive) {
+			t.Fatalf("trial %d: SFS = %v, Naive = %v\npoints=%v", trial, sfs, naive, points)
+		}
+	}
+}
+
+func TestPropertySkylineNonEmpty(t *testing.T) {
+	// Any non-empty dataset has a non-empty skyline (the minimum-sum point
+	// can never be dominated strictly everywhere).
+	f := func(raw [][3]uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		points := make([][]float64, len(raw))
+		for i, r := range raw {
+			points[i] = []float64{float64(r[0]), float64(r[1]), float64(r[2])}
+		}
+		return len(BNL(points)) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySkylineMembersUndominated(t *testing.T) {
+	f := func(raw [][3]uint8) bool {
+		points := make([][]float64, len(raw))
+		for i, r := range raw {
+			points[i] = []float64{float64(r[0]), float64(r[1]), float64(r[2])}
+		}
+		sky := make(map[int]bool)
+		for _, i := range SFS(points) {
+			sky[i] = true
+		}
+		for i := range points {
+			dominated := false
+			for j := range points {
+				if i != j && dominates(points[j], points[i]) {
+					dominated = true
+					break
+				}
+			}
+			if sky[i] == dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
