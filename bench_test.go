@@ -147,3 +147,74 @@ func benchFindK(b *testing.B, alg core.FindKAlgorithm) {
 func BenchmarkFindKBinary(b *testing.B) { benchFindK(b, core.FindKBinary) }
 func BenchmarkFindKRange(b *testing.B)  { benchFindK(b, core.FindKRange) }
 func BenchmarkFindKNaive(b *testing.B)  { benchFindK(b, core.FindKNaive) }
+
+// bandQuery builds a Sec. 6.6-style workload: R1.Band < R2.Band (arrival
+// before departure), with ~n²/2 join-compatible pairs at size n.
+func bandQuery(n int) core.Query {
+	r1 := datagen.MustGenerate(datagen.Config{
+		Name: "legs1", N: n, Local: 3, Groups: 10, Dist: datagen.Independent, Seed: 2017,
+	})
+	r2 := datagen.MustGenerate(datagen.Config{
+		Name: "legs2", N: n, Local: 3, Groups: 10, Dist: datagen.Independent, Seed: 2018,
+	})
+	return core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.BandLess}, K: 4}
+}
+
+// BenchmarkBandJoinNaive is the retained O(n1·n2) nested-scan baseline for
+// band-join pair counting (the find-k bounds' hot operation).
+func BenchmarkBandJoinNaive(b *testing.B) {
+	q := bandQuery(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.ScanCountPairs(q.R1, q.R2, q.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBandJoinIndexed is the same operation through the band-sorted
+// index: O((n1+n2) log n2) — partner ranges are located by binary search
+// and counted by their width, never enumerated.
+func BenchmarkBandJoinIndexed(b *testing.B) {
+	q := bandQuery(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.CountPairs(q.R1, q.R2, q.Spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBandJoinEnumerate locks in indexed full-pair enumeration
+// (matches included) versus the nested scan at the same size.
+func BenchmarkBandJoinEnumerate(b *testing.B) {
+	q := bandQuery(400)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := join.ScanPairs(q.R1, q.R2, q.Spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := join.Pairs(q.R1, q.R2, q.Spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCheckerAlloc tracks allocations of the full grouping run —
+// dominated by cell materialization and checker construction. The arena
+// join and flat index orderings keep allocs/op independent of pair count.
+func BenchmarkCheckerAlloc(b *testing.B) {
+	q := defaultQuery(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(q, core.Grouping); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

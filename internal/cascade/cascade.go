@@ -319,13 +319,10 @@ func fold(q Query, keep [][]int) []Combo {
 	for ri := 1; ri < len(q.Relations); ri++ {
 		r := q.Relations[ri]
 		last := ri == len(q.Relations)-1
-		byKey := make(map[string][]int)
-		for _, t := range keep[ri] {
-			byKey[r.Tuples[t].Key] = append(byKey[r.Tuples[t].Key], t)
-		}
+		ix := join.NewIndex(r, keep[ri], join.Equality)
 		next := make([]partial, 0, len(cur))
 		for _, p := range cur {
-			for _, t := range byKey[p.outKey] {
+			for _, t := range ix.PartnersKey(p.outKey) {
 				tup := &r.Tuples[t]
 				np := partial{
 					indices: append(append([]int(nil), p.indices...), t),

@@ -103,21 +103,7 @@ func BenchmarkAblationProbeOrder(b *testing.B) {
 		}
 	})
 	b.Run("identity-order", func(b *testing.B) {
-		chk := &checker{e: e, left: all1, right: all2}
-		chk.byKey = map[string][2][]int{}
-		for _, i := range all1 {
-			k := q.R1.Tuples[i].Key
-			ent := chk.byKey[k]
-			ent[0] = append(ent[0], i)
-			chk.byKey[k] = ent
-		}
-		for _, j := range all2 {
-			k := q.R2.Tuples[j].Key
-			if ent, ok := chk.byKey[k]; ok {
-				ent[1] = append(ent[1], j)
-				chk.byKey[k] = ent
-			}
-		}
+		chk := &checker{e: e, left: all1, ix: join.NewIndex(q.R2, all2, e.cond)}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, p := range candidates {

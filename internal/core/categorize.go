@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/dataset"
 	"repro/internal/dom"
 	"repro/internal/join"
@@ -102,16 +104,29 @@ func Categorize(r *dataset.Relation, kPrime int, cond join.Condition, side Side)
 	groupDominated := make([]bool, n)
 	switch cond {
 	case join.Equality:
-		for _, idx := range r.GroupIndex() {
-			local := make(map[int]bool, len(idx))
-			for _, i := range kdominant.TwoScanSubset(pts, idx, kPrime) {
-				local[i] = true
+		// Sort tuple indices by key so every join group is one contiguous
+		// run — group iteration needs no maps, and within a group the
+		// natural tuple order is preserved (stable sort).
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.SliceStable(perm, func(a, b int) bool {
+			return r.Tuples[perm[a]].Key < r.Tuples[perm[b]].Key
+		})
+		for lo := 0; lo < n; {
+			hi := lo + 1
+			for hi < n && r.Tuples[perm[hi]].Key == r.Tuples[perm[lo]].Key {
+				hi++
 			}
-			for _, i := range idx {
-				if !local[i] {
-					groupDominated[i] = true
-				}
+			group := perm[lo:hi]
+			for _, i := range group {
+				groupDominated[i] = true
 			}
+			for _, i := range kdominant.TwoScanSubset(pts, group, kPrime) {
+				groupDominated[i] = false
+			}
+			lo = hi
 		}
 	case join.Cross:
 		// Single group: group-dominated iff not globally dominant.

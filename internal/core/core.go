@@ -198,8 +198,32 @@ func Run(q Query, alg Algorithm) (*Result, error) {
 		res = runDominator(q)
 	}
 	sortPairs(res.Skyline)
+	compactAttrs(res.Skyline)
 	res.Stats.Total = time.Since(start)
 	return res, nil
+}
+
+// compactAttrs re-backs the answer's attribute vectors with one arena
+// sized to the skyline itself. Cell materialization arenas are sized to
+// whole candidate cells; without this, one surviving pair would pin its
+// entire cell's arena for as long as the result is held.
+func compactAttrs(pairs []join.Pair) {
+	if len(pairs) == 0 {
+		return
+	}
+	w := len(pairs[0].Attrs)
+	arena := make([]float64, 0, len(pairs)*w)
+	for i := range pairs {
+		arena = append(arena, pairs[i].Attrs...)
+		pairs[i].Attrs = arena[len(arena)-w : len(arena) : len(arena)]
+	}
+}
+
+// detach returns the pair with its attribute vector copied out of any
+// shared cell arena, so holding the pair does not pin the arena.
+func detach(p join.Pair) join.Pair {
+	p.Attrs = append([]float64(nil), p.Attrs...)
+	return p
 }
 
 func sortPairs(pairs []join.Pair) {

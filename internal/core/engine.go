@@ -8,8 +8,8 @@ import (
 )
 
 // engine bundles the per-query state shared by the optimized algorithms:
-// schema geometry, the aggregator, and scratch buffers for materializing
-// joined attribute vectors during domination checks.
+// schema geometry, the aggregator, and lazily-built join indexes reused by
+// every cell enumeration and domination check of the query.
 type engine struct {
 	q          Query
 	cond       join.Condition
@@ -17,7 +17,15 @@ type engine struct {
 	l1, l2, a  int
 	k1pp, k2pp int // k″1, k″2: target-set thresholds over local attributes
 	stats      *Stats
-	buf        []float64
+	// allRightIx and allLeftSorted cache the full-R2 join index and the
+	// sum-sorted full-R1 probe order; each is built at most once per engine
+	// (on first full-list use) and read-only afterwards, so checkers
+	// sharing them across goroutines is safe.
+	allRightIx    *join.Index
+	allLeftSorted []int
+	// pts1/pts2 cache the relations' base attribute vectors for the probe
+	// orderings (built lazily, then read-only).
+	pts1, pts2 [][]float64
 	// noTargetPrune disables the checker's target-set skip; used only by
 	// the ablation benchmarks to quantify the optimization.
 	noTargetPrune bool
@@ -32,23 +40,62 @@ func newEngine(q Query, stats *Stats) *engine {
 		l2:    q.R2.Local,
 		a:     q.R1.Agg,
 		stats: stats,
-		buf:   make([]float64, 0, join.Width(q.R1, q.R2)),
 	}
 	e.k1pp, e.k2pp = q.KDoublePrimes()
 	return e
 }
 
+func (e *engine) points1() [][]float64 {
+	if e.pts1 == nil {
+		e.pts1 = basePoints(e.q.R1)
+	}
+	return e.pts1
+}
+
+func (e *engine) points2() [][]float64 {
+	if e.pts2 == nil {
+		e.pts2 = basePoints(e.q.R2)
+	}
+	return e.pts2
+}
+
+// rightProbeOrder returns the right list in the order the index should
+// hold it: ascending attribute sum for equality buckets and Cross (so
+// strong dominators are probed first), unchanged for band conditions —
+// the index re-sorts those by Band and would discard a sum ordering.
+func (e *engine) rightProbeOrder(right []int) []int {
+	switch e.cond {
+	case join.Equality, join.Cross:
+		return sortBySum(e.points2(), right)
+	default:
+		return right
+	}
+}
+
+// rightAllIndex returns the query-wide index over all of R2 in probe
+// priority, building it on first use.
+func (e *engine) rightAllIndex() *join.Index {
+	if e.allRightIx == nil {
+		e.allRightIx = join.NewIndex(e.q.R2, e.rightProbeOrder(allIndices(e.q.R2.Len())), e.cond)
+	}
+	return e.allRightIx
+}
+
+// rightIndex returns a join index over the given R2 subset, reusing the
+// cached full-relation index when the subset is all of R2. (Index lists
+// never repeat tuples, so matching length implies the full set.)
+func (e *engine) rightIndex(right []int) *join.Index {
+	if len(right) == e.q.R2.Len() {
+		return e.rightAllIndex()
+	}
+	return join.NewIndex(e.q.R2, right, e.cond)
+}
+
 // pairs materializes the join-compatible pairs between the given index
-// lists of R1 and R2.
+// lists of R1 and R2. All attribute vectors of one call share a single
+// arena allocation (see join.Materialize).
 func (e *engine) pairs(left, right []int) []join.Pair {
-	var out []join.Pair
-	e.forEachPair(left, right, func(i, j int) bool {
-		attrs := join.Combine(e.q.R1, e.q.R2, &e.q.R1.Tuples[i], &e.q.R2.Tuples[j], e.agg,
-			make([]float64, 0, join.Width(e.q.R1, e.q.R2)))
-		out = append(out, join.Pair{Left: i, Right: j, Attrs: attrs})
-		return false
-	})
-	return out
+	return join.Materialize(e.q.R1, e.q.R2, left, e.rightIndex(right), e.agg)
 }
 
 // countPairs returns the number of join-compatible pairs between the index
@@ -57,92 +104,59 @@ func (e *engine) countPairs(left, right []int) int {
 	if e.cond == join.Cross {
 		return len(left) * len(right)
 	}
-	if e.cond == join.Equality {
-		byKey := make(map[string]int)
-		for _, j := range right {
-			byKey[e.q.R2.Tuples[j].Key]++
-		}
-		n := 0
-		for _, i := range left {
-			n += byKey[e.q.R1.Tuples[i].Key]
-		}
-		return n
-	}
-	n := 0
-	for _, i := range left {
-		for _, j := range right {
-			if e.cond.Matches(&e.q.R1.Tuples[i], &e.q.R2.Tuples[j]) {
-				n++
-			}
-		}
-	}
-	return n
+	return e.rightIndex(right).CountPairs(e.q.R1, left)
 }
 
 // forEachPair calls fn for every join-compatible (i, j) with i from left
 // and j from right, stopping early when fn returns true. It reports whether
 // fn stopped the iteration.
 func (e *engine) forEachPair(left, right []int, fn func(i, j int) bool) bool {
-	if e.cond == join.Equality {
-		byKey := make(map[string][]int)
-		for _, j := range right {
-			k := e.q.R2.Tuples[j].Key
-			byKey[k] = append(byKey[k], j)
-		}
-		for _, i := range left {
-			for _, j := range byKey[e.q.R1.Tuples[i].Key] {
-				if fn(i, j) {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	for _, i := range left {
-		for _, j := range right {
-			if e.cond != join.Cross && !e.cond.Matches(&e.q.R1.Tuples[i], &e.q.R2.Tuples[j]) {
-				continue
-			}
-			if fn(i, j) {
-				return true
-			}
-		}
-	}
-	return false
+	return e.rightIndex(right).ForEachPair(e.q.R1, left, fn)
 }
 
 // checker answers "is this joined attribute vector k-dominated by any
-// join-compatible pair drawn from my left × right index lists?". For
-// equality joins it pre-groups both lists by key so each query touches only
-// co-grouped pairs; index lists are sorted by attribute sum so strong
-// dominators are tried first (SFS-style early exit; any order is correct).
+// join-compatible pair drawn from my left × right index lists?". The left
+// list is sorted by attribute sum so strong dominators are tried first
+// (SFS-style early exit; any order is correct); right partners are
+// enumerated through a join.Index, so each probe touches only
+// join-compatible tuples instead of condition-scanning the right list.
+//
+// A checker is immutable after construction: the index and orderings can
+// be shared read-only across goroutines via bind.
 type checker struct {
-	e           *engine
-	left, right []int
-	byKey       map[string][2][]int // equality only: key -> (left idxs, right idxs)
+	e    *engine
+	left []int       // sum-sorted candidate dominator components from R1
+	ix   *join.Index // their join partners within the right list
+}
+
+// leftProbeOrder returns the left list sorted by ascending attribute sum,
+// reusing the cached ordering when the list is all of R1.
+func (e *engine) leftProbeOrder(left []int) []int {
+	if len(left) == e.q.R1.Len() {
+		if e.allLeftSorted == nil {
+			e.allLeftSorted = sortBySum(e.points1(), allIndices(e.q.R1.Len()))
+		}
+		return e.allLeftSorted
+	}
+	return sortBySum(e.points1(), left)
 }
 
 func (e *engine) newChecker(left, right []int) *checker {
-	c := &checker{e: e, left: sortBySum(basePoints(e.q.R1), left), right: sortBySum(basePoints(e.q.R2), right)}
-	if e.cond == join.Equality {
-		c.byKey = make(map[string][2][]int)
-		for _, i := range c.left {
-			k := e.q.R1.Tuples[i].Key
-			ent := c.byKey[k]
-			ent[0] = append(ent[0], i)
-			c.byKey[k] = ent
-		}
-		for _, j := range c.right {
-			k := e.q.R2.Tuples[j].Key
-			ent, ok := c.byKey[k]
-			if !ok {
-				continue // no left partner: pair can never form
-			}
-			ent[1] = append(ent[1], j)
-			c.byKey[k] = ent
-		}
+	c := &checker{e: e, left: e.leftProbeOrder(left)}
+	if len(right) == e.q.R2.Len() {
+		c.ix = e.rightAllIndex()
+	} else {
+		c.ix = join.NewIndex(e.q.R2, e.rightProbeOrder(right), e.cond)
 	}
 	return c
+}
+
+// bind returns a view of the checker that charges domination-test counts
+// to we's stats. The index and probe ordering are shared read-only, so
+// parallel workers bind one prebuilt checker instead of rebuilding the
+// index per worker.
+func (c *checker) bind(we *engine) *checker {
+	return &checker{e: we, left: c.left, ix: c.ix}
 }
 
 // dominates reports whether some join-compatible pair from the checker's
@@ -155,34 +169,13 @@ func (e *engine) newChecker(left, right []int) *checker {
 // directly over the base vectors without materializing the joined tuple.
 func (c *checker) dominates(cand []float64) bool {
 	e := c.e
-	l1 := e.l1
-	candL := cand[:l1]
-	if c.byKey != nil {
-		for _, ent := range c.byKey {
-			if len(ent[1]) == 0 {
-				continue
-			}
-			for _, i := range ent[0] {
-				if !e.noTargetPrune && !localLeqAtLeast(e.q.R1.Tuples[i].Attrs, candL, l1, e.k1pp) {
-					continue
-				}
-				for _, j := range ent[1] {
-					if e.pairKDominates(i, j, cand) {
-						return true
-					}
-				}
-			}
-		}
-		return false
-	}
+	candL := cand[:e.l1]
 	for _, i := range c.left {
-		if !e.noTargetPrune && !localLeqAtLeast(e.q.R1.Tuples[i].Attrs, candL, l1, e.k1pp) {
+		u := &e.q.R1.Tuples[i]
+		if !e.noTargetPrune && !localLeqAtLeast(u.Attrs, candL, e.l1, e.k1pp) {
 			continue
 		}
-		for _, j := range c.right {
-			if e.cond != join.Cross && !e.cond.Matches(&e.q.R1.Tuples[i], &e.q.R2.Tuples[j]) {
-				continue
-			}
+		for _, j := range c.ix.Partners(u) {
 			if e.pairKDominates(i, j, cand) {
 				return true
 			}
@@ -279,17 +272,25 @@ func allIndices(n int) []int {
 }
 
 // sortBySum returns a copy of idx ordered by ascending attribute sum of the
-// referenced points, so likely dominators are probed first.
+// referenced points, so likely dominators are probed first. Sums are
+// precomputed into a flat entry slice — no map lookups in the comparator.
 func sortBySum(pts [][]float64, idx []int) []int {
-	out := append([]int(nil), idx...)
-	sums := make(map[int]float64, len(out))
-	for _, i := range out {
+	entries := make([]struct {
+		idx int
+		sum float64
+	}, len(idx))
+	for n, i := range idx {
 		s := 0.0
 		for _, v := range pts[i] {
 			s += v
 		}
-		sums[i] = s
+		entries[n].idx = i
+		entries[n].sum = s
 	}
-	sort.SliceStable(out, func(a, b int) bool { return sums[out[a]] < sums[out[b]] })
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].sum < entries[b].sum })
+	out := make([]int, len(entries))
+	for n := range entries {
+		out[n] = entries[n].idx
+	}
 	return out
 }

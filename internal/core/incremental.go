@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/dataset"
@@ -73,6 +74,12 @@ func (m *Maintainer) insert(t dataset.Tuple, left bool) (displaced, admitted int
 		return 0, 0, fmt.Errorf("%w: tuple has %d attributes, relation %s requires %d",
 			dataset.ErrBadSchema, len(t.Attrs), r.Name, r.D())
 	}
+	// Same invariant dataset.New enforces: a NaN band has no position in
+	// the band-sorted join index, and this is the one path that mutates a
+	// relation after construction.
+	if math.IsNaN(t.Band) {
+		return 0, 0, fmt.Errorf("%w: tuple has NaN band", dataset.ErrBadSchema)
+	}
 	t.ID = r.Len()
 	r.Tuples = append(r.Tuples, t)
 	m.inserted++
@@ -106,7 +113,9 @@ func (m *Maintainer) insert(t dataset.Tuple, left bool) (displaced, admitted int
 	chk := e.newChecker(allIndices(m.q.R1.Len()), allIndices(m.q.R2.Len()))
 	for _, np := range newPairs {
 		if !chk.dominates(np.Attrs) {
-			m.sky[[2]int{np.Left, np.Right}] = np
+			// Detach from the per-insert materialization arena: the skyline
+			// map is long-lived and must not pin the whole insert's pairs.
+			m.sky[[2]int{np.Left, np.Right}] = detach(np)
 			admitted++
 		}
 	}

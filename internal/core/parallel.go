@@ -17,8 +17,8 @@ import (
 //     independent),
 //   - the two target-set augmentations run concurrently,
 //   - candidate verification — the dominant cost — is embarrassingly
-//     parallel: candidates are sharded across workers, each with its own
-//     checker over the same (read-only) target lists.
+//     parallel: candidates are sharded across workers, all probing one
+//     prebuilt read-only checker index over the same target lists.
 //
 // workers <= 0 selects GOMAXPROCS. The result is identical to
 // Run(q, Grouping); only the phase timings change.
@@ -71,29 +71,32 @@ func RunParallel(q Query, workers int) (*Result, error) {
 
 	skyline := make([]join.Pair, 0, len(yes))
 	if e.a >= 2 {
-		skyline = append(skyline, filterParallel(q, &st, workers, yes, a1, a2)...)
+		skyline = append(skyline, filterParallel(e, workers, yes, a1, a2)...)
 	} else {
 		skyline = append(skyline, yes...)
 		st.YesEmitted = len(yes)
 	}
-	skyline = append(skyline, filterParallel(q, &st, workers, likely1, a1, all2)...)
-	skyline = append(skyline, filterParallel(q, &st, workers, likely2, all1, a2)...)
-	skyline = append(skyline, filterParallel(q, &st, workers, maybe, all1, all2)...)
+	skyline = append(skyline, filterParallel(e, workers, likely1, a1, all2)...)
+	skyline = append(skyline, filterParallel(e, workers, likely2, all1, a2)...)
+	skyline = append(skyline, filterParallel(e, workers, maybe, all1, all2)...)
 	st.RemainingTime = time.Since(t0)
 
 	sortPairs(skyline)
+	compactAttrs(skyline)
 	st.Total = time.Since(start)
 	return &Result{Skyline: skyline, Stats: st}, nil
 }
 
 // filterParallel returns the candidates not dominated by any
 // join-compatible pair from left × right, verifying shards concurrently.
-// Each worker owns a private engine (for stats counters) and checker; the
-// underlying relations and index lists are read-only.
-func filterParallel(q Query, st *Stats, workers int, candidates []join.Pair, left, right []int) []join.Pair {
+// The checker — probe ordering plus join index — is built exactly once on
+// the caller's engine and shared read-only by every worker; each worker
+// binds it to a private engine only to keep its own stats counters.
+func filterParallel(e *engine, workers int, candidates []join.Pair, left, right []int) []join.Pair {
 	if len(candidates) == 0 {
 		return nil
 	}
+	chk := e.newChecker(left, right)
 	if workers > len(candidates) {
 		workers = len(candidates)
 	}
@@ -108,11 +111,10 @@ func filterParallel(q Query, st *Stats, workers int, candidates []join.Pair, lef
 		go func(w int) {
 			defer wg.Done()
 			localStats := Stats{}
-			we := newEngine(q, &localStats)
-			chk := we.newChecker(left, right)
+			wchk := chk.bind(newEngine(e.q, &localStats))
 			var keep []join.Pair
 			for i := w; i < len(candidates); i += workers {
-				if !chk.dominates(candidates[i].Attrs) {
+				if !wchk.dominates(candidates[i].Attrs) {
 					keep = append(keep, candidates[i])
 				}
 			}
@@ -123,7 +125,7 @@ func filterParallel(q Query, st *Stats, workers int, candidates []join.Pair, lef
 	var out []join.Pair
 	for _, r := range results {
 		out = append(out, r.keep...)
-		st.DominationTests += r.tests
+		e.stats.DominationTests += r.tests
 	}
 	return out
 }

@@ -20,10 +20,14 @@ type Emit func(p join.Pair) bool
 //
 // Tuples are emitted cell by cell (yes, SS⋈SN, SN⋈SS, SN⋈SN), not in
 // (Left, Right) order; collect and sort if a canonical order is needed.
+// Each emitted pair's attribute vector is detached from the cell arena, so
+// callers may retain emitted pairs without pinning whole-cell storage.
 func RunProgressive(q Query, emit Emit) (*Stats, error) {
 	if err := q.Validate(Grouping); err != nil {
 		return nil, err
 	}
+	userEmit := emit
+	emit = func(p join.Pair) bool { return userEmit(detach(p)) }
 	start := time.Now()
 	st := Stats{}
 	e := newEngine(q, &st)

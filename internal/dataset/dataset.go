@@ -7,6 +7,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -69,6 +70,9 @@ func New(name string, local, agg int, tuples []Tuple) (*Relation, error) {
 			return nil, fmt.Errorf("%w: tuple %d has %d attributes, schema requires %d",
 				ErrBadSchema, i, len(r.Tuples[i].Attrs), local+agg)
 		}
+		if math.IsNaN(r.Tuples[i].Band) {
+			return nil, fmt.Errorf("%w: tuple %d has NaN band", ErrBadSchema, i)
+		}
 		r.Tuples[i].ID = i
 	}
 	return r, nil
@@ -107,6 +111,12 @@ func (r *Relation) Validate() error {
 		if t.ID != i {
 			return fmt.Errorf("%w: %s: tuple at index %d has ID %d", ErrBadSchema, r.Name, i, t.ID)
 		}
+		// NaN bands have no position in a sorted order, so the band join
+		// index cannot represent them; `Matches` comparisons would also
+		// silently exclude the tuple from every join.
+		if math.IsNaN(t.Band) {
+			return fmt.Errorf("%w: %s: tuple %d has NaN band", ErrBadSchema, r.Name, i)
+		}
 	}
 	return nil
 }
@@ -126,7 +136,9 @@ func (r *Relation) Keys() []string {
 }
 
 // GroupIndex maps each join-key value to the indices of the tuples holding
-// it, preserving tuple order within each group.
+// it, preserving tuple order within each group. It is a one-shot
+// convenience for tests and tooling; hot paths should build a reusable
+// join.Index instead.
 func (r *Relation) GroupIndex() map[string][]int {
 	idx := make(map[string][]int)
 	for i := range r.Tuples {

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bytes"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,23 @@ func TestNewRejectsBadSchema(t *testing.T) {
 	_, err := New("r", 2, 0, []Tuple{{Attrs: []float64{1}}})
 	if !errors.Is(err, ErrBadSchema) {
 		t.Errorf("width mismatch: err = %v, want ErrBadSchema", err)
+	}
+}
+
+func TestNaNBandRejected(t *testing.T) {
+	// A NaN band has no position in the band-sorted join index and is
+	// silently unjoinable under Condition.Matches; both constructors and
+	// Validate must reject it.
+	if _, err := New("r", 1, 0, []Tuple{{Band: math.NaN(), Attrs: []float64{1}}}); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("New with NaN band: err = %v, want ErrBadSchema", err)
+	}
+	r := sample()
+	r.Tuples[1].Band = math.NaN()
+	if err := r.Validate(); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("Validate with NaN band: err = %v, want ErrBadSchema", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("key,band,a0\nA,NaN,1\n"), ReadOptions{Name: "r", Local: 1, HasBand: true}); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("ReadCSV with NaN band: err = %v, want ErrBadSchema", err)
 	}
 }
 

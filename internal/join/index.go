@@ -1,0 +1,163 @@
+package join
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Index is an immutable join index over (a subset of) one side of a join —
+// by convention the right side, R2. It replaces per-probe condition scans
+// with O(log n + matches) partner enumeration:
+//
+//   - Equality: hash buckets keyed on Tuple.Key; Partners is one map
+//     lookup returning the co-keyed bucket.
+//   - Band conditions: a permutation of the indexed subset sorted by
+//     ascending Tuple.Band; Partners binary-searches the boundary and
+//     returns the matching contiguous range of the permutation.
+//   - Cross: Partners returns the whole subset.
+//
+// An Index is built once and never mutated, so it is safe to share across
+// concurrent readers (the parallel checker relies on this). Partner slices
+// are views into the index: callers must not modify them.
+type Index struct {
+	cond Condition
+	// all is the indexed subset in build order (Cross fast path, and the
+	// universe every other representation permutes).
+	all []int
+	// byKey buckets the subset per join key (Equality only). Bucket order
+	// follows build order, so a probe-priority ordering of the subset is
+	// preserved within each bucket.
+	byKey map[string][]int
+	// perm is the subset sorted by ascending Band (band conditions only);
+	// bands[i] is the Band of tuple perm[i], kept separate so the binary
+	// search touches a flat float64 array instead of chasing tuple pointers.
+	perm  []int
+	bands []float64
+}
+
+// NewIndex builds the index for the given condition over subset, a list of
+// tuple indices into r — taken literally, so a nil or empty subset yields
+// an empty index (cell lists are often legitimately empty). Use
+// NewFullIndex to index the whole relation. The subset is copied; the
+// relation is only read.
+func NewIndex(r *dataset.Relation, subset []int, cond Condition) *Index {
+	subset = append([]int(nil), subset...)
+	ix := &Index{cond: cond, all: subset}
+	switch cond {
+	case Equality:
+		ix.byKey = make(map[string][]int)
+		for _, j := range subset {
+			k := r.Tuples[j].Key
+			ix.byKey[k] = append(ix.byKey[k], j)
+		}
+	case Cross:
+		// all is the whole answer.
+	default:
+		ix.perm = append([]int(nil), subset...)
+		sort.SliceStable(ix.perm, func(a, b int) bool {
+			return r.Tuples[ix.perm[a]].Band < r.Tuples[ix.perm[b]].Band
+		})
+		ix.bands = make([]float64, len(ix.perm))
+		for i, j := range ix.perm {
+			ix.bands[i] = r.Tuples[j].Band
+		}
+	}
+	return ix
+}
+
+// NewFullIndex indexes every tuple of r in natural order.
+func NewFullIndex(r *dataset.Relation, cond Condition) *Index {
+	subset := make([]int, r.Len())
+	for i := range subset {
+		subset[i] = i
+	}
+	return NewIndex(r, subset, cond)
+}
+
+// Len returns the number of indexed tuples.
+func (ix *Index) Len() int { return len(ix.all) }
+
+// Partners returns the indexed tuples that join with left tuple u under
+// the index condition, as a read-only view. Equality costs one hash
+// lookup; band conditions cost one binary search; Cross is free.
+func (ix *Index) Partners(u *dataset.Tuple) []int {
+	switch ix.cond {
+	case Equality:
+		return ix.byKey[u.Key]
+	case Cross:
+		return ix.all
+	case BandLess: // v.Band > u.Band: suffix of the band-sorted permutation
+		lo := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] > u.Band })
+		return ix.perm[lo:]
+	case BandLessEq: // v.Band >= u.Band
+		lo := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] >= u.Band })
+		return ix.perm[lo:]
+	case BandGreater: // v.Band < u.Band: prefix of the permutation
+		hi := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] >= u.Band })
+		return ix.perm[:hi]
+	case BandGreaterEq: // v.Band <= u.Band
+		hi := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] > u.Band })
+		return ix.perm[:hi]
+	default:
+		return nil
+	}
+}
+
+// PartnersKey returns the equality bucket for a raw key value, for probes
+// that carry a join key without a tuple (e.g. the accumulated out-key of a
+// cascaded chain join). Only valid on Equality indexes.
+func (ix *Index) PartnersKey(key string) []int {
+	return ix.byKey[key]
+}
+
+// ForEachPair calls fn for every join-compatible (i, j) with i drawn from
+// left and j a partner of r1.Tuples[i], stopping early when fn returns
+// true; it reports whether fn stopped the iteration. Total cost is
+// O(|left| log n + matches) for band conditions and O(|left| + matches)
+// for equality, versus the O(|left|·n) of a condition scan.
+func (ix *Index) ForEachPair(r1 *dataset.Relation, left []int, fn func(i, j int) bool) bool {
+	for _, i := range left {
+		for _, j := range ix.Partners(&r1.Tuples[i]) {
+			if fn(i, j) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CountPairs returns the number of join-compatible pairs between left and
+// the indexed subset without enumerating them: partner ranges are counted
+// by their width, so the cost is O(|left| log n) even when the match count
+// is quadratic.
+func (ix *Index) CountPairs(r1 *dataset.Relation, left []int) int {
+	n := 0
+	for _, i := range left {
+		n += len(ix.Partners(&r1.Tuples[i]))
+	}
+	return n
+}
+
+// Materialize builds the joined pairs for left × index. All attribute
+// vectors share one arena: a single []float64 allocation sized
+// pairs × width, carved into per-pair views. A cell therefore costs O(1)
+// allocations regardless of how many pairs it holds (the arena stays
+// reachable while any of its pairs is).
+func Materialize(r1, r2 *dataset.Relation, left []int, ix *Index, agg Aggregator) []Pair {
+	n := ix.CountPairs(r1, left)
+	if n == 0 {
+		return nil
+	}
+	w := Width(r1, r2)
+	arena := make([]float64, n*w)
+	out := make([]Pair, 0, n)
+	pos := 0
+	ix.ForEachPair(r1, left, func(i, j int) bool {
+		attrs := Combine(r1, r2, &r1.Tuples[i], &r2.Tuples[j], agg, arena[pos:pos:pos+w])
+		out = append(out, Pair{Left: i, Right: j, Attrs: attrs[:w:w]})
+		pos += w
+		return false
+	})
+	return out
+}

@@ -1,0 +1,231 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+var allConditions = []Condition{Equality, Cross, BandLess, BandLessEq, BandGreater, BandGreaterEq}
+
+func randIndexedRelation(rng *rand.Rand, name string, n int) *dataset.Relation {
+	tuples := make([]dataset.Tuple, n)
+	for i := range tuples {
+		tuples[i] = dataset.Tuple{
+			Key:  string(rune('A' + rng.Intn(4))),
+			Band: float64(rng.Intn(10)),
+			Attrs: []float64{
+				float64(rng.Intn(5)),
+				float64(rng.Intn(5)),
+				float64(rng.Intn(100)), // aggregate
+			},
+		}
+	}
+	return dataset.MustNew(name, 2, 1, tuples)
+}
+
+func pairSet(pairs []Pair) map[[2]int][]float64 {
+	m := make(map[[2]int][]float64, len(pairs))
+	for _, p := range pairs {
+		m[[2]int{p.Left, p.Right}] = p.Attrs
+	}
+	return m
+}
+
+// TestPropertyIndexedPairsMatchScanOracle: for all six conditions and
+// random relations, the indexed Pairs/CountPairs agree exactly — pair sets
+// and combined attribute vectors — with the retained nested-scan oracle.
+func TestPropertyIndexedPairsMatchScanOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		r1 := randIndexedRelation(rng, "r1", 1+rng.Intn(25))
+		r2 := randIndexedRelation(rng, "r2", 1+rng.Intn(25))
+		for _, cond := range allConditions {
+			spec := Spec{Cond: cond, Agg: Sum}
+			got, err := Pairs(r1, r2, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ScanPairs(r1, r2, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d cond %v: indexed %d pairs, oracle %d", trial, cond, len(got), len(want))
+			}
+			gotSet, wantSet := pairSet(got), pairSet(want)
+			for key, attrs := range wantSet {
+				ga, ok := gotSet[key]
+				if !ok {
+					t.Fatalf("trial %d cond %v: indexed join missing pair %v", trial, cond, key)
+				}
+				if !reflect.DeepEqual(ga, attrs) {
+					t.Fatalf("trial %d cond %v: pair %v attrs = %v, oracle %v", trial, cond, key, ga, attrs)
+				}
+			}
+			n, err := CountPairs(r1, r2, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sn, err := ScanCountPairs(r1, r2, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(want) || sn != len(want) {
+				t.Fatalf("trial %d cond %v: CountPairs=%d ScanCountPairs=%d, want %d", trial, cond, n, sn, len(want))
+			}
+		}
+	}
+}
+
+// TestPropertyIndexSubsetPartners: an index over a random subset
+// enumerates, for every probe tuple, exactly the subset members satisfying
+// the condition, in O(log n) located ranges.
+func TestPropertyIndexSubsetPartners(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		r1 := randIndexedRelation(rng, "r1", 1+rng.Intn(20))
+		r2 := randIndexedRelation(rng, "r2", 1+rng.Intn(20))
+		var subset []int
+		for j := 0; j < r2.Len(); j++ {
+			if rng.Intn(2) == 0 {
+				subset = append(subset, j)
+			}
+		}
+		for _, cond := range allConditions {
+			ix := NewIndex(r2, subset, cond)
+			if ix.Len() != len(subset) {
+				t.Fatalf("trial %d cond %v: Len=%d, want %d", trial, cond, ix.Len(), len(subset))
+			}
+			for i := range r1.Tuples {
+				u := &r1.Tuples[i]
+				var want []int
+				for _, j := range subset {
+					if cond.Matches(u, &r2.Tuples[j]) {
+						want = append(want, j)
+					}
+				}
+				got := append([]int(nil), ix.Partners(u)...)
+				sort.Ints(got)
+				sort.Ints(want)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d cond %v probe %d: partners %v, want %v", trial, cond, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyForEachPairMatchesOracle: ForEachPair over random left lists
+// and right subsets visits exactly the oracle pair set, and early exit
+// stops enumeration.
+func TestPropertyForEachPairMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		r1 := randIndexedRelation(rng, "r1", 1+rng.Intn(20))
+		r2 := randIndexedRelation(rng, "r2", 1+rng.Intn(20))
+		var left, right []int
+		for i := 0; i < r1.Len(); i++ {
+			if rng.Intn(2) == 0 {
+				left = append(left, i)
+			}
+		}
+		for j := 0; j < r2.Len(); j++ {
+			if rng.Intn(2) == 0 {
+				right = append(right, j)
+			}
+		}
+		for _, cond := range allConditions {
+			ix := NewIndex(r2, right, cond)
+			got := map[[2]int]bool{}
+			ix.ForEachPair(r1, left, func(i, j int) bool {
+				if got[[2]int{i, j}] {
+					t.Fatalf("trial %d cond %v: pair (%d,%d) visited twice", trial, cond, i, j)
+				}
+				got[[2]int{i, j}] = true
+				return false
+			})
+			want := map[[2]int]bool{}
+			for _, i := range left {
+				for _, j := range right {
+					if cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
+						want[[2]int{i, j}] = true
+					}
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d cond %v: ForEachPair visited %v, want %v", trial, cond, got, want)
+			}
+			if ix.CountPairs(r1, left) != len(want) {
+				t.Fatalf("trial %d cond %v: CountPairs=%d, want %d", trial, cond, ix.CountPairs(r1, left), len(want))
+			}
+			if len(want) > 0 {
+				visited := 0
+				stopped := ix.ForEachPair(r1, left, func(i, j int) bool {
+					visited++
+					return true
+				})
+				if !stopped || visited != 1 {
+					t.Fatalf("trial %d cond %v: early exit visited %d pairs (stopped=%v)", trial, cond, visited, stopped)
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializeArena: one Materialize call backs every attribute vector
+// with a single arena and the vectors match per-pair Combine output.
+func TestMaterializeArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r1 := randIndexedRelation(rng, "r1", 12)
+	r2 := randIndexedRelation(rng, "r2", 15)
+	for _, cond := range allConditions {
+		left := make([]int, r1.Len())
+		for i := range left {
+			left[i] = i
+		}
+		pairs := Materialize(r1, r2, left, NewFullIndex(r2, cond), Sum)
+		w := Width(r1, r2)
+		for n, p := range pairs {
+			if len(p.Attrs) != w || cap(p.Attrs) != w {
+				t.Fatalf("cond %v pair %d: len/cap = %d/%d, want %d/%d", cond, n, len(p.Attrs), cap(p.Attrs), w, w)
+			}
+			want := Combine(r1, r2, &r1.Tuples[p.Left], &r2.Tuples[p.Right], Sum, nil)
+			if !reflect.DeepEqual(p.Attrs, want) {
+				t.Fatalf("cond %v pair %d: attrs %v, want %v", cond, n, p.Attrs, want)
+			}
+		}
+		// Vectors must not alias each other.
+		seen := map[string]bool{}
+		for n := range pairs {
+			p := fmt.Sprintf("%p", pairs[n].Attrs)
+			if seen[p] {
+				t.Fatalf("cond %v: two pairs alias the same arena cell %s", cond, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestEmptyIndex: nil and empty subsets index nothing — a regression guard
+// for the empty-cell case (an empty SN list must never mean "everything").
+func TestEmptyIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r1 := randIndexedRelation(rng, "r1", 5)
+	r2 := randIndexedRelation(rng, "r2", 5)
+	for _, cond := range allConditions {
+		for _, subset := range [][]int{nil, {}} {
+			ix := NewIndex(r2, subset, cond)
+			if ix.Len() != 0 {
+				t.Fatalf("cond %v: empty subset has Len %d", cond, ix.Len())
+			}
+			if n := ix.CountPairs(r1, []int{0, 1, 2}); n != 0 {
+				t.Fatalf("cond %v: empty index counted %d pairs", cond, n)
+			}
+		}
+	}
+}

@@ -154,40 +154,25 @@ type Pair struct {
 	Attrs       []float64
 }
 
-// Pairs materializes the full join r1 ⋈ r2 under the spec. The equality
-// case uses hash grouping; band conditions use a nested scan. Used by the
-// naive KSJQ algorithm and by tests; the optimized algorithms avoid full
-// materialization.
+// Pairs materializes the full join r1 ⋈ r2 under the spec via an Index
+// over r2 (hash buckets for equality, a band-sorted permutation for band
+// conditions), so enumeration costs O((n1+n2) log n + matches) instead of
+// O(n1·n2). Used by the naive KSJQ algorithm and by tests; the optimized
+// algorithms avoid full materialization.
 func Pairs(r1, r2 *dataset.Relation, spec Spec) ([]Pair, error) {
 	if err := CheckSchemas(r1, r2); err != nil {
 		return nil, err
 	}
-	agg := spec.aggregator()
-	var out []Pair
-	emit := func(i, j int) {
-		attrs := Combine(r1, r2, &r1.Tuples[i], &r2.Tuples[j], agg, make([]float64, 0, Width(r1, r2)))
-		out = append(out, Pair{Left: i, Right: j, Attrs: attrs})
+	left := make([]int, r1.Len())
+	for i := range left {
+		left[i] = i
 	}
-	if spec.Cond == Equality {
-		g2 := r2.GroupIndex()
-		for i := range r1.Tuples {
-			for _, j := range g2[r1.Tuples[i].Key] {
-				emit(i, j)
-			}
-		}
-		return out, nil
-	}
-	for i := range r1.Tuples {
-		for j := range r2.Tuples {
-			if spec.Cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
-				emit(i, j)
-			}
-		}
-	}
-	return out, nil
+	return Materialize(r1, r2, left, NewFullIndex(r2, spec.Cond), spec.aggregator()), nil
 }
 
 // CountPairs returns |r1 ⋈ r2| without materializing attribute vectors.
+// Band conditions count partner ranges by binary search, so the cost is
+// O((n1+n2) log n2) even when the answer is quadratic.
 func CountPairs(r1, r2 *dataset.Relation, spec Spec) (int, error) {
 	if err := CheckSchemas(r1, r2); err != nil {
 		return 0, err
@@ -195,16 +180,40 @@ func CountPairs(r1, r2 *dataset.Relation, spec Spec) (int, error) {
 	if spec.Cond == Cross {
 		return r1.Len() * r2.Len(), nil
 	}
-	if spec.Cond == Equality {
-		g2 := make(map[string]int)
-		for i := range r2.Tuples {
-			g2[r2.Tuples[i].Key]++
+	ix := NewFullIndex(r2, spec.Cond)
+	n := 0
+	for i := range r1.Tuples {
+		n += len(ix.Partners(&r1.Tuples[i]))
+	}
+	return n, nil
+}
+
+// ScanPairs is the retained O(n1·n2) nested-scan reference implementation
+// of Pairs. It is the oracle the index property tests and the
+// BenchmarkBandJoinNaive baseline compare against; production paths use
+// the indexed Pairs.
+func ScanPairs(r1, r2 *dataset.Relation, spec Spec) ([]Pair, error) {
+	if err := CheckSchemas(r1, r2); err != nil {
+		return nil, err
+	}
+	agg := spec.aggregator()
+	var out []Pair
+	for i := range r1.Tuples {
+		for j := range r2.Tuples {
+			if spec.Cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
+				attrs := Combine(r1, r2, &r1.Tuples[i], &r2.Tuples[j], agg, make([]float64, 0, Width(r1, r2)))
+				out = append(out, Pair{Left: i, Right: j, Attrs: attrs})
+			}
 		}
-		n := 0
-		for i := range r1.Tuples {
-			n += g2[r1.Tuples[i].Key]
-		}
-		return n, nil
+	}
+	return out, nil
+}
+
+// ScanCountPairs is the nested-scan reference implementation of
+// CountPairs, retained alongside ScanPairs as the benchmark baseline.
+func ScanCountPairs(r1, r2 *dataset.Relation, spec Spec) (int, error) {
+	if err := CheckSchemas(r1, r2); err != nil {
+		return 0, err
 	}
 	n := 0
 	for i := range r1.Tuples {

@@ -87,16 +87,20 @@ func TwoScanSubset(points [][]float64, subset []int, k int) []int {
 		}
 	}
 
-	// Scan 2: verify candidates against non-candidates.
-	inWindow := make(map[int]bool, len(window))
-	for _, w := range window {
-		inWindow[w] = true
+	// Scan 2: verify candidates against non-candidates. Window membership
+	// is a binary search over a sorted copy — cost bounded by the window,
+	// never by the full point array (this runs once per join group).
+	sorted := append([]int(nil), window...)
+	sort.Ints(sorted)
+	inWindow := func(j int) bool {
+		p := sort.SearchInts(sorted, j)
+		return p < len(sorted) && sorted[p] == j
 	}
 	var result []int
 	for _, c := range window {
 		dominated := false
 		for _, j := range subset {
-			if !inWindow[j] && dom.KDominates(points[j], points[c], k) {
+			if !inWindow(j) && dom.KDominates(points[j], points[c], k) {
 				dominated = true
 				break
 			}
