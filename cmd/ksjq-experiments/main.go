@@ -7,9 +7,11 @@
 //	ksjq-experiments                      # every figure at small scale
 //	ksjq-experiments -fig 1a,3b           # selected figures
 //	ksjq-experiments -scale full -fig 11  # paper-scale flight experiment
+//	ksjq-experiments -timeout 5m          # abort a long sweep at a deadline
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,15 +27,22 @@ func main() {
 		figList   = flag.String("fig", "", "comma-separated figure names (e.g. 1a,3b,11); empty = all")
 		seed      = flag.Int64("seed", 2017, "random seed for the synthetic workloads")
 		chart     = flag.Bool("chart", false, "render stacked bars (like the paper's plots) after the rows")
+		timeout   = flag.Duration("timeout", 0, "stop starting new figures after this duration (0 = no deadline)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *scaleName, *figList, *seed, *chart); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, os.Stdout, *scaleName, *figList, *seed, *chart); err != nil {
 		fmt.Fprintln(os.Stderr, "ksjq-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, scaleName, figList string, seed int64, chart bool) error {
+func run(ctx context.Context, out io.Writer, scaleName, figList string, seed int64, chart bool) error {
 	scale, err := experiments.ParseScale(scaleName)
 	if err != nil {
 		return err
@@ -53,6 +62,11 @@ func run(out io.Writer, scaleName, figList string, seed int64, chart bool) error
 	for _, fig := range suite.Figures() {
 		if len(wanted) > 0 && !wanted[fig.Name] {
 			continue
+		}
+		// Figures are the unit of cancellation: each one is a bounded
+		// batch of queries, so the deadline is honored between them.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stopped after %d figures: %w", ran, err)
 		}
 		rows = append(rows, fig.Run()...)
 		ran++

@@ -2,13 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
 
 func TestRunSelectedFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "smoke", "11", 1, false); err != nil {
+	if err := run(context.Background(), &buf, "smoke", "11", 1, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -22,7 +24,7 @@ func TestRunSelectedFigure(t *testing.T) {
 
 func TestRunWithChart(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "smoke", "11", 1, true); err != nil {
+	if err := run(context.Background(), &buf, "smoke", "11", 1, true); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 11") {
@@ -32,10 +34,23 @@ func TestRunWithChart(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "galactic", "", 1, false); err == nil {
+	if err := run(context.Background(), &buf, "galactic", "", 1, false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run(&buf, "smoke", "99z", 1, false); err == nil {
+	if err := run(context.Background(), &buf, "smoke", "99z", 1, false); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := run(ctx, &buf, "smoke", "11", 1, false)
+	if err == nil {
+		t.Fatal("cancelled context still ran figures")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -12,20 +12,20 @@
 // With -delta the tool solves Problem 3 instead: it reports the smallest k
 // whose skyline has at least delta tuples (or, with -atmost, the largest k
 // with at most delta tuples). -alg auto lets the sampling planner choose
-// the algorithm; -workers enables the parallel grouping algorithm.
+// the algorithm; -workers parallelizes the grouping algorithm (it
+// conflicts with any other -alg); -timeout bounds the whole query.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/join"
-	"repro/internal/planner"
+	"repro/ksjq"
 )
 
 // options collects every CLI flag so the run function is testable.
@@ -41,6 +41,7 @@ type options struct {
 	atMost         bool
 	findAlg        string
 	workers        int
+	timeout        time.Duration
 	quiet          bool
 }
 
@@ -59,7 +60,8 @@ func main() {
 	flag.IntVar(&o.delta, "delta", 0, "find k: smallest k with at least delta skylines (Problem 3)")
 	flag.BoolVar(&o.atMost, "atmost", false, "with -delta: largest k with at most delta skylines (Problem 4)")
 	flag.StringVar(&o.findAlg, "findalg", "binary", "find-k algorithm: naive, range or binary")
-	flag.IntVar(&o.workers, "workers", 0, "run the parallel grouping algorithm with this many workers (0 = serial)")
+	flag.IntVar(&o.workers, "workers", 0, "parallelize the grouping algorithm with this many workers (<= 1 = serial; conflicts with -alg other than grouping)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the query after this duration (e.g. 500ms, 30s; 0 = no deadline)")
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary, not the skyline tuples")
 	flag.Parse()
 	if err := run(os.Stdout, o); err != nil {
@@ -71,6 +73,20 @@ func main() {
 func run(out io.Writer, o options) error {
 	if o.r1Path == "" || o.r2Path == "" {
 		return fmt.Errorf("both -r1 and -r2 are required")
+	}
+	alg, err := ksjq.ParseAlgorithm(o.algName)
+	if err != nil {
+		return err
+	}
+	// -workers parallelizes the grouping algorithm; combining a parallel
+	// degree with any other -alg is a contradiction, not a preference, so
+	// it is an error rather than a silent override. workers <= 1 is the
+	// serial path and conflicts with nothing.
+	if o.workers > 1 && alg != ksjq.Grouping {
+		return fmt.Errorf("-workers requires -alg grouping (got -alg %s)", alg)
+	}
+	if o.workers > 1 && o.delta > 0 {
+		return fmt.Errorf("-workers cannot be combined with -delta (find-k probes are serial)")
 	}
 	r1, err := loadRelation(o.r1Path, "r1", o.l1, o.agg, o.band)
 	if err != nil {
@@ -84,32 +100,30 @@ func run(out io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	q := core.Query{R1: r1, R2: r2, Spec: spec, K: o.k}
+	q := ksjq.Query{R1: r1, R2: r2, Spec: spec, K: o.k}
 
-	if o.delta > 0 {
-		return runFindK(out, q, o)
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
 	}
 
-	var res *core.Result
+	if o.delta > 0 {
+		return runFindK(ctx, out, q, o)
+	}
+
+	var res *ksjq.Result
 	var chosen string
-	switch {
-	case o.workers > 0:
-		res, err = core.RunParallel(q, o.workers)
-		chosen = fmt.Sprintf("parallel-grouping(workers=%s)", core.Workers(o.workers))
-	case strings.EqualFold(o.algName, "auto"):
-		var plan *planner.Plan
-		res, plan, err = planner.Run(q, planner.Options{})
+	if alg == ksjq.Auto {
+		var plan *ksjq.Plan
+		res, plan, err = ksjq.RunAuto(ctx, q, ksjq.PlannerOptions{})
 		if err == nil {
 			chosen = fmt.Sprintf("auto→%s (%s)", plan.Algorithm, plan.Reason)
 		}
-	default:
-		var alg core.Algorithm
-		alg, err = parseAlg(o.algName)
-		if err != nil {
-			return err
-		}
-		res, err = core.Run(q, alg)
-		chosen = alg.String()
+	} else {
+		res, err = ksjq.Run(ctx, q, ksjq.Options{Algorithm: alg, Workers: o.workers})
+		chosen = algLabel(alg, o.workers)
 	}
 	if err != nil {
 		return err
@@ -129,16 +143,27 @@ func run(out io.Writer, o options) error {
 	return nil
 }
 
-func runFindK(out io.Writer, q core.Query, o options) error {
-	alg, err := parseFindAlg(o.findAlg)
+// algLabel renders the chosen strategy the way the summary line reports
+// it: the paper's one-letter labels for serial runs, the parallel marker
+// only when verification actually shards (workers > 1 — a single worker
+// runs the serial path).
+func algLabel(alg ksjq.Algorithm, workers int) string {
+	if workers > 1 {
+		return fmt.Sprintf("parallel-grouping(workers=%s)", ksjq.Workers(workers))
+	}
+	return alg.Label()
+}
+
+func runFindK(ctx context.Context, out io.Writer, q ksjq.Query, o options) error {
+	alg, err := ksjq.ParseFindKAlgorithm(o.findAlg)
 	if err != nil {
 		return err
 	}
-	var res *core.FindKResult
+	var res *ksjq.FindKResult
 	if o.atMost {
-		res, err = core.FindKAtMost(q, o.delta, alg)
+		res, err = ksjq.FindKAtMost(ctx, q, o.delta, alg)
 	} else {
-		res, err = core.FindK(q, o.delta, alg)
+		res, err = ksjq.FindK(ctx, q, o.delta, alg)
 	}
 	if err != nil {
 		return err
@@ -148,66 +173,40 @@ func runFindK(out io.Writer, q core.Query, o options) error {
 	return nil
 }
 
-func loadRelation(path, name string, local, agg int, band bool) (*dataset.Relation, error) {
+func loadRelation(path, name string, local, agg int, band bool) (*ksjq.Relation, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return dataset.ReadCSV(f, dataset.ReadOptions{Name: name, Local: local, Agg: agg, HasBand: band})
+	return ksjq.ReadCSV(f, ksjq.ReadOptions{Name: name, Local: local, Agg: agg, HasBand: band})
 }
 
-func parseAlg(s string) (core.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "naive", "n":
-		return core.Naive, nil
-	case "grouping", "g":
-		return core.Grouping, nil
-	case "dominator", "dominator-based", "d":
-		return core.DominatorBased, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want naive, grouping, dominator or auto)", s)
-	}
-}
-
-func parseFindAlg(s string) (core.FindKAlgorithm, error) {
-	switch strings.ToLower(s) {
-	case "naive", "n":
-		return core.FindKNaive, nil
-	case "range", "r":
-		return core.FindKRange, nil
-	case "binary", "b":
-		return core.FindKBinary, nil
-	default:
-		return 0, fmt.Errorf("unknown find-k algorithm %q (want naive, range or binary)", s)
-	}
-}
-
-func parseSpec(cond, aggFn string) (join.Spec, error) {
-	var spec join.Spec
+func parseSpec(cond, aggFn string) (ksjq.Spec, error) {
+	var spec ksjq.Spec
 	switch strings.ToLower(cond) {
 	case "eq", "equality":
-		spec.Cond = join.Equality
+		spec.Cond = ksjq.Equality
 	case "cross", "cartesian":
-		spec.Cond = join.Cross
+		spec.Cond = ksjq.Cross
 	case "lt":
-		spec.Cond = join.BandLess
+		spec.Cond = ksjq.BandLess
 	case "le":
-		spec.Cond = join.BandLessEq
+		spec.Cond = ksjq.BandLessEq
 	case "gt":
-		spec.Cond = join.BandGreater
+		spec.Cond = ksjq.BandGreater
 	case "ge":
-		spec.Cond = join.BandGreaterEq
+		spec.Cond = ksjq.BandGreaterEq
 	default:
 		return spec, fmt.Errorf("unknown join condition %q", cond)
 	}
 	switch strings.ToLower(aggFn) {
 	case "sum":
-		spec.Agg = join.Sum
+		spec.Agg = ksjq.Sum
 	case "max":
-		spec.Agg = join.Max
+		spec.Agg = ksjq.Max
 	case "min":
-		spec.Agg = join.Min
+		spec.Agg = ksjq.Min
 	default:
 		return spec, fmt.Errorf("unknown aggregator %q", aggFn)
 	}

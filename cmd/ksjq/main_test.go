@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
-	"repro/internal/join"
+	"repro/ksjq"
 )
 
 // writeCSV drops a small relation file into dir and returns its path.
@@ -154,12 +157,60 @@ func TestParseSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if spec.Cond != join.BandLess || spec.Agg.Name != "max" {
+	if spec.Cond != ksjq.BandLess || spec.Agg.Name != "max" {
 		t.Errorf("parseSpec = %+v", spec)
 	}
 	for _, cond := range []string{"eq", "cross", "le", "gt", "ge"} {
 		if _, err := parseSpec(cond, "sum"); err != nil {
 			t.Errorf("parseSpec(%q): %v", cond, err)
 		}
+	}
+}
+
+func TestRunConflictingFlags(t *testing.T) {
+	// -workers silently overriding -alg was a bug; it must now be an error.
+	for _, alg := range []string{"naive", "dominator", "auto"} {
+		o := baseOptions(t)
+		o.algName = alg
+		o.workers = 3
+		var buf bytes.Buffer
+		err := run(&buf, o)
+		if err == nil {
+			t.Fatalf("-workers with -alg %s accepted", alg)
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("-alg %s conflict error does not name the flag: %v", alg, err)
+		}
+	}
+	o := baseOptions(t)
+	o.workers = 2
+	o.delta = 1
+	if err := run(&bytes.Buffer{}, o); err == nil {
+		t.Error("-workers with -delta accepted")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	// An already-expired deadline must abort the query with the context
+	// error instead of returning an answer.
+	o := baseOptions(t)
+	o.timeout = time.Nanosecond
+	var buf bytes.Buffer
+	err := run(&buf, o)
+	if err == nil {
+		t.Fatal("expired -timeout still returned an answer")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// A generous deadline must not interfere.
+	o = baseOptions(t)
+	o.timeout = time.Minute
+	buf.Reset()
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skylines=2") {
+		t.Errorf("timed run lost the answer:\n%s", buf.String())
 	}
 }

@@ -2,9 +2,14 @@
 // Join Queries: Extending the Join Paradigm to K-Dominant Skylines"
 // (Awasthi, Bhattacharya, Gupta, Singh; ICDE 2017).
 //
-// The implementation lives under internal/: see internal/core for the KSJQ
-// algorithms, internal/experiments for the figure harness, and DESIGN.md
-// for the system inventory. Executables are under cmd/ and runnable
-// examples under examples/. The root-level bench_test.go holds one
-// testing.B benchmark per figure of the paper's evaluation.
+// The public API is the ksjq package: one context-aware surface
+// (ksjq.Run, ksjq.FindK, ksjq.Membership, …) over a single engine
+// execution path that serves serial, parallel, and progressive modes.
+// The engine itself lives under internal/: see internal/core for the
+// KSJQ algorithms, internal/planner for algorithm selection,
+// internal/experiments for the figure harness, and DESIGN.md for the
+// system inventory (§6 covers the facade and the unified execution
+// path). Executables are under cmd/ and runnable examples under
+// examples/. The root-level bench_test.go holds one testing.B benchmark
+// per figure of the paper's evaluation.
 package repro

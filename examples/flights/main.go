@@ -10,16 +10,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/dataset"
-	"repro/internal/join"
+	"repro/ksjq"
 )
 
 func main() {
+	ctx := context.Background()
 	out, in, err := datagen.Flights(datagen.DefaultFlightsConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -30,18 +30,18 @@ func main() {
 	// Each relation has locals [date-change fee, popularity, amenities]
 	// and aggregates [cost, flying time]; the joined itinerary has
 	// 3+3+2 = 8 skyline attributes with cost and time summed over legs.
-	q := core.Query{
+	q := ksjq.Query{
 		R1:   out,
 		R2:   in,
-		Spec: join.Spec{Cond: join.Equality, Agg: join.Sum},
+		Spec: ksjq.Spec{Cond: ksjq.Equality, Agg: ksjq.Sum},
 		K:    7,
 	}
-	res, err := core.Run(q, core.Grouping)
+	res, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Grouping})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nhub join: %d itineraries in the %d-dominant skyline (of %d candidates)\n",
-		len(res.Skyline), q.K, mustCount(out, in, join.Spec{Cond: join.Equality}))
+		len(res.Skyline), q.K, mustCount(out, in, ksjq.Spec{Cond: ksjq.Equality}))
 	printTop(out, in, res, 5)
 
 	// Timed connections: the outbound Band is the arrival time at the hub,
@@ -57,8 +57,8 @@ func main() {
 		if o == nil || i == nil {
 			continue
 		}
-		tq := core.Query{R1: o, R2: i, Spec: join.Spec{Cond: join.BandLess, Agg: join.Sum}, K: 7}
-		tres, err := core.Run(tq, core.Grouping)
+		tq := ksjq.Query{R1: o, R2: i, Spec: ksjq.Spec{Cond: ksjq.BandLess, Agg: ksjq.Sum}, K: 7}
+		tres, err := ksjq.Run(ctx, tq, ksjq.Options{Algorithm: ksjq.Grouping})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("\ntimed connections (arrival < departure, per hub): %d skyline itineraries\n", total)
 }
 
-func printTop(out, in *dataset.Relation, res *core.Result, n int) {
+func printTop(out, in *ksjq.Relation, res *ksjq.Result, n int) {
 	for i, p := range res.Skyline {
 		if i >= n {
 			fmt.Printf("  ... and %d more\n", len(res.Skyline)-n)
@@ -80,8 +80,8 @@ func printTop(out, in *dataset.Relation, res *core.Result, n int) {
 	}
 }
 
-func filterKey(r *dataset.Relation, key string) *dataset.Relation {
-	var tuples []dataset.Tuple
+func filterKey(r *ksjq.Relation, key string) *ksjq.Relation {
+	var tuples []ksjq.Tuple
 	for _, t := range r.Tuples {
 		if t.Key == key {
 			t.Attrs = append([]float64(nil), t.Attrs...)
@@ -91,11 +91,11 @@ func filterKey(r *dataset.Relation, key string) *dataset.Relation {
 	if len(tuples) == 0 {
 		return nil
 	}
-	return dataset.MustNew(r.Name+"@"+key, r.Local, r.Agg, tuples)
+	return ksjq.MustNewRelation(r.Name+"@"+key, r.Local, r.Agg, tuples)
 }
 
-func mustCount(r1, r2 *dataset.Relation, spec join.Spec) int {
-	n, err := join.CountPairs(r1, r2, spec)
+func mustCount(r1, r2 *ksjq.Relation, spec ksjq.Spec) int {
+	n, err := ksjq.CountPairs(r1, r2, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,57 +1,57 @@
 // Live: keeping a KSJQ answer current while new tuples arrive, and
-// streaming results progressively — the operational modes a deployed
-// skyline-join service needs (cf. the update-heavy maintenance work the
-// paper cites, and the progressiveness discussion of Sec. 6.1).
+// streaming results progressively under a deadline — the operational modes
+// a deployed skyline-join service needs (cf. the update-heavy maintenance
+// work the paper cites, and the progressiveness discussion of Sec. 6.1).
 //
 // A product × shipping-plan feed is queried once, then new products and
 // plans arrive one by one; the maintainer updates the k-dominant skyline
 // incrementally instead of recomputing. Finally the same query is
-// re-evaluated progressively, printing results as they are confirmed.
-// Run with:
+// re-evaluated progressively through the facade's Emit sink, printing
+// results as they are confirmed. Run with:
 //
 //	go run ./examples/live
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/join"
+	"repro/ksjq"
 )
 
-func randProduct(rng *rand.Rand) dataset.Tuple {
+func randProduct(rng *rand.Rand) ksjq.Tuple {
 	quality := rng.Float64() * 100
 	price := 120 - quality + 25*rng.Float64()
-	return dataset.Tuple{Attrs: []float64{quality, rng.Float64() * 100, rng.Float64() * 100, price}}
+	return ksjq.Tuple{Attrs: []float64{quality, rng.Float64() * 100, rng.Float64() * 100, price}}
 }
 
-func randPlan(rng *rand.Rand) dataset.Tuple {
+func randPlan(rng *rand.Rand) ksjq.Tuple {
 	days := 1 + rng.Float64()*13
 	fee := 22 - 1.4*days + 4*rng.Float64()
-	return dataset.Tuple{Attrs: []float64{days, rng.Float64() * 10, rng.Float64() * 10, fee}}
+	return ksjq.Tuple{Attrs: []float64{days, rng.Float64() * 10, rng.Float64() * 10, fee}}
 }
 
 func main() {
 	rng := rand.New(rand.NewSource(99))
-	products := make([]dataset.Tuple, 120)
+	products := make([]ksjq.Tuple, 120)
 	for i := range products {
 		products[i] = randProduct(rng)
 	}
-	plans := make([]dataset.Tuple, 30)
+	plans := make([]ksjq.Tuple, 30)
 	for i := range plans {
 		plans[i] = randPlan(rng)
 	}
-	q := core.Query{
-		R1:   dataset.MustNew("products", 3, 1, products),
-		R2:   dataset.MustNew("shipping", 3, 1, plans),
-		Spec: join.Spec{Cond: join.Cross, Agg: join.Sum},
+	q := ksjq.Query{
+		R1:   ksjq.MustNewRelation("products", 3, 1, products),
+		R2:   ksjq.MustNewRelation("shipping", 3, 1, plans),
+		Spec: ksjq.Spec{Cond: ksjq.Cross, Agg: ksjq.Sum},
 		K:    6,
 	}
 
-	m, err := core.NewMaintainer(q)
+	m, err := ksjq.NewMaintainer(q)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func main() {
 	}
 
 	// Cross-check the incremental answer against a fresh run.
-	fresh, err := core.Run(q, core.Grouping)
+	fresh, err := ksjq.Run(context.Background(), q, ksjq.Options{Algorithm: ksjq.Grouping})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,16 +84,20 @@ func main() {
 	}
 	fmt.Printf("\nfresh recompute agrees: %d combinations\n", len(fresh.Skyline))
 
-	// Progressive evaluation: results stream as soon as they are
-	// confirmed; stop after the first five (early termination).
+	// Progressive evaluation under a deadline: results stream as soon as
+	// they are confirmed; stop after the first five (early termination).
+	// The context would also abort the run mid-verification if the
+	// deadline expired first — the shape of a production request handler.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
 	fmt.Println("\nfirst five results, streamed progressively:")
 	count := 0
-	if _, err := core.RunProgressive(q, func(p join.Pair) bool {
+	if _, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Grouping, Emit: func(p ksjq.Pair) bool {
 		count++
 		fmt.Printf("  #%d quality=%5.1f seller=%5.1f warranty=%5.1f days=%4.1f ins=%4.1f handling=%4.1f total=$%6.2f\n",
 			count, p.Attrs[0], p.Attrs[1], p.Attrs[2], p.Attrs[3], p.Attrs[4], p.Attrs[5], p.Attrs[6])
 		return count < 5
-	}); err != nil {
+	}}); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -5,8 +5,8 @@
 // hub X, leg 2 keyed by (X, Y), leg 3 keyed by Y. Cost is aggregated over
 // all three legs; duration, rating rank and amenity rank stay local per
 // leg. The example compares the naive cascade (join everything, then
-// compute) against the pruned cascade (Theorem 4 generalized to chains).
-// Run with:
+// compute) against the pruned cascade (Theorem 4 generalized to chains),
+// both through the ksjq facade. Run with:
 //
 //	go run ./examples/multistop
 package main
@@ -16,21 +16,20 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/cascade"
-	"repro/internal/dataset"
+	"repro/ksjq"
 )
 
 const hubs = 6
 
-func leg(rng *rand.Rand, name string, n int, middle bool) *dataset.Relation {
-	tuples := make([]dataset.Tuple, n)
+func leg(rng *rand.Rand, name string, n int, middle bool) *ksjq.Relation {
+	tuples := make([]ksjq.Tuple, n)
 	for i := range tuples {
 		dur := 1 + 3*rng.Float64()
 		cost := 90 - 15*dur + 12*rng.NormFloat64() // faster legs cost more
 		if cost < 20 {
 			cost = 20 + rng.Float64()
 		}
-		tuples[i] = dataset.Tuple{
+		tuples[i] = ksjq.Tuple{
 			Key:   fmt.Sprintf("h%d", rng.Intn(hubs)),
 			Attrs: []float64{dur, rng.Float64() * 100, rng.Float64() * 100, cost},
 		}
@@ -39,25 +38,25 @@ func leg(rng *rand.Rand, name string, n int, middle bool) *dataset.Relation {
 		}
 	}
 	// Locals: duration, rating rank, amenity rank; aggregate: cost.
-	return dataset.MustNew(name, 3, 1, tuples)
+	return ksjq.MustNewRelation(name, 3, 1, tuples)
 }
 
 func main() {
 	rng := rand.New(rand.NewSource(11))
-	legs := []*dataset.Relation{
+	legs := []*ksjq.Relation{
 		leg(rng, "A-to-X", 60, false),
 		leg(rng, "X-to-Y", 80, true),
 		leg(rng, "Y-to-B", 60, false),
 	}
-	q := cascade.Query{Relations: legs, K: 9} // 3+3+3 locals + 1 aggregate = 10 attrs
+	q := ksjq.CascadeQuery{Relations: legs, K: 9} // 3+3+3 locals + 1 aggregate = 10 attrs
 	fmt.Printf("three-leg journeys, %d joined attributes, k in [%d, %d]\n\n",
 		q.Width(), q.KMin(), q.Width())
 
-	naive, err := cascade.Run(q, cascade.Naive)
+	naive, err := ksjq.RunCascade(q, ksjq.CascadeNaive)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pruned, err := cascade.Run(q, cascade.Pruned)
+	pruned, err := ksjq.RunCascade(q, ksjq.CascadePruned)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,52 +16,52 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/join"
+	"repro/ksjq"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
 
 	// Products: locals [quality rank, seller rating rank, warranty rank],
 	// aggregate [price]. Lower is better everywhere (ranks, not scores).
-	products := make([]dataset.Tuple, 200)
+	products := make([]ksjq.Tuple, 200)
 	for i := range products {
 		quality := rng.Float64() * 100
 		// Anti-correlated price: better products cost more.
 		price := 120 - quality + 25*rng.Float64()
-		products[i] = dataset.Tuple{Attrs: []float64{
+		products[i] = ksjq.Tuple{Attrs: []float64{
 			quality, rng.Float64() * 100, rng.Float64() * 100, price,
 		}}
 	}
-	r1 := dataset.MustNew("products", 3, 1, products)
+	r1 := ksjq.MustNewRelation("products", 3, 1, products)
 
 	// Shipping plans: locals [days, insurance rank, handling rank],
 	// aggregate [fee]; faster shipping costs more.
-	plans := make([]dataset.Tuple, 40)
+	plans := make([]ksjq.Tuple, 40)
 	for i := range plans {
 		days := 1 + rng.Float64()*13
 		fee := 22 - 1.4*days + 4*rng.Float64()
-		plans[i] = dataset.Tuple{Attrs: []float64{
+		plans[i] = ksjq.Tuple{Attrs: []float64{
 			days, rng.Float64() * 10, rng.Float64() * 10, fee,
 		}}
 	}
-	r2 := dataset.MustNew("shipping", 3, 1, plans)
+	r2 := ksjq.MustNewRelation("shipping", 3, 1, plans)
 
 	// Joined schema: quality, seller, warranty, days, insurance, handling,
 	// total price — 7 attributes, admissible k from 5 to 7.
-	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Cross, Agg: join.Sum}}
+	q := ksjq.Query{R1: r1, R2: r2, Spec: ksjq.Spec{Cond: ksjq.Cross, Agg: ksjq.Sum}}
 	fmt.Printf("%d products × %d plans = %d combinations, %d joined attributes\n\n",
 		r1.Len(), r2.Len(), r1.Len()*r2.Len(), q.Width())
 
 	for k := q.KMin(); k <= q.Width(); k++ {
 		q.K = k
-		res, err := core.Run(q, core.Grouping)
+		res, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Grouping})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +74,7 @@ func main() {
 
 	// Detail at a mid k: the Cartesian fast path and a few winners.
 	q.K = 6
-	res, err := core.Run(q, core.Grouping)
+	res, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Grouping})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func main() {
 	}
 
 	// The naive baseline returns the same answer, slower.
-	naive, err := core.Run(q, core.Naive)
+	naive, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Naive})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,24 +2,24 @@
 //
 // Two relations of flights — city A to stop-overs, stop-overs to city B —
 // are joined on the intermediate city, and the 7-dominant skyline over the
-// 8 combined attributes is computed with the grouping algorithm. Run with:
+// 8 combined attributes is computed with the grouping algorithm through
+// the public ksjq facade. Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/dataset"
-	"repro/internal/join"
+	"repro/ksjq"
 )
 
 func main() {
 	// Flights from city A: join key is the destination (stop-over) city.
 	// Attributes (lower is better): cost, duration, rating, amenities.
-	f1 := dataset.MustNew("flights-from-A", 4, 0, []dataset.Tuple{
+	f1 := ksjq.MustNewRelation("flights-from-A", 4, 0, []ksjq.Tuple{
 		{Key: "C", Attrs: []float64{448, 3.2, 40, 40}},
 		{Key: "C", Attrs: []float64{468, 4.2, 50, 38}},
 		{Key: "D", Attrs: []float64{456, 3.8, 60, 34}},
@@ -31,7 +31,7 @@ func main() {
 		{Key: "E", Attrs: []float64{451, 3.7, 40, 37}},
 	})
 	// Flights to city B: join key is the source city.
-	f2 := dataset.MustNew("flights-to-B", 4, 0, []dataset.Tuple{
+	f2 := ksjq.MustNewRelation("flights-to-B", 4, 0, []ksjq.Tuple{
 		{Key: "D", Attrs: []float64{348, 2.2, 40, 36}},
 		{Key: "D", Attrs: []float64{368, 3.2, 50, 34}},
 		{Key: "C", Attrs: []float64{356, 2.8, 60, 30}},
@@ -44,8 +44,8 @@ func main() {
 
 	// A flight combination must beat another on at least k=7 of the 8
 	// attributes to dominate it.
-	q := core.Query{R1: f1, R2: f2, Spec: join.Spec{Cond: join.Equality}, K: 7}
-	res, err := core.Run(q, core.Grouping)
+	q := ksjq.Query{R1: f1, R2: f2, Spec: ksjq.Spec{Cond: ksjq.Equality}, K: 7}
+	res, err := ksjq.Run(context.Background(), q, ksjq.Options{Algorithm: ksjq.Grouping})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,23 +10,24 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/join"
+	"repro/ksjq"
 )
 
 func main() {
+	ctx := context.Background()
 	r1 := datagen.MustGenerate(datagen.Config{
 		Name: "R1", N: 400, Local: 5, Groups: 10, Dist: datagen.AntiCorrelated, Seed: 1,
 	})
 	r2 := datagen.MustGenerate(datagen.Config{
 		Name: "R2", N: 400, Local: 5, Groups: 10, Dist: datagen.AntiCorrelated, Seed: 2,
 	})
-	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}}
-	joined, err := join.CountPairs(r1, r2, q.Spec)
+	q := ksjq.Query{R1: r1, R2: r2, Spec: ksjq.Spec{Cond: ksjq.Equality}}
+	joined, err := ksjq.CountPairs(r1, r2, q.Spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,10 +35,11 @@ func main() {
 		joined, q.Width(), q.KMin(), q.Width())
 
 	fmt.Println("Problem 3 — smallest k with at least δ skylines:")
+	findAlgs := []ksjq.FindKAlgorithm{ksjq.FindKBinary, ksjq.FindKRange, ksjq.FindKNaive}
 	for _, delta := range []int{10, 100, 1000, 10000} {
 		fmt.Printf("  δ=%-6d", delta)
-		for _, alg := range core.FindKAlgorithms {
-			res, err := core.FindK(q, delta, alg)
+		for _, alg := range findAlgs {
+			res, err := ksjq.FindK(ctx, q, delta, alg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -49,13 +51,13 @@ func main() {
 
 	fmt.Println("\nProblem 4 — largest k with at most δ skylines (binary search):")
 	for _, delta := range []int{10, 100, 1000} {
-		res, err := core.FindKAtMost(q, delta, core.FindKBinary)
+		res, err := ksjq.FindKAtMost(ctx, q, delta, ksjq.FindKBinary)
 		if err != nil {
 			log.Fatal(err)
 		}
 		probe := q
 		probe.K = res.K
-		check, err := core.Run(probe, core.Grouping)
+		check, err := ksjq.Run(ctx, probe, ksjq.Options{Algorithm: ksjq.Grouping})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,6 +28,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -182,25 +183,10 @@ type Result struct {
 	Stats   Stats
 }
 
-// Run evaluates the query with the selected algorithm.
+// Run evaluates the query with the selected algorithm. It is
+// Exec(context.Background(), q, ExecOptions{Algorithm: alg}).
 func Run(q Query, alg Algorithm) (*Result, error) {
-	if err := q.Validate(alg); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	var res *Result
-	switch alg {
-	case Naive:
-		res = runNaive(q)
-	case Grouping:
-		res = runGrouping(q)
-	case DominatorBased:
-		res = runDominator(q)
-	}
-	sortPairs(res.Skyline)
-	compactAttrs(res.Skyline)
-	res.Stats.Total = time.Since(start)
-	return res, nil
+	return Exec(context.Background(), q, ExecOptions{Algorithm: alg})
 }
 
 // compactAttrs re-backs the answer's attribute vectors with one arena

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/join"
@@ -13,7 +14,7 @@ import (
 // joined tuple u ⋈ v is then verified only against τ(u) ⋈ τ(v), which is
 // usually far smaller than the full join the grouping algorithm scans for
 // "may be" tuples; the price is the time and memory to build the sets.
-func runDominator(q Query) *Result {
+func runDominator(ctx context.Context, q Query) (*Result, error) {
 	st := Stats{}
 	e := newEngine(q, &st)
 
@@ -24,6 +25,9 @@ func runDominator(q Query) *Result {
 	c2 := Categorize(q.R2, k2p, e.cond, Right)
 	st.GroupingTime = time.Since(t0)
 	recordSizes(&st, c1, c2)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: dominator (target) sets for every SS and SN tuple.
 	t0 = time.Now()
@@ -42,6 +46,9 @@ func runDominator(q Query) *Result {
 		dom2[v] = targetSet(q.R2, v, e.l2, e.k2pp)
 	}
 	st.DominatorTime = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: join the surviving cells.
 	t0 = time.Now()
@@ -57,7 +64,10 @@ func runDominator(q Query) *Result {
 	t0 = time.Now()
 	skyline := make([]join.Pair, 0, len(yes))
 	if e.a >= 2 {
-		for _, p := range yes {
+		for n, p := range yes {
+			if n%cancelEvery == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			chk := e.newChecker(dom1[p.Left], dom2[p.Right])
 			if !chk.dominates(p.Attrs) {
 				skyline = append(skyline, p)
@@ -67,7 +77,10 @@ func runDominator(q Query) *Result {
 		skyline = append(skyline, yes...)
 		st.YesEmitted = len(yes)
 	}
-	for _, p := range candidates {
+	for n, p := range candidates {
+		if n%cancelEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		chk := e.newChecker(dom1[p.Left], dom2[p.Right])
 		if !chk.dominates(p.Attrs) {
 			skyline = append(skyline, p)
@@ -75,5 +88,5 @@ func runDominator(q Query) *Result {
 	}
 	st.RemainingTime = time.Since(t0)
 
-	return &Result{Skyline: skyline, Stats: st}
+	return &Result{Skyline: skyline, Stats: st}, nil
 }

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/join"
+)
+
+// ExecOptions configures the unified execution path. The zero value runs
+// the naive algorithm serially; callers normally set Algorithm.
+type ExecOptions struct {
+	// Algorithm selects the evaluation strategy.
+	Algorithm Algorithm
+	// Workers > 1 verifies candidates in parallel on the grouping
+	// algorithm's execution path; any other value runs serially.
+	Workers int
+	// Emit, when non-nil, streams each confirmed skyline tuple instead of
+	// collecting the answer in Result.Skyline. Returning false stops the
+	// query early (not an error). Emitted pairs are detached from internal
+	// arenas, so callers may retain them. Tuples arrive cell by cell (yes,
+	// SS⋈SN, SN⋈SS, SN⋈SN), not in (Left, Right) order. With Workers <= 1
+	// each tuple is emitted the moment it is verified; with Workers > 1
+	// streaming is cell-granular — a cell's survivors are emitted in
+	// candidate order after its parallel verification completes, and a
+	// false return stops before the next cell, not mid-cell.
+	Emit Emit
+}
+
+// ErrOptionConflict is returned when exec options are combined with an
+// algorithm that cannot honor them (Workers/Emit require Grouping).
+var ErrOptionConflict = errors.New("core: workers and emit require the grouping algorithm")
+
+// cancelEvery is the verification batch size between context checks: a
+// cancelled context is noticed after at most this many candidate
+// dominance checks per worker. Checks against an un-cancellable context
+// are a nil comparison, so the batch size only bounds cancellation
+// latency, not throughput.
+const cancelEvery = 16
+
+// Exec evaluates the query on the single engine execution path shared by
+// every public entry point: Run is Exec with defaults, RunParallel is
+// Workers > 1, RunProgressive is a non-nil Emit. The context is checked
+// between phases and periodically inside candidate verification (the
+// dominant cost); on cancellation Exec returns ctx.Err() promptly with no
+// goroutines left behind.
+func Exec(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
+	if err := q.Validate(o.Algorithm); err != nil {
+		return nil, err
+	}
+	if o.Algorithm != Grouping && (o.Workers > 1 || o.Emit != nil) {
+		return nil, fmt.Errorf("%w (got %v)", ErrOptionConflict, o.Algorithm)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var res *Result
+	var err error
+	switch o.Algorithm {
+	case Naive:
+		res, err = runNaive(ctx, q)
+	case Grouping:
+		res, err = runGrouping(ctx, q, o.Workers, o.Emit)
+	case DominatorBased:
+		res, err = runDominator(ctx, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.Emit == nil {
+		sortPairs(res.Skyline)
+		compactAttrs(res.Skyline)
+	}
+	res.Stats.Total = time.Since(start)
+	return res, nil
+}
+
+// sink receives confirmed skyline tuples inside the grouping loop;
+// returning false stops the query.
+type sink func(p join.Pair) bool
+
+// verifyCell filters candidates through a checker over chkLeft × chkRight,
+// feeding the survivors to emit in candidate order. It returns false when
+// emit stopped the run, and ctx.Err() when the context was cancelled
+// mid-verification. With workers > 1 the candidates are sharded across
+// goroutines probing one shared read-only checker; every worker exits
+// within one cancelEvery batch of a cancellation, so verifyCell never
+// leaks goroutines.
+func verifyCell(ctx context.Context, e *engine, workers int, candidates []join.Pair, chkLeft, chkRight []int, emit sink) (bool, error) {
+	if len(candidates) == 0 {
+		return true, nil
+	}
+	chk := e.newChecker(chkLeft, chkRight)
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		for i := range candidates {
+			if i%cancelEvery == 0 && ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+			if !chk.dominates(candidates[i].Attrs) && !emit(candidates[i]) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	// Parallel verification: workers record keep-flags; survivors are
+	// emitted afterwards in candidate order, so the parallel path streams
+	// and collects in exactly the serial order.
+	keep := make([]bool, len(candidates))
+	tests := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			localStats := Stats{}
+			wchk := chk.bind(newEngine(e.q, &localStats))
+			for n, i := 0, w; i < len(candidates); n, i = n+1, i+workers {
+				if n%cancelEvery == 0 && ctx.Err() != nil {
+					break
+				}
+				keep[i] = !wchk.dominates(candidates[i].Attrs)
+			}
+			tests[w] = localStats.DominationTests
+		}(w)
+	}
+	wg.Wait()
+	for _, t := range tests {
+		e.stats.DominationTests += t
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	for i := range candidates {
+		if keep[i] && !emit(candidates[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -61,10 +62,17 @@ type FindKResult struct {
 	Stats FindKStats
 }
 
-// FindK solves Problem 3: the smallest k in (max{d1,d2}, l1+l2+a] whose
-// k-dominant skyline join has at least delta tuples. If no k satisfies the
-// threshold, the maximum possible k is returned (the paper's default).
+// FindK solves Problem 3 without a deadline; see FindKContext.
 func FindK(q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
+	return FindKContext(context.Background(), q, delta, alg)
+}
+
+// FindKContext solves Problem 3: the smallest k in (max{d1,d2}, l1+l2+a]
+// whose k-dominant skyline join has at least delta tuples. If no k
+// satisfies the threshold, the maximum possible k is returned (the paper's
+// default). The context flows into every skyline computation, so a
+// cancelled deadline aborts mid-probe with ctx.Err().
+func FindKContext(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
 	if q.R1 == nil || q.R2 == nil {
 		return nil, fmt.Errorf("core: nil relation")
 	}
@@ -78,15 +86,19 @@ func FindK(q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
 	}
 	start := time.Now()
 	var res *FindKResult
+	var err error
 	switch alg {
 	case FindKNaive:
-		res = findKNaive(q, delta)
+		res, err = findKNaive(ctx, q, delta)
 	case FindKRange:
-		res = findKRange(q, delta)
+		res, err = findKRange(ctx, q, delta)
 	case FindKBinary:
-		res = findKBinary(q, delta)
+		res, err = findKBinary(ctx, q, delta)
 	default:
 		return nil, fmt.Errorf("%w: find-k %d", ErrUnknownAlgorithm, int(alg))
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.Stats.Total = time.Since(start)
 	return res, nil
@@ -95,8 +107,16 @@ func FindK(q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
 // prober evaluates skyline cardinalities and bounds for one query template,
 // accumulating stats across probes.
 type prober struct {
-	q  Query
-	st *FindKStats
+	ctx context.Context
+	q   Query
+	st  *FindKStats
+}
+
+func newProber(ctx context.Context, q Query, st *FindKStats) *prober {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &prober{ctx: ctx, q: q, st: st}
 }
 
 // bounds returns Δ_lb and Δ_ub for the given k without computing any
@@ -104,7 +124,10 @@ type prober struct {
 // a ≥ 2 the cell is not guaranteed, so the lower bound degrades to 0) and
 // Δ_ub adds the "likely" and "may be" cells. NN cells never contribute
 // (Th. 4), so Δ_ub is always valid.
-func (p *prober) bounds(k int) (lb, ub int) {
+func (p *prober) bounds(k int) (lb, ub int, err error) {
+	if err := p.ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	q := p.q
 	q.K = k
 	st := Stats{}
@@ -123,77 +146,91 @@ func (p *prober) bounds(k int) (lb, ub int) {
 		e.countPairs(c1.SN, c2.SN)
 	p.st.JoinTime += time.Since(t0)
 	if q.R1.Agg >= 2 {
-		return 0, ub
+		return 0, ub, nil
 	}
-	return yes, ub
+	return yes, ub, nil
 }
 
 // count computes the exact k-dominant skyline size with the grouping
-// algorithm (the paper's fastest evaluator).
-func (p *prober) count(k int) int {
+// algorithm (the paper's fastest evaluator) on the unified execution path.
+func (p *prober) count(k int) (int, error) {
 	q := p.q
 	q.K = k
-	res, err := Run(q, Grouping)
+	res, err := Exec(p.ctx, q, ExecOptions{Algorithm: Grouping})
 	if err != nil {
-		// Unreachable: FindK validated the template at kMin and every
-		// probed k lies in the admissible range.
-		panic(err)
+		return 0, err
 	}
 	p.st.SkylinesComputed++
 	p.st.GroupingTime += res.Stats.GroupingTime
 	p.st.JoinTime += res.Stats.JoinTime
 	p.st.RemainingTime += res.Stats.RemainingTime + res.Stats.DominatorTime
-	return len(res.Skyline)
+	return len(res.Skyline), nil
 }
 
 func (p *prober) probed(k int) { p.st.Probed = append(p.st.Probed, k) }
 
-func findKNaive(q Query, delta int) *FindKResult {
+func findKNaive(ctx context.Context, q Query, delta int) (*FindKResult, error) {
 	res := &FindKResult{}
-	p := &prober{q: q, st: &res.Stats}
+	p := newProber(ctx, q, &res.Stats)
 	kMin, kMax := q.KMin(), q.Width()
 	for k := kMin; k < kMax; k++ {
 		p.probed(k)
-		if p.count(k) >= delta {
+		n, err := p.count(k)
+		if err != nil {
+			return nil, err
+		}
+		if n >= delta {
 			res.K = k
-			return res
+			return res, nil
 		}
 	}
 	res.K = kMax
-	return res
+	return res, nil
 }
 
-func findKRange(q Query, delta int) *FindKResult {
+func findKRange(ctx context.Context, q Query, delta int) (*FindKResult, error) {
 	res := &FindKResult{}
-	p := &prober{q: q, st: &res.Stats}
+	p := newProber(ctx, q, &res.Stats)
 	kMin, kMax := q.KMin(), q.Width()
 	for k := kMin; k < kMax; k++ {
 		p.probed(k)
-		lb, ub := p.bounds(k)
+		lb, ub, err := p.bounds(k)
+		if err != nil {
+			return nil, err
+		}
 		switch {
 		case lb >= delta:
 			res.K = k
-			return res
+			return res, nil
 		case ub < delta:
 			// k cannot satisfy delta; advance without computing.
-		case p.count(k) >= delta:
-			res.K = k
-			return res
+		default:
+			n, err := p.count(k)
+			if err != nil {
+				return nil, err
+			}
+			if n >= delta {
+				res.K = k
+				return res, nil
+			}
 		}
 	}
 	res.K = kMax
-	return res
+	return res, nil
 }
 
-func findKBinary(q Query, delta int) *FindKResult {
+func findKBinary(ctx context.Context, q Query, delta int) (*FindKResult, error) {
 	res := &FindKResult{}
-	p := &prober{q: q, st: &res.Stats}
+	p := newProber(ctx, q, &res.Stats)
 	kMin, kMax := q.KMin(), q.Width()
 	lo, hi, cur := kMin, kMax, kMax
 	for lo <= hi {
 		k := (lo + hi) / 2
 		p.probed(k)
-		lb, ub := p.bounds(k)
+		lb, ub, err := p.bounds(k)
+		if err != nil {
+			return nil, err
+		}
 		var satisfied bool
 		switch {
 		case lb >= delta:
@@ -201,7 +238,11 @@ func findKBinary(q Query, delta int) *FindKResult {
 		case ub < delta:
 			satisfied = false
 		default:
-			satisfied = p.count(k) >= delta
+			n, err := p.count(k)
+			if err != nil {
+				return nil, err
+			}
+			satisfied = n >= delta
 		}
 		if satisfied {
 			cur = k
@@ -211,17 +252,22 @@ func findKBinary(q Query, delta int) *FindKResult {
 		}
 	}
 	res.K = cur
-	return res
+	return res, nil
 }
 
-// FindKAtMost solves Problem 4: the largest k whose skyline has at most
-// delta tuples. Per the paper's analysis it is derived from Problem 3: if
-// k⁺ is the smallest k with more than delta skylines, the answer is k⁺ − 1;
-// if even the minimum k exceeds delta, the minimum k is returned (the
-// paper's trivial corner case), and if no k exceeds delta the maximum k is
-// the answer.
+// FindKAtMost solves Problem 4 without a deadline; see FindKAtMostContext.
 func FindKAtMost(q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
-	res, err := FindK(q, delta+1, alg)
+	return FindKAtMostContext(context.Background(), q, delta, alg)
+}
+
+// FindKAtMostContext solves Problem 4: the largest k whose skyline has at
+// most delta tuples. Per the paper's analysis it is derived from Problem 3:
+// if k⁺ is the smallest k with more than delta skylines, the answer is
+// k⁺ − 1; if even the minimum k exceeds delta, the minimum k is returned
+// (the paper's trivial corner case), and if no k exceeds delta the maximum
+// k is the answer.
+func FindKAtMostContext(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
+	res, err := FindKContext(ctx, q, delta+1, alg)
 	if err != nil {
 		return nil, err
 	}
@@ -229,8 +275,12 @@ func FindKAtMost(q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
 	if res.K == kMax {
 		// Either kMax is the first k exceeding delta, or none does. Only a
 		// real count distinguishes the two.
-		p := &prober{q: q, st: &res.Stats}
-		if p.count(kMax) <= delta {
+		p := newProber(ctx, q, &res.Stats)
+		n, err := p.count(kMax)
+		if err != nil {
+			return nil, err
+		}
+		if n <= delta {
 			return res, nil
 		}
 	}

@@ -88,9 +88,12 @@ func TestFindKBoundsValid(t *testing.T) {
 		r2 := randRelation(rng, "r2", 5+rng.Intn(25), 3, agg, 1+rng.Intn(3), 5)
 		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
 		st := FindKStats{}
-		p := &prober{q: q, st: &st}
+		p := newProber(nil, q, &st)
 		for k := q.KMin(); k <= q.Width(); k++ {
-			lb, ub := p.bounds(k)
+			lb, ub, err := p.bounds(k)
+			if err != nil {
+				t.Fatal(err)
+			}
 			actual := skylineCount(t, q, k)
 			if lb > actual || actual > ub {
 				t.Fatalf("trial %d k=%d: bounds violated: lb=%d actual=%d ub=%d", trial, k, lb, actual, ub)

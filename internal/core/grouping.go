@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"repro/internal/join"
 )
 
-// runGrouping implements Algorithm 2. Both base relations are categorized
-// into SS/SN/NN; Table 5 then decides each joined cell's fate:
+// runGrouping implements Algorithm 2 on the unified execution path. Both
+// base relations are categorized into SS/SN/NN; Table 5 then decides each
+// joined cell's fate:
 //
 //   - SS1 ⋈ SS2 ("yes") is emitted without checks (verified against the
 //     augmented target sets when a ≥ 2; see the package comment),
@@ -18,75 +21,104 @@ import (
 //
 // For Cartesian products (Sec 6.5) the SN sets are empty, so the algorithm
 // degenerates to emitting SS1 × SS2 — exactly the paper's fast path.
-func runGrouping(q Query) *Result {
+//
+// The one loop serves every execution mode: workers > 1 categorizes the
+// relations concurrently and shards each cell's verification across
+// goroutines; a non-nil emit streams each tuple the moment its cell
+// confirms it (the "yes" cell right after categorization — the
+// progressiveness argument of Sec. 6.1) instead of collecting the answer.
+func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit) (*Result, error) {
 	st := Stats{}
 	e := newEngine(q, &st)
 
-	// Phase 1: categorization and target-set augmentation.
+	// Phase 1: categorization and target-set augmentation. The two
+	// relations are independent, so the parallel mode runs them
+	// concurrently.
 	t0 := time.Now()
 	k1p, k2p := q.KPrimes()
-	c1 := Categorize(q.R1, k1p, e.cond, Left)
-	c2 := Categorize(q.R2, k2p, e.cond, Right)
-	a1 := targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
-	a2 := targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
+	var c1, c2 Categorization
+	var a1, a2 []int
+	if workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c1 = Categorize(q.R1, k1p, e.cond, Left)
+			a1 = targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
+		}()
+		go func() {
+			defer wg.Done()
+			c2 = Categorize(q.R2, k2p, e.cond, Right)
+			a2 = targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
+		}()
+		wg.Wait()
+	} else {
+		c1 = Categorize(q.R1, k1p, e.cond, Left)
+		c2 = Categorize(q.R2, k2p, e.cond, Right)
+		a1 = targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
+		a2 = targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
+	}
 	st.GroupingTime = time.Since(t0)
 	recordSizes(&st, c1, c2)
-
-	// Phase 2: join only the cells that can still produce skylines.
-	t0 = time.Now()
-	yes := e.pairs(c1.SS, c2.SS)
-	likely1 := e.pairs(c1.SS, c2.SN)
-	likely2 := e.pairs(c1.SN, c2.SS)
-	maybe := e.pairs(c1.SN, c2.SN)
-	st.JoinTime = time.Since(t0)
-	st.Candidates = len(likely1) + len(likely2) + len(maybe)
-
-	// Phase 3: verify candidates against their target joins.
-	t0 = time.Now()
-	skyline := make([]join.Pair, 0, len(yes))
-	if e.a >= 2 {
-		// Paper erratum: with two or more aggregate attributes SS ⋈ SS
-		// tuples can be dominated; verify them against A1 ⋈ A2.
-		chk := e.newChecker(a1, a2)
-		for _, p := range yes {
-			if !chk.dominates(p.Attrs) {
-				skyline = append(skyline, p)
-			}
-		}
-	} else {
-		skyline = append(skyline, yes...)
-		st.YesEmitted = len(yes)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
+	var skyline []join.Pair
+	out := sink(func(p join.Pair) bool { skyline = append(skyline, p); return true })
+	if emitFn != nil {
+		out = func(p join.Pair) bool { return emitFn(detach(p)) }
+	}
+
+	// Phases 2+3: materialize and verify the surviving cells in streaming
+	// order. The "yes" cell is unchecked when a ≤ 1; with a ≥ 2 the
+	// paper's theorem fails (see the package comment) and it is verified
+	// against the augmented target join like any other cell.
 	all1 := allIndices(q.R1.Len())
 	all2 := allIndices(q.R2.Len())
-	if len(likely1) > 0 {
-		chk := e.newChecker(a1, all2)
-		for _, p := range likely1 {
-			if !chk.dominates(p.Attrs) {
-				skyline = append(skyline, p)
+	cells := []struct {
+		left, right       []int // candidate cell
+		chkLeft, chkRight []int // verification target lists
+		yes               bool
+	}{
+		{c1.SS, c2.SS, a1, a2, true},
+		{c1.SS, c2.SN, a1, all2, false},
+		{c1.SN, c2.SS, all1, a2, false},
+		{c1.SN, c2.SN, all1, all2, false},
+	}
+	for _, cell := range cells {
+		t0 = time.Now()
+		candidates := e.pairs(cell.left, cell.right)
+		st.JoinTime += time.Since(t0)
+		if cell.yes && e.a < 2 {
+			// Unchecked emission is still the whole answer for Cartesian
+			// products (no SN cells), so it polls the context like the
+			// verification loops do.
+			st.YesEmitted = len(candidates)
+			for n, p := range candidates {
+				if n%cancelEvery == 0 && ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				if !out(p) {
+					return &Result{Skyline: skyline, Stats: st}, nil
+				}
 			}
+			continue
+		}
+		if !cell.yes {
+			st.Candidates += len(candidates)
+		}
+		t0 = time.Now()
+		more, err := verifyCell(ctx, e, workers, candidates, cell.chkLeft, cell.chkRight, out)
+		st.RemainingTime += time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
 		}
 	}
-	if len(likely2) > 0 {
-		chk := e.newChecker(all1, a2)
-		for _, p := range likely2 {
-			if !chk.dominates(p.Attrs) {
-				skyline = append(skyline, p)
-			}
-		}
-	}
-	if len(maybe) > 0 {
-		chk := e.newChecker(all1, all2)
-		for _, p := range maybe {
-			if !chk.dominates(p.Attrs) {
-				skyline = append(skyline, p)
-			}
-		}
-	}
-	st.RemainingTime = time.Since(t0)
-
-	return &Result{Skyline: skyline, Stats: st}
+	return &Result{Skyline: skyline, Stats: st}, nil
 }
 
 func recordSizes(st *Stats, c1, c2 Categorization) {

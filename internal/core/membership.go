@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/join"
@@ -19,10 +20,17 @@ func IsSkylineMember(q Query, i, j int) (bool, error) {
 	return members[0], nil
 }
 
-// Membership tests many joined pairs at once, sharing one checker across
-// probes. Each entry of pairs is a (R1 index, R2 index) pair; the result
-// slice is parallel to it.
+// Membership tests many joined pairs without a deadline; see
+// MembershipContext.
 func Membership(q Query, pairs [][2]int) ([]bool, error) {
+	return MembershipContext(context.Background(), q, pairs)
+}
+
+// MembershipContext tests many joined pairs at once, sharing one checker
+// across probes. Each entry of pairs is a (R1 index, R2 index) pair; the
+// result slice is parallel to it. The context is checked between probe
+// batches, so a cancelled deadline aborts the scan with ctx.Err().
+func MembershipContext(ctx context.Context, q Query, pairs [][2]int) ([]bool, error) {
 	if err := q.Validate(Grouping); err != nil {
 		return nil, err
 	}
@@ -42,6 +50,9 @@ func Membership(q Query, pairs [][2]int) ([]bool, error) {
 	buf := make([]float64, 0, q.Width())
 	out := make([]bool, len(pairs))
 	for n, pr := range pairs {
+		if n%cancelEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		buf = join.Combine(q.R1, q.R2, &q.R1.Tuples[pr[0]], &q.R2.Tuples[pr[1]], agg, buf)
 		out[n] = !chk.dominates(buf)
 	}

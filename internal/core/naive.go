@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/join"
@@ -10,8 +11,9 @@ import (
 // runNaive implements Algorithm 1: materialize the full join, then compute
 // the k-dominant skyline of the joined relation with the Two-Scan
 // Algorithm. Validation has already established schema compatibility, so
-// the join cannot fail.
-func runNaive(q Query) *Result {
+// the join cannot fail. The two phases are monolithic library calls, so
+// cancellation is checked between them rather than inside.
+func runNaive(ctx context.Context, q Query) (*Result, error) {
 	st := Stats{}
 
 	t0 := time.Now()
@@ -22,6 +24,9 @@ func runNaive(q Query) *Result {
 		panic(err)
 	}
 	st.JoinTime = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	t0 = time.Now()
 	attrs := make([][]float64, len(pairs))
@@ -35,5 +40,5 @@ func runNaive(q Query) *Result {
 	}
 	st.RemainingTime = time.Since(t0)
 
-	return &Result{Skyline: skyline, Stats: st}
+	return &Result{Skyline: skyline, Stats: st}, nil
 }

@@ -1,133 +1,26 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"time"
-
-	"repro/internal/join"
 )
 
-// RunParallel evaluates the query with a parallelized grouping algorithm —
+// RunParallel evaluates the query with the parallelized grouping algorithm —
 // the paper's future-work item ("extend the algorithms to work in
-// parallel", Sec. 8). The structure of Algorithm 2 parallelizes naturally:
-//
-//   - the two base relations are categorized concurrently (they are
-//     independent),
-//   - the two target-set augmentations run concurrently,
-//   - candidate verification — the dominant cost — is embarrassingly
-//     parallel: candidates are sharded across workers, all probing one
-//     prebuilt read-only checker index over the same target lists.
+// parallel", Sec. 8). It is Exec with Workers set: the unified execution
+// path categorizes the two base relations concurrently (they are
+// independent) and shards each cell's candidate verification — the
+// dominant cost — across workers, all probing one prebuilt read-only
+// checker index over the same target lists.
 //
 // workers <= 0 selects GOMAXPROCS. The result is identical to
 // Run(q, Grouping); only the phase timings change.
 func RunParallel(q Query, workers int) (*Result, error) {
-	if err := q.Validate(Grouping); err != nil {
-		return nil, err
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
-	st := Stats{}
-	e := newEngine(q, &st)
-
-	// Phase 1: categorize both relations and build both target unions
-	// concurrently.
-	t0 := time.Now()
-	k1p, k2p := q.KPrimes()
-	var c1, c2 Categorization
-	var a1, a2 []int
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		c1 = Categorize(q.R1, k1p, e.cond, Left)
-		a1 = targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
-	}()
-	go func() {
-		defer wg.Done()
-		c2 = Categorize(q.R2, k2p, e.cond, Right)
-		a2 = targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
-	}()
-	wg.Wait()
-	st.GroupingTime = time.Since(t0)
-	recordSizes(&st, c1, c2)
-
-	// Phase 2: enumerate the surviving cells.
-	t0 = time.Now()
-	yes := e.pairs(c1.SS, c2.SS)
-	likely1 := e.pairs(c1.SS, c2.SN)
-	likely2 := e.pairs(c1.SN, c2.SS)
-	maybe := e.pairs(c1.SN, c2.SN)
-	st.JoinTime = time.Since(t0)
-	st.Candidates = len(likely1) + len(likely2) + len(maybe)
-
-	// Phase 3: verify cells in parallel.
-	t0 = time.Now()
-	all1 := allIndices(q.R1.Len())
-	all2 := allIndices(q.R2.Len())
-
-	skyline := make([]join.Pair, 0, len(yes))
-	if e.a >= 2 {
-		skyline = append(skyline, filterParallel(e, workers, yes, a1, a2)...)
-	} else {
-		skyline = append(skyline, yes...)
-		st.YesEmitted = len(yes)
-	}
-	skyline = append(skyline, filterParallel(e, workers, likely1, a1, all2)...)
-	skyline = append(skyline, filterParallel(e, workers, likely2, all1, a2)...)
-	skyline = append(skyline, filterParallel(e, workers, maybe, all1, all2)...)
-	st.RemainingTime = time.Since(t0)
-
-	sortPairs(skyline)
-	compactAttrs(skyline)
-	st.Total = time.Since(start)
-	return &Result{Skyline: skyline, Stats: st}, nil
-}
-
-// filterParallel returns the candidates not dominated by any
-// join-compatible pair from left × right, verifying shards concurrently.
-// The checker — probe ordering plus join index — is built exactly once on
-// the caller's engine and shared read-only by every worker; each worker
-// binds it to a private engine only to keep its own stats counters.
-func filterParallel(e *engine, workers int, candidates []join.Pair, left, right []int) []join.Pair {
-	if len(candidates) == 0 {
-		return nil
-	}
-	chk := e.newChecker(left, right)
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
-	type shardResult struct {
-		keep  []join.Pair
-		tests int64
-	}
-	results := make([]shardResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			localStats := Stats{}
-			wchk := chk.bind(newEngine(e.q, &localStats))
-			var keep []join.Pair
-			for i := w; i < len(candidates); i += workers {
-				if !wchk.dominates(candidates[i].Attrs) {
-					keep = append(keep, candidates[i])
-				}
-			}
-			results[w] = shardResult{keep: keep, tests: localStats.DominationTests}
-		}(w)
-	}
-	wg.Wait()
-	var out []join.Pair
-	for _, r := range results {
-		out = append(out, r.keep...)
-		e.stats.DominationTests += r.tests
-	}
-	return out
+	return Exec(context.Background(), q, ExecOptions{Algorithm: Grouping, Workers: workers})
 }
 
 // Workers returns a human-readable description of the parallel degree, for

@@ -1,17 +1,18 @@
 package core
 
 import (
-	"time"
+	"context"
 
 	"repro/internal/join"
 )
 
 // Emit receives one confirmed skyline tuple. Returning false cancels the
-// query; RunProgressive then returns with whatever work was done.
+// query; the run then returns with whatever work was done.
 type Emit func(p join.Pair) bool
 
 // RunProgressive evaluates the query with the grouping algorithm, emitting
-// each k-dominant skyline tuple the moment it is confirmed. This addresses
+// each k-dominant skyline tuple the moment it is confirmed. It is Exec
+// with a non-nil Emit sink on the unified execution path. This addresses
 // the naive algorithm's weakness the paper calls out in Sec. 6.1: with
 // join-then-compute, the user waits for the whole join before seeing the
 // first result, while the grouping algorithm can stream the entire
@@ -23,77 +24,9 @@ type Emit func(p join.Pair) bool
 // Each emitted pair's attribute vector is detached from the cell arena, so
 // callers may retain emitted pairs without pinning whole-cell storage.
 func RunProgressive(q Query, emit Emit) (*Stats, error) {
-	if err := q.Validate(Grouping); err != nil {
+	res, err := Exec(context.Background(), q, ExecOptions{Algorithm: Grouping, Emit: emit})
+	if err != nil {
 		return nil, err
 	}
-	userEmit := emit
-	emit = func(p join.Pair) bool { return userEmit(detach(p)) }
-	start := time.Now()
-	st := Stats{}
-	e := newEngine(q, &st)
-
-	t0 := time.Now()
-	k1p, k2p := q.KPrimes()
-	c1 := Categorize(q.R1, k1p, e.cond, Left)
-	c2 := Categorize(q.R2, k2p, e.cond, Right)
-	a1 := targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
-	a2 := targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
-	st.GroupingTime = time.Since(t0)
-	recordSizes(&st, c1, c2)
-
-	finish := func() (*Stats, error) {
-		st.Total = time.Since(start)
-		return &st, nil
-	}
-
-	// Stream the "yes" cell first (verified against A1 ⋈ A2 when a >= 2;
-	// see the package comment on the aggregate erratum).
-	t0 = time.Now()
-	yes := e.pairs(c1.SS, c2.SS)
-	st.JoinTime += time.Since(t0)
-	if e.a >= 2 {
-		chk := e.newChecker(a1, a2)
-		for _, p := range yes {
-			if !chk.dominates(p.Attrs) && !emit(p) {
-				return finish()
-			}
-		}
-	} else {
-		st.YesEmitted = len(yes)
-		for _, p := range yes {
-			if !emit(p) {
-				return finish()
-			}
-		}
-	}
-
-	all1 := allIndices(q.R1.Len())
-	all2 := allIndices(q.R2.Len())
-	cells := []struct {
-		left1, right1 []int // candidate cell
-		left2, right2 []int // target lists
-	}{
-		{c1.SS, c2.SN, a1, all2},
-		{c1.SN, c2.SS, all1, a2},
-		{c1.SN, c2.SN, all1, all2},
-	}
-	for _, cell := range cells {
-		t0 = time.Now()
-		candidates := e.pairs(cell.left1, cell.right1)
-		st.JoinTime += time.Since(t0)
-		st.Candidates += len(candidates)
-		if len(candidates) == 0 {
-			continue
-		}
-		t0 = time.Now()
-		chk := e.newChecker(cell.left2, cell.right2)
-		for _, p := range candidates {
-			if !chk.dominates(p.Attrs) && !emit(p) {
-				st.RemainingTime += time.Since(t0)
-				return finish()
-			}
-		}
-		st.RemainingTime += time.Since(t0)
-	}
-	return finish()
+	return &res.Stats, nil
 }

@@ -8,9 +8,10 @@
 package planner
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"repro/internal/core"
@@ -59,23 +60,25 @@ func (o Options) withDefaults() Options {
 var ErrEmptyJoin = errors.New("planner: join is empty")
 
 // EstimateCardinality samples joined pairs uniformly and probes their
-// skyline membership with core.Membership. The estimator is unbiased for
-// SkylineFraction; its variance shrinks as 1/SampleSize.
-func EstimateCardinality(q core.Query, opts Options) (*Estimate, error) {
+// skyline membership with core.MembershipContext. The estimator is
+// unbiased for SkylineFraction; its variance shrinks as 1/SampleSize. A
+// cancelled context aborts the membership probes with ctx.Err().
+func EstimateCardinality(ctx context.Context, q core.Query, opts Options) (*Estimate, error) {
 	opts = opts.withDefaults()
 	if err := q.Validate(core.Grouping); err != nil {
 		return nil, err
 	}
-	total, err := join.CountPairs(q.R1, q.R2, q.Spec)
-	if err != nil {
-		return nil, err
-	}
+	ix, prefix := rankSpace(q)
+	total := prefix[len(prefix)-1]
 	if total == 0 {
 		return nil, ErrEmptyJoin
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	pairs := samplePairs(q, total, opts)
-	members, err := core.Membership(q, pairs)
+	pairs := samplePairs(q, ix, prefix, opts)
+	members, err := core.MembershipContext(ctx, q, pairs)
 	if err != nil {
 		return nil, err
 	}
@@ -94,41 +97,61 @@ func EstimateCardinality(q core.Query, opts Options) (*Estimate, error) {
 	}, nil
 }
 
-// samplePairs draws min(SampleSize, total) joined pairs uniformly at
-// random (without replacement when the join is small enough to enumerate
-// ranks).
-func samplePairs(q core.Query, total int, opts Options) [][2]int {
-	rng := rand.New(rand.NewSource(opts.Seed))
+// rankSpace lays the join's rank space out over a join index of R2: for
+// each R1 tuple i, its partners occupy the contiguous rank range
+// [prefix[i], prefix[i+1]), whose width is the partner-range size.
+// Building the prefix sums costs O(n₁ log n₂) — no per-tuple partner
+// materialization and no O(n₁·n₂) scan — and prefix[n₁] is the exact
+// join size, so one pass serves both counting and sampling.
+func rankSpace(q core.Query) (*join.Index, []int) {
+	ix := join.NewFullIndex(q.R2, q.Spec.Cond)
+	prefix := make([]int, q.R1.Len()+1)
+	for i := range q.R1.Tuples {
+		prefix[i+1] = prefix[i] + len(ix.Partners(&q.R1.Tuples[i]))
+	}
+	return ix, prefix
+}
+
+// samplePairs draws min(SampleSize, join size) joined pairs uniformly at
+// random, without replacement. Decoding a sampled rank is one binary
+// search on the prefix array plus one indexed partner lookup.
+func samplePairs(q core.Query, ix *join.Index, prefix []int, opts Options) [][2]int {
+	rng := rand.New(rand.NewPCG(uint64(opts.Seed), 0x9e3779b97f4a7c15))
+	total := prefix[len(prefix)-1]
 	m := opts.SampleSize
 	if m > total {
 		m = total
 	}
-	// Rank space: for each R1 tuple i, its partners occupy a contiguous
-	// rank range; rank -> (i, j) decodes by binary search on the prefix
-	// sums.
-	partners := make([][]int, q.R1.Len())
-	prefix := make([]int, q.R1.Len()+1)
-	for i := range q.R1.Tuples {
-		partners[i] = partnerIndices(q, i)
-		prefix[i+1] = prefix[i] + len(partners[i])
-	}
-	ranks := rng.Perm(total)[:m]
 	out := make([][2]int, 0, m)
-	for _, r := range ranks {
+	for _, r := range sampleRanks(rng, total, m) {
 		i := sort.SearchInts(prefix, r+1) - 1
-		out = append(out, [2]int{i, partners[i][r-prefix[i]]})
+		out = append(out, [2]int{i, ix.Partners(&q.R1.Tuples[i])[r-prefix[i]]})
 	}
 	return out
 }
 
-func partnerIndices(q core.Query, i int) []int {
-	var out []int
-	for j := range q.R2.Tuples {
-		if q.Spec.Cond == join.Cross || q.Spec.Cond.Matches(&q.R1.Tuples[i], &q.R2.Tuples[j]) {
-			out = append(out, j)
+// sampleRanks draws m distinct ranks uniformly from [0, total) with a
+// partial Fisher–Yates shuffle: only the m swaps that matter are
+// performed, with displaced values tracked in a sparse map, so the cost is
+// O(m) time and space instead of the O(total) of materializing a full
+// permutation (total is the join size, which can be quadratic).
+func sampleRanks(rng *rand.Rand, total, m int) []int {
+	ranks := make([]int, m)
+	displaced := make(map[int]int, m)
+	for t := 0; t < m; t++ {
+		j := t + rng.IntN(total-t)
+		vj, ok := displaced[j]
+		if !ok {
+			vj = j
 		}
+		vt, ok := displaced[t]
+		if !ok {
+			vt = t
+		}
+		ranks[t] = vj
+		displaced[j] = vt
 	}
-	return out
+	return ranks
 }
 
 // Plan is the planner's decision with its rationale.
@@ -147,9 +170,9 @@ type Plan struct {
 //     verification by an explicit (small) dominator join beats the
 //     grouping algorithm's scans of R1 ⋈ R2;
 //   - otherwise the grouping algorithm, the paper's overall winner.
-func Choose(q core.Query, opts Options) (*Plan, error) {
+func Choose(ctx context.Context, q core.Query, opts Options) (*Plan, error) {
 	opts = opts.withDefaults()
-	est, err := EstimateCardinality(q, opts)
+	est, err := EstimateCardinality(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -176,13 +199,13 @@ func Choose(q core.Query, opts Options) (*Plan, error) {
 	}
 }
 
-// Run plans and executes in one call.
-func Run(q core.Query, opts Options) (*core.Result, *Plan, error) {
-	plan, err := Choose(q, opts)
+// Run plans and executes in one call, on the unified execution path.
+func Run(ctx context.Context, q core.Query, opts Options) (*core.Result, *Plan, error) {
+	plan, err := Choose(ctx, q, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := core.Run(q, plan.Algorithm)
+	res, err := core.Exec(ctx, q, core.ExecOptions{Algorithm: plan.Algorithm})
 	if err != nil {
 		return nil, nil, err
 	}

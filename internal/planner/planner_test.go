@@ -1,10 +1,12 @@
 package planner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"testing"
 
 	"repro/internal/core"
@@ -75,7 +77,7 @@ func TestEstimateCardinalityExactWhenSampleCoversJoin(t *testing.T) {
 	r1 := synthetic(30, 3, 3, datagen.Independent, 11)
 	r2 := synthetic(30, 3, 3, datagen.Independent, 12)
 	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
-	est, err := EstimateCardinality(q, Options{SampleSize: 1 << 20})
+	est, err := EstimateCardinality(context.Background(), q, Options{SampleSize: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +102,7 @@ func TestEstimateCardinalityApproximates(t *testing.T) {
 		t.Fatal(err)
 	}
 	actual := float64(len(res.Skyline))
-	est, err := EstimateCardinality(q, Options{SampleSize: 400, Seed: 3})
+	est, err := EstimateCardinality(context.Background(), q, Options{SampleSize: 400, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +119,11 @@ func TestEstimateDeterministic(t *testing.T) {
 	r1 := synthetic(100, 3, 4, datagen.Independent, 31)
 	r2 := synthetic(100, 3, 4, datagen.Independent, 32)
 	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
-	a, err := EstimateCardinality(q, Options{SampleSize: 100, Seed: 7})
+	a, err := EstimateCardinality(context.Background(), q, Options{SampleSize: 100, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EstimateCardinality(q, Options{SampleSize: 100, Seed: 7})
+	b, err := EstimateCardinality(context.Background(), q, Options{SampleSize: 100, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestChooseTinyJoinPicksNaive(t *testing.T) {
 	r1 := synthetic(20, 3, 4, datagen.Independent, 41)
 	r2 := synthetic(20, 3, 4, datagen.Independent, 42)
 	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
-	plan, err := Choose(q, Options{})
+	plan, err := Choose(context.Background(), q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestChooseLargeJoinAvoidsNaive(t *testing.T) {
 	r1 := synthetic(300, 5, 10, datagen.Independent, 51)
 	r2 := synthetic(300, 5, 10, datagen.Independent, 52)
 	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 7}
-	plan, err := Choose(q, Options{SampleSize: 50})
+	plan, err := Choose(context.Background(), q, Options{SampleSize: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +165,7 @@ func TestPlannerRun(t *testing.T) {
 	r1 := synthetic(80, 3, 4, datagen.Independent, 61)
 	r2 := synthetic(80, 3, 4, datagen.Independent, 62)
 	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 4}
-	res, plan, err := Run(q, Options{})
+	res, plan, err := Run(context.Background(), q, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,14 +179,107 @@ func TestPlannerRun(t *testing.T) {
 }
 
 func TestPlannerErrors(t *testing.T) {
-	if _, err := EstimateCardinality(core.Query{}, Options{}); err == nil {
+	if _, err := EstimateCardinality(context.Background(), core.Query{}, Options{}); err == nil {
 		t.Error("invalid query accepted")
 	}
 	// Empty join: keys never match.
 	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 2}}})
 	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "b", Attrs: []float64{1, 2}}})
 	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3}
-	if _, err := EstimateCardinality(q, Options{}); !errors.Is(err, ErrEmptyJoin) {
+	if _, err := EstimateCardinality(context.Background(), q, Options{}); !errors.Is(err, ErrEmptyJoin) {
 		t.Errorf("empty join: err = %v, want ErrEmptyJoin", err)
 	}
+}
+
+func TestSampleRanksDistinctAndInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		total := 1 + rng.Intn(5000)
+		m := 1 + rng.Intn(total)
+		got := sampleRanksForTest(int64(trial+1), total, m)
+		seen := map[int]bool{}
+		for _, r := range got {
+			if r < 0 || r >= total {
+				t.Fatalf("trial %d: rank %d out of [0,%d)", trial, r, total)
+			}
+			if seen[r] {
+				t.Fatalf("trial %d: duplicate rank %d", trial, r)
+			}
+			seen[r] = true
+		}
+		if len(got) != m {
+			t.Fatalf("trial %d: got %d ranks, want %d", trial, len(got), m)
+		}
+	}
+}
+
+func TestSampleRanksFullCoverage(t *testing.T) {
+	// m == total must yield a permutation of 0..total-1.
+	const total = 257
+	got := sampleRanksForTest(9, total, total)
+	seen := make([]bool, total)
+	for _, r := range got {
+		if seen[r] {
+			t.Fatalf("duplicate rank %d in full sample", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestSamplePairsJoinCompatibleAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	conds := []join.Condition{join.Equality, join.Cross, join.BandLess, join.BandGreaterEq}
+	for trial := 0; trial < 30; trial++ {
+		r1 := synthetic(20+rng.Intn(60), 3, 3, datagen.Independent, int64(100+trial*2))
+		r2 := synthetic(20+rng.Intn(60), 3, 3, datagen.Independent, int64(101+trial*2))
+		cond := conds[rng.Intn(len(conds))]
+		q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: cond}, K: 4}
+		total, err := join.CountPairs(r1, r2, q.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total == 0 {
+			continue
+		}
+		ix, prefix := rankSpace(q)
+		if got := prefix[len(prefix)-1]; got != total {
+			t.Fatalf("trial %d: rank space holds %d pairs, CountPairs says %d", trial, got, total)
+		}
+		m := 1 + rng.Intn(total)
+		pairs := samplePairs(q, ix, prefix, Options{SampleSize: m, Seed: int64(trial + 1)})
+		if len(pairs) != m {
+			t.Fatalf("trial %d: sampled %d pairs, want %d", trial, len(pairs), m)
+		}
+		seen := map[[2]int]bool{}
+		for _, pr := range pairs {
+			if seen[pr] {
+				t.Fatalf("trial %d: duplicate pair %v", trial, pr)
+			}
+			seen[pr] = true
+			if cond != join.Cross && !cond.Matches(&r1.Tuples[pr[0]], &r2.Tuples[pr[1]]) {
+				t.Fatalf("trial %d: sampled pair %v not join-compatible under %v", trial, pr, cond)
+			}
+		}
+	}
+}
+
+func TestEstimateCancelled(t *testing.T) {
+	r1 := synthetic(200, 4, 5, datagen.AntiCorrelated, 81)
+	r2 := synthetic(200, 4, 5, datagen.AntiCorrelated, 82)
+	q := core.Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 6}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EstimateCardinality(ctx, q, Options{SampleSize: 400}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled estimate returned %v, want context.Canceled", err)
+	}
+	if _, _, err := Run(ctx, q, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled planner run returned %v, want context.Canceled", err)
+	}
+}
+
+// sampleRanksForTest drives sampleRanks from a v2 PCG source. The seed
+// words are arbitrary (and unrelated to samplePairs' seeding): the tests
+// assert distribution-level properties, not specific streams.
+func sampleRanksForTest(seed int64, total, m int) []int {
+	return sampleRanks(randv2.New(randv2.NewPCG(uint64(seed), 1)), total, m)
 }

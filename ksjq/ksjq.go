@@ -1,0 +1,224 @@
+// Package ksjq is the public face of the KSJQ system: one stable surface
+// for evaluating K-Dominant Skyline Join Queries (Awasthi, Bhattacharya,
+// Gupta, Singh; ICDE 2017) that CLIs, examples, and servers program
+// against instead of reaching into internal packages.
+//
+// Every query runs on a single context-aware engine execution path:
+//
+//	res, err := ksjq.Run(ctx, q, ksjq.Options{})                       // planner picks the algorithm
+//	res, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Grouping, Workers: 8})
+//	res, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Grouping, Emit: stream})
+//
+// The context carries the query's deadline: cancellation is noticed
+// between phases and periodically inside candidate verification (the
+// dominant cost), so every entry point returns ctx.Err() promptly with no
+// goroutines left behind — the property a deployment serving heavy
+// traffic needs from every request it admits.
+package ksjq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+)
+
+// Algorithm selects the evaluation strategy. The zero value, Auto, asks
+// the sampling planner to choose from cardinality estimates.
+type Algorithm int
+
+const (
+	// Auto lets the sampling planner choose among the three algorithms.
+	Auto Algorithm = iota
+	// Naive joins first, then computes the k-dominant skyline (Algo 1).
+	Naive
+	// Grouping categorizes base tuples into SS/SN/NN and prunes or emits
+	// whole cells of the fate table before joining (Algo 2). Only this
+	// strategy supports Workers and Emit.
+	Grouping
+	// DominatorBased additionally materializes explicit dominator sets so
+	// "may be" tuples are verified against small joins (Algo 3).
+	DominatorBased
+)
+
+// String names the strategy the way the CLI flags spell it.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Naive:
+		return "naive"
+	case Grouping:
+		return "grouping"
+	case DominatorBased:
+		return "dominator"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps CLI spellings (and the paper's one-letter labels) to
+// an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "auto", "a":
+		return Auto, nil
+	case "naive", "n":
+		return Naive, nil
+	case "grouping", "g":
+		return Grouping, nil
+	case "dominator", "dominator-based", "d":
+		return DominatorBased, nil
+	default:
+		return 0, fmt.Errorf("ksjq: unknown algorithm %q (want auto, naive, grouping or dominator)", s)
+	}
+}
+
+// Label returns the paper's one-letter figure label for a concrete
+// strategy ("N", "G", "D") and "auto" for Auto.
+func (a Algorithm) Label() string {
+	calg, err := a.coreAlgorithm()
+	if err != nil {
+		return a.String()
+	}
+	return calg.String()
+}
+
+// ParseFindKAlgorithm maps CLI spellings to a find-k strategy.
+func ParseFindKAlgorithm(s string) (FindKAlgorithm, error) {
+	switch strings.ToLower(s) {
+	case "naive", "n":
+		return FindKNaive, nil
+	case "range", "r":
+		return FindKRange, nil
+	case "binary", "b":
+		return FindKBinary, nil
+	default:
+		return 0, fmt.Errorf("ksjq: unknown find-k algorithm %q (want naive, range or binary)", s)
+	}
+}
+
+func (a Algorithm) coreAlgorithm() (core.Algorithm, error) {
+	switch a {
+	case Naive:
+		return core.Naive, nil
+	case Grouping:
+		return core.Grouping, nil
+	case DominatorBased:
+		return core.DominatorBased, nil
+	default:
+		return 0, fmt.Errorf("ksjq: %v has no core algorithm", a)
+	}
+}
+
+// Options configures one Run on the unified execution path.
+type Options struct {
+	// Algorithm selects the strategy; Auto (the zero value) consults the
+	// sampling planner.
+	Algorithm Algorithm
+	// Workers > 1 verifies candidates in parallel. Requires Grouping.
+	Workers int
+	// Emit, when non-nil, streams each confirmed tuple instead of
+	// collecting Result.Skyline; returning false stops the query early.
+	// Requires Grouping. Emitted pairs are detached from internal arenas
+	// and arrive cell by cell, not in (Left, Right) order. With
+	// Workers <= 1 tuples stream the moment they are verified; with
+	// Workers > 1 streaming is cell-granular (survivors are emitted in
+	// candidate order once each cell's parallel verification completes).
+	Emit Emit
+	// Planner tunes Auto's sampling (ignored for explicit algorithms).
+	Planner PlannerOptions
+}
+
+// ErrOptionConflict is returned when Workers or Emit are combined with an
+// algorithm other than Grouping — including Auto, whose planner may pick a
+// strategy that cannot honor them.
+var ErrOptionConflict = errors.New("ksjq: workers and emit require Algorithm == Grouping")
+
+// Run evaluates one query. With Algorithm == Auto the sampling planner
+// chooses the strategy first (use RunAuto to also receive the plan). The
+// context bounds the whole call, planning included.
+func Run(ctx context.Context, q Query, opts Options) (*Result, error) {
+	alg := opts.Algorithm
+	if alg == Auto {
+		if opts.Workers > 1 || opts.Emit != nil {
+			return nil, ErrOptionConflict
+		}
+		res, _, err := RunAuto(ctx, q, opts.Planner)
+		return res, err
+	}
+	calg, err := alg.coreAlgorithm()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Exec(ctx, q, core.ExecOptions{Algorithm: calg, Workers: opts.Workers, Emit: opts.Emit})
+	if err != nil && errors.Is(err, core.ErrOptionConflict) {
+		return nil, fmt.Errorf("%w (got %v)", ErrOptionConflict, alg)
+	}
+	return res, err
+}
+
+// RunAuto plans and executes in one call, returning the planner's decision
+// alongside the result.
+func RunAuto(ctx context.Context, q Query, opts PlannerOptions) (*Result, *Plan, error) {
+	return planner.Run(ctx, q, opts)
+}
+
+// Choose asks the sampling planner which algorithm it would pick, without
+// executing the query.
+func Choose(ctx context.Context, q Query, opts PlannerOptions) (*Plan, error) {
+	return planner.Choose(ctx, q, opts)
+}
+
+// EstimateCardinality samples the join and estimates the skyline size.
+func EstimateCardinality(ctx context.Context, q Query, opts PlannerOptions) (*Estimate, error) {
+	return planner.EstimateCardinality(ctx, q, opts)
+}
+
+// FindK solves Problem 3: the smallest k whose k-dominant skyline join has
+// at least delta tuples.
+func FindK(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
+	return core.FindKContext(ctx, q, delta, alg)
+}
+
+// FindKAtMost solves Problem 4: the largest k whose skyline has at most
+// delta tuples.
+func FindKAtMost(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
+	return core.FindKAtMostContext(ctx, q, delta, alg)
+}
+
+// Membership tests many joined pairs for skyline membership at once; the
+// result slice is parallel to pairs.
+func Membership(ctx context.Context, q Query, pairs [][2]int) ([]bool, error) {
+	return core.MembershipContext(ctx, q, pairs)
+}
+
+// IsSkylineMember answers a single membership point query.
+func IsSkylineMember(ctx context.Context, q Query, i, j int) (bool, error) {
+	members, err := core.MembershipContext(ctx, q, [][2]int{{i, j}})
+	if err != nil {
+		return false, err
+	}
+	return members[0], nil
+}
+
+// NewMaintainer builds an incremental maintainer of q's answer, for
+// workloads where tuples arrive and leave while the skyline must stay
+// current.
+func NewMaintainer(q Query) (*Maintainer, error) {
+	return core.NewMaintainer(q)
+}
+
+// RunCascade evaluates a cascaded KSJQ over three or more relations
+// (Sec. 2.3's chain-join extension).
+func RunCascade(q CascadeQuery, strategy CascadeStrategy) (*CascadeResult, error) {
+	return runCascade(q, strategy)
+}
+
+// Workers renders a parallel degree for CLI output ("auto (8)" for <= 0).
+func Workers(workers int) string {
+	return core.Workers(workers)
+}
