@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race bench docs-check examples ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the godoc examples (the docs lane's executable documentation).
+examples:
+	$(GO) test -run Example -v ./ksjq/
+
+# Snapshot the tracked benchmarks into BENCH_pr3.json.
+bench:
+	./scripts/bench_snapshot.sh BENCH_pr3.json
+
+# Fail if README.md references commands, flags, or files that are gone.
+docs-check:
+	./scripts/check_docs.sh
+
+ci: build test race examples docs-check

@@ -6,12 +6,17 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/join"
+	"repro/internal/service"
 )
 
 func benchFigure(b *testing.B, scale experiments.Scale, pick func(*experiments.Suite) func() []experiments.Row) {
@@ -203,6 +208,111 @@ func BenchmarkBandJoinEnumerate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchService builds a query service with the default workload resident,
+// one answer already cached, and returns the repeated request.
+func benchService(b *testing.B, n int) (*service.Service, service.QueryRequest, core.Query) {
+	b.Helper()
+	q := defaultQuery(n)
+	svc := service.New(service.Config{})
+	b.Cleanup(func() { svc.Close() })
+	if _, err := svc.Register("r1", q.R1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.Register("r2", q.R2); err != nil {
+		b.Fatal(err)
+	}
+	req := service.QueryRequest{R1: "r1", R2: "r2", K: q.K, Algorithm: "grouping"}
+	if _, err := svc.Query(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	return svc, req, q
+}
+
+// BenchmarkServiceCold is the baseline the service amortizes away: a full
+// from-scratch engine run (index construction included) per query, i.e.
+// what every ksjq.Run invocation paid before the service layer existed.
+func BenchmarkServiceCold(b *testing.B) {
+	q := defaultQuery(300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(q, core.Grouping); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceWarm is the repeated-query path: same relations, same
+// normalized query, answered from the service's cache. The acceptance
+// criterion is >=10x over BenchmarkServiceCold; measured gaps are orders
+// of magnitude.
+func BenchmarkServiceWarm(b *testing.B) {
+	svc, req, _ := benchService(b, 300)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Query(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Source == service.SourceComputed {
+			b.Fatal("warm benchmark recomputed")
+		}
+	}
+}
+
+// BenchmarkServiceResident isolates the resident-index effect: the cache
+// is bypassed, so every iteration is a real engine run, but over the
+// service's shared core.Resident instead of rebuilding indexes.
+func BenchmarkServiceResident(b *testing.B) {
+	svc, req, _ := benchService(b, 300)
+	req.NoCache = true
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceInsert measures live maintenance: each insert updates
+// the cached answer incrementally through the promoted maintainer (the
+// relation grows as the benchmark runs, so this is an amortized figure).
+func BenchmarkServiceInsert(b *testing.B) {
+	svc, req, q := benchService(b, 300)
+	// Promote the cached entry once so iterations measure absorb, not
+	// promotion.
+	rng := rand.New(rand.NewSource(7))
+	ctx := context.Background()
+	d := q.R1.D()
+	newTuple := func() dataset.Tuple {
+		attrs := make([]float64, d)
+		for i := range attrs {
+			attrs[i] = rng.Float64()
+		}
+		// datagen keys are "g%04d": the inserted tuple must land in a real
+		// group, or the benchmark measures the zero-partner early exit.
+		return dataset.Tuple{Key: fmt.Sprintf("g%04d", rng.Intn(10)), Attrs: attrs}
+	}
+	if _, err := svc.Insert("r1", newTuple()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Insert("r1", newTuple()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	resp, err := svc.Query(ctx, req)
+	if err != nil {
+		b.Fatalf("maintained query after inserts: %v", err)
+	}
+	if resp.Source != service.SourceMaintained {
+		b.Fatalf("maintained query after inserts: source=%v", resp.Source)
+	}
 }
 
 // BenchmarkCheckerAlloc tracks allocations of the full grouping run —

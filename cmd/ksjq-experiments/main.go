@@ -1,6 +1,6 @@
 // Command ksjq-experiments regenerates the paper's evaluation figures
 // (Sec. 7). Every figure of the paper has a runner; see DESIGN.md §4 for
-// the experiment index and EXPERIMENTS.md for paper-vs-measured notes.
+// the experiment index and paper-vs-measured notes.
 //
 // Examples:
 //

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"time"
 
 	"repro/ksjq"
@@ -184,31 +183,12 @@ func loadRelation(path, name string, local, agg int, band bool) (*ksjq.Relation,
 
 func parseSpec(cond, aggFn string) (ksjq.Spec, error) {
 	var spec ksjq.Spec
-	switch strings.ToLower(cond) {
-	case "eq", "equality":
-		spec.Cond = ksjq.Equality
-	case "cross", "cartesian":
-		spec.Cond = ksjq.Cross
-	case "lt":
-		spec.Cond = ksjq.BandLess
-	case "le":
-		spec.Cond = ksjq.BandLessEq
-	case "gt":
-		spec.Cond = ksjq.BandGreater
-	case "ge":
-		spec.Cond = ksjq.BandGreaterEq
-	default:
-		return spec, fmt.Errorf("unknown join condition %q", cond)
+	var err error
+	if spec.Cond, err = ksjq.ParseCondition(cond); err != nil {
+		return spec, err
 	}
-	switch strings.ToLower(aggFn) {
-	case "sum":
-		spec.Agg = ksjq.Sum
-	case "max":
-		spec.Agg = ksjq.Max
-	case "min":
-		spec.Agg = ksjq.Min
-	default:
-		return spec, fmt.Errorf("unknown aggregator %q", aggFn)
+	if spec.Agg, err = ksjq.ParseAggregator(aggFn); err != nil {
+		return spec, err
 	}
 	return spec, nil
 }

@@ -1,0 +1,153 @@
+// Command ksjqd serves k-dominant skyline join queries over HTTP: a
+// long-lived process that keeps relations (and their join indexes)
+// resident, caches answers across requests, and maintains cached skylines
+// incrementally when tuples are inserted — see the service architecture
+// in DESIGN.md §7.
+//
+// Start it empty and load relations over the API, or preload at startup:
+//
+//	ksjqd -addr :8372 -load r1,legs1.csv,3,2 -load r2,legs2.csv,3,2
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/relations   register a relation (JSON tuples, or CSV body
+//	                     with ?format=csv&name=..&local=..&agg=..&band=1)
+//	GET  /v1/relations   list registered relations and versions
+//	POST /v1/query       answer one KSJQ query
+//	POST /v1/insert      insert one tuple, maintaining cached answers
+//	GET  /v1/stats       service counters
+//	GET  /healthz        liveness
+//
+// Example query:
+//
+//	curl -s localhost:8372/v1/query -d '{"r1":"r1","r2":"r2","k":6,"algorithm":"auto"}'
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests finish
+// (bounded by -grace), new ones are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/ksjq"
+)
+
+// loadSpec is one -load flag: name,path,local[,agg[,band]].
+type loadSpec struct {
+	name, path string
+	local, agg int
+	band       bool
+}
+
+// loadFlags collects repeated -load occurrences.
+type loadFlags []loadSpec
+
+func (l *loadFlags) String() string { return fmt.Sprintf("%d relations", len(*l)) }
+
+func (l *loadFlags) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) < 3 || len(parts) > 5 {
+		return fmt.Errorf("want name,path,local[,agg[,band]], got %q", s)
+	}
+	spec := loadSpec{name: parts[0], path: parts[1]}
+	var err error
+	if spec.local, err = strconv.Atoi(parts[2]); err != nil {
+		return fmt.Errorf("local attribute count %q: %v", parts[2], err)
+	}
+	if len(parts) > 3 {
+		if spec.agg, err = strconv.Atoi(parts[3]); err != nil {
+			return fmt.Errorf("aggregate attribute count %q: %v", parts[3], err)
+		}
+	}
+	if len(parts) > 4 {
+		if parts[4] != "band" {
+			return fmt.Errorf("fifth field must be \"band\", got %q", parts[4])
+		}
+		spec.band = true
+	}
+	*l = append(*l, spec)
+	return nil
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8372", "listen address")
+		workers = flag.Int("workers", 0, "max queries executing at once (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "max queries waiting for a worker slot (0 = 64)")
+		cache   = flag.Int("cache", 0, "answer-cache capacity in entries (0 = 256)")
+		timeout = flag.Duration("timeout", 0, "default per-request deadline (0 = 30s, negative = none)")
+		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		loads   loadFlags
+	)
+	flag.Var(&loads, "load", "preload a relation: name,path,local[,agg[,band]] (repeatable)")
+	flag.Parse()
+
+	svc := ksjq.NewService(ksjq.ServiceConfig{
+		MaxConcurrent:  *workers,
+		MaxQueue:       *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+	})
+	for _, spec := range loads {
+		if err := preload(svc, spec); err != nil {
+			log.Fatalf("ksjqd: -load %s: %v", spec.name, err)
+		}
+		log.Printf("loaded relation %s from %s", spec.name, spec.path)
+	}
+
+	// The wire-facing deadline bound mirrors the service's resolution of
+	// -timeout: 0 means the shared default, negative means the operator
+	// explicitly allows unbounded requests.
+	maxTimeout := *timeout
+	if maxTimeout == 0 {
+		maxTimeout = ksjq.DefaultRequestTimeout
+	} else if maxTimeout < 0 {
+		maxTimeout = 0
+	}
+	srv := &http.Server{Addr: *addr, Handler: newServer(svc, maxTimeout)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("ksjqd listening on %s (%d relations preloaded)", *addr, len(loads))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("ksjqd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("ksjqd: shutting down (grace %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ksjqd: shutdown: %v", err)
+	}
+	if err := svc.Close(); err != nil && !errors.Is(err, ksjq.ErrServiceClosed) {
+		log.Printf("ksjqd: closing service: %v", err)
+	}
+	log.Printf("ksjqd: bye")
+}
+
+func preload(svc *ksjq.Service, spec loadSpec) error {
+	f, err := os.Open(spec.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = svc.RegisterCSV(spec.name, f, ksjq.ReadOptions{
+		Name: spec.name, Local: spec.local, Agg: spec.agg, HasBand: spec.band,
+	})
+	return err
+}

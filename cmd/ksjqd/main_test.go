@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/ksjq"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := ksjq.NewService(ksjq.ServiceConfig{})
+	srv := httptest.NewServer(newServer(svc, 30*time.Second))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+// relationBody builds a loadable toy relation: two incomparable tuples
+// (1,9) and (9,1) on one key. Joining two of these under k=4 (full
+// dominance) yields all four combinations in the skyline; inserting (0,0)
+// on one side then collapses it to the two pairs built from the new tuple.
+func relationBody(name string) map[string]any {
+	return map[string]any{"name": name, "local": 2, "agg": 0, "tuples": []map[string]any{
+		{"key": "h", "attrs": []float64{1, 9}},
+		{"key": "h", "attrs": []float64{9, 1}},
+	}}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Load two relations.
+	for _, name := range []string{"r1", "r2"} {
+		resp, out := postJSON(t, srv.URL+"/v1/relations", relationBody(name))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("load %s: status %d (%v)", name, resp.StatusCode, out)
+		}
+		if out["version"].(float64) != 1 || out["tuples"].(float64) != 2 {
+			t.Fatalf("load %s: %v", name, out)
+		}
+	}
+
+	// Listing shows both.
+	resp, err := http.Get(srv.URL + "/v1/relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Relations []map[string]any `json:"relations"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Relations) != 2 {
+		t.Fatalf("relations listing: %v", listing)
+	}
+
+	// First query computes, second hits the cache. k=4 over the joined
+	// width 4 is full dominance: all four combinations of the two
+	// incomparable tuples per side survive.
+	query := map[string]any{"r1": "r1", "r2": "r2", "k": 4, "algorithm": "grouping"}
+	resp, out := postJSON(t, srv.URL+"/v1/query", query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d (%v)", resp.StatusCode, out)
+	}
+	if out["source"] != "computed" || out["stats"] == nil {
+		t.Errorf("first query: source=%v stats=%v", out["source"], out["stats"])
+	}
+	if got := out["count"].(float64); got != 4 {
+		t.Errorf("first query skyline has %v tuples, want 4", got)
+	}
+	_, out = postJSON(t, srv.URL+"/v1/query", query)
+	if out["source"] != "cached" {
+		t.Errorf("second query: source=%v, want cached", out["source"])
+	}
+
+	// An insert keeps the cached answer live: the next query is served
+	// from the maintained entry at the new version.
+	resp, out = postJSON(t, srv.URL+"/v1/insert", map[string]any{
+		"relation": "r1",
+		"tuple":    map[string]any{"key": "h", "attrs": []float64{0, 0}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: status %d (%v)", resp.StatusCode, out)
+	}
+	if out["version"].(float64) != 2 || out["maintained"].(float64) != 1 {
+		t.Errorf("insert: %v", out)
+	}
+	_, out = postJSON(t, srv.URL+"/v1/query", query)
+	if out["source"] != "maintained" {
+		t.Errorf("post-insert query: source=%v, want maintained", out["source"])
+	}
+	versions := out["versions"].([]any)
+	if versions[0].(float64) != 2 || versions[1].(float64) != 1 {
+		t.Errorf("post-insert versions: %v", versions)
+	}
+	// The dominant insert ((0,0) beats both R1 tuples) reshapes the
+	// answer: only its two joined pairs survive full dominance.
+	if got := out["count"].(float64); got != 2 {
+		t.Errorf("post-insert skyline has %v tuples, want 2", got)
+	}
+
+	// Stats reflect the traffic.
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats ksjq.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Queries != 3 || stats.Computed != 1 || stats.CacheHits != 1 || stats.MaintainedHits != 1 {
+		t.Errorf("stats: %+v", stats)
+	}
+	if stats.Inserts != 1 || len(stats.Relations) != 2 {
+		t.Errorf("stats relations/inserts: %+v", stats)
+	}
+
+	// Health.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+}
+
+func TestServerCSVLoad(t *testing.T) {
+	srv := newTestServer(t)
+	csv := "key,band,a0,a1\nBOM,2.5,1,9\nBOM,4,3,3\n"
+	resp, err := http.Post(srv.URL+"/v1/relations?format=csv&name=legs&local=2&band=1", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out["tuples"].(float64) != 2 {
+		t.Fatalf("CSV load: status %d, %v", resp.StatusCode, out)
+	}
+	// A band self-join over the loaded relation works end to end.
+	_, out = postJSON(t, srv.URL+"/v1/query", map[string]any{
+		"r1": "legs", "r2": "legs", "k": 3, "join": "lt",
+	})
+	if out["error"] != nil {
+		t.Fatalf("band query: %v", out["error"])
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv := newTestServer(t)
+	postJSON(t, srv.URL+"/v1/relations", relationBody("r1"))
+
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"unknown relation", "/v1/query", map[string]any{"r1": "r1", "r2": "ghost", "k": 3}, http.StatusNotFound},
+		{"bad k", "/v1/query", map[string]any{"r1": "r1", "r2": "r1", "k": 99}, http.StatusBadRequest},
+		{"bad join", "/v1/query", map[string]any{"r1": "r1", "r2": "r1", "k": 4, "join": "outer"}, http.StatusBadRequest},
+		{"duplicate relation", "/v1/relations", relationBody("r1"), http.StatusConflict},
+		{"insert unknown", "/v1/insert", map[string]any{"relation": "ghost", "tuple": map[string]any{"attrs": []float64{1, 2}}}, http.StatusNotFound},
+		{"insert bad schema", "/v1/insert", map[string]any{"relation": "r1", "tuple": map[string]any{"attrs": []float64{1}}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, out := postJSON(t, srv.URL+c.path, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%v)", c.name, resp.StatusCode, c.status, out)
+		}
+		if out["error"] == nil {
+			t.Errorf("%s: response carries no error field: %v", c.name, out)
+		}
+	}
+
+	// Malformed JSON.
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+
+	// Wrong method.
+	resp, err = http.Get(srv.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query: status %d", resp.StatusCode)
+	}
+}
+
+func TestLoadFlagParsing(t *testing.T) {
+	var l loadFlags
+	for _, good := range []string{"r1,data.csv,3", "r2,data.csv,3,2", "r3,data.csv,3,2,band"} {
+		if err := l.Set(good); err != nil {
+			t.Errorf("Set(%q): %v", good, err)
+		}
+	}
+	if len(l) != 3 || l[2].band != true || l[1].agg != 2 || l[0].local != 3 {
+		t.Errorf("parsed specs: %+v", l)
+	}
+	for _, bad := range []string{"r1", "r1,data.csv", "r1,data.csv,x", "r1,data.csv,3,y", "r1,data.csv,3,2,nope", "a,b,1,2,band,extra"} {
+		if err := l.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTupleJSONRoundTrip(t *testing.T) {
+	in := tupleJSON{Key: "A", Key2: "B", Band: 1.5, Attrs: []float64{1, 2}}
+	tup := in.tuple()
+	if tup.Key != "A" || tup.Key2 != "B" || tup.Band != 1.5 || fmt.Sprint(tup.Attrs) != "[1 2]" {
+		t.Errorf("tuple() = %+v", tup)
+	}
+}

@@ -4,12 +4,16 @@
 //
 // The public API is the ksjq package: one context-aware surface
 // (ksjq.Run, ksjq.FindK, ksjq.Membership, …) over a single engine
-// execution path that serves serial, parallel, and progressive modes.
-// The engine itself lives under internal/: see internal/core for the
-// KSJQ algorithms, internal/planner for algorithm selection,
+// execution path that serves serial, parallel, and progressive modes,
+// plus ksjq.NewService — the embedded form of the ksjqd query server,
+// with resident relations, an answer cache, and incremental maintenance
+// under inserts. The engine itself lives under internal/: see
+// internal/core for the KSJQ algorithms, internal/planner for algorithm
+// selection, internal/service for the serving layer,
 // internal/experiments for the figure harness, and DESIGN.md for the
 // system inventory (§6 covers the facade and the unified execution
-// path). Executables are under cmd/ and runnable examples under
-// examples/. The root-level bench_test.go holds one testing.B benchmark
-// per figure of the paper's evaluation.
+// path, §7 the query service). Executables are under cmd/ and runnable
+// examples under examples/; README.md has the quickstarts. The
+// root-level bench_test.go holds one testing.B benchmark per figure of
+// the paper's evaluation plus the service cold/warm benchmarks.
 package repro

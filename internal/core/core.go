@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -66,6 +67,42 @@ func (a Algorithm) String() string {
 		return "D"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Token returns the spelled-out strategy name the CLIs and the service's
+// JSON API use ("naive", "grouping", "dominator"); String keeps the
+// paper's one-letter figure labels.
+func (a Algorithm) Token() string {
+	switch a {
+	case Naive:
+		return "naive"
+	case Grouping:
+		return "grouping"
+	case DominatorBased:
+		return "dominator"
+	default:
+		return a.String()
+	}
+}
+
+// ParseAlgorithm maps CLI and API spellings (full names and the paper's
+// one-letter labels, case-insensitive) to a strategy. The empty string
+// and "auto" report auto=true: the caller should consult the sampling
+// planner. This is the one spelling table both the ksjq facade and the
+// query service delegate to.
+func ParseAlgorithm(s string) (alg Algorithm, auto bool, err error) {
+	switch strings.ToLower(s) {
+	case "", "auto", "a":
+		return 0, true, nil
+	case "naive", "n":
+		return Naive, false, nil
+	case "grouping", "g":
+		return Grouping, false, nil
+	case "dominator", "dominator-based", "d":
+		return DominatorBased, false, nil
+	default:
+		return 0, false, fmt.Errorf("%w: %q (want auto, naive, grouping or dominator)", ErrUnknownAlgorithm, s)
 	}
 }
 

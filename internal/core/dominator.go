@@ -14,9 +14,9 @@ import (
 // joined tuple u ⋈ v is then verified only against τ(u) ⋈ τ(v), which is
 // usually far smaller than the full join the grouping algorithm scans for
 // "may be" tuples; the price is the time and memory to build the sets.
-func runDominator(ctx context.Context, q Query) (*Result, error) {
+func runDominator(ctx context.Context, q Query, res *Resident) (*Result, error) {
 	st := Stats{}
-	e := newEngine(q, &st)
+	e := newEngineResident(q, &st, res)
 
 	// Phase 1: categorization.
 	t0 := time.Now()

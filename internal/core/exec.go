@@ -28,6 +28,14 @@ type ExecOptions struct {
 	// candidate order after its parallel verification completes, and a
 	// false return stops before the next cell, not mid-cell.
 	Emit Emit
+	// Resident, when non-nil, supplies prebuilt per-(R1, R2, condition)
+	// structures (full-R2 join index, probe orders, base-point tables) so
+	// the engine skips their construction — the reuse the query service
+	// relies on for resident relations. It must have been built by
+	// NewResident over exactly the query's relations and condition;
+	// otherwise Exec returns ErrStaleResident. The naive algorithm
+	// materializes the full join instead of probing and ignores it.
+	Resident *Resident
 }
 
 // ErrOptionConflict is returned when exec options are combined with an
@@ -54,6 +62,11 @@ func Exec(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
 	if o.Algorithm != Grouping && (o.Workers > 1 || o.Emit != nil) {
 		return nil, fmt.Errorf("%w (got %v)", ErrOptionConflict, o.Algorithm)
 	}
+	if o.Resident != nil {
+		if err := o.Resident.check(q); err != nil {
+			return nil, err
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -64,9 +77,9 @@ func Exec(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
 	case Naive:
 		res, err = runNaive(ctx, q)
 	case Grouping:
-		res, err = runGrouping(ctx, q, o.Workers, o.Emit)
+		res, err = runGrouping(ctx, q, o.Workers, o.Emit, o.Resident)
 	case DominatorBased:
-		res, err = runDominator(ctx, q)
+		res, err = runDominator(ctx, q, o.Resident)
 	}
 	if err != nil {
 		return nil, err

@@ -27,9 +27,9 @@ import (
 // goroutines; a non-nil emit streams each tuple the moment its cell
 // confirms it (the "yes" cell right after categorization — the
 // progressiveness argument of Sec. 6.1) instead of collecting the answer.
-func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit) (*Result, error) {
+func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Resident) (*Result, error) {
 	st := Stats{}
-	e := newEngine(q, &st)
+	e := newEngineResident(q, &st, res)
 
 	// Phase 1: categorization and target-set augmentation. The two
 	// relations are independent, so the parallel mode runs them

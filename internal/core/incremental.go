@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/dataset"
@@ -27,31 +26,73 @@ import (
 // back to a full recompute with the grouping algorithm; the API exists so
 // callers need no special-casing.
 type Maintainer struct {
-	q   Query
-	sky map[[2]int]join.Pair
+	q      Query
+	sky    map[[2]int]join.Pair
+	closed bool
+	// res optionally shares prebuilt index structures with absorb (see
+	// UseResident); ignored whenever it no longer matches the relations.
+	res *Resident
 	// stats accumulates incremental work since construction.
 	inserted   int
 	recomputes int
 }
 
-// ErrMaintainerClosed is reserved for future lifecycle management.
+// ErrMaintainerClosed is returned by every mutating method after Close.
+// Closing releases the maintained skyline; a closed maintainer cannot be
+// reopened — build a new one.
 var ErrMaintainerClosed = errors.New("core: maintainer closed")
 
 // NewMaintainer computes the initial answer with the grouping algorithm
 // and returns a maintainer positioned on it. The relations inside q are
 // owned by the maintainer afterwards: callers must not mutate them except
-// through Insert/Delete.
+// through Insert/Delete (or Append + Absorb when an external writer shares
+// the relations).
 func NewMaintainer(q Query) (*Maintainer, error) {
 	res, err := Run(q, Grouping)
 	if err != nil {
 		return nil, err
 	}
-	m := &Maintainer{q: q, sky: make(map[[2]int]join.Pair, len(res.Skyline))}
-	for _, p := range res.Skyline {
-		m.sky[[2]int{p.Left, p.Right}] = p
-	}
-	return m, nil
+	return newMaintainer(q, res.Skyline), nil
 }
+
+// NewMaintainerFrom returns a maintainer positioned on a previously
+// computed answer instead of recomputing it: skyline must be exactly the
+// k-dominant skyline of q as the relations currently stand (e.g. a result
+// the answer cache is holding at the relations' current version). The cost
+// is one validation plus copying the skyline — this is how the query
+// service promotes a cached answer to a live-maintained one for free when
+// the first insert arrives.
+func NewMaintainerFrom(q Query, skyline []join.Pair) (*Maintainer, error) {
+	if err := q.Validate(Grouping); err != nil {
+		return nil, err
+	}
+	return newMaintainer(q, skyline), nil
+}
+
+func newMaintainer(q Query, skyline []join.Pair) *Maintainer {
+	m := &Maintainer{q: q, sky: make(map[[2]int]join.Pair, len(skyline))}
+	for _, p := range skyline {
+		// Detach from whatever arena the caller's result lives in: the
+		// skyline map is long-lived.
+		m.sky[[2]int{p.Left, p.Right}] = detach(p)
+	}
+	return m
+}
+
+// Close releases the maintained skyline and marks the maintainer closed:
+// every later mutating call returns ErrMaintainerClosed, and Skyline
+// returns nil (distinguishable from a legitimately empty answer, which is
+// a non-nil empty slice). Close is idempotent and always returns nil; the
+// error return exists so io.Closer-shaped call sites compose.
+func (m *Maintainer) Close() error {
+	m.closed = true
+	m.sky = nil
+	m.res = nil // don't pin shared index structures past the lifecycle
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (m *Maintainer) Closed() bool { return m.closed }
 
 // InsertLeft adds a tuple to R1 and updates the skyline. The tuple's ID is
 // assigned by the maintainer. It returns the number of skyline tuples
@@ -66,32 +107,75 @@ func (m *Maintainer) InsertRight(t dataset.Tuple) (displaced, admitted int, err 
 }
 
 func (m *Maintainer) insert(t dataset.Tuple, left bool) (displaced, admitted int, err error) {
+	if m.closed {
+		return 0, 0, ErrMaintainerClosed
+	}
 	r := m.q.R2
 	if left {
 		r = m.q.R1
 	}
-	if len(t.Attrs) != r.D() {
-		return 0, 0, fmt.Errorf("%w: tuple has %d attributes, relation %s requires %d",
-			dataset.ErrBadSchema, len(t.Attrs), r.Name, r.D())
+	id, err := r.Append(t)
+	if err != nil {
+		return 0, 0, err
 	}
-	// Same invariant dataset.New enforces: a NaN band has no position in
-	// the band-sorted join index, and this is the one path that mutates a
-	// relation after construction.
-	if math.IsNaN(t.Band) {
-		return 0, 0, fmt.Errorf("%w: tuple has NaN band", dataset.ErrBadSchema)
+	return m.absorb(id, left)
+}
+
+// AbsorbLeft folds into the skyline the R1 tuple at index id that an
+// external writer already appended to the relation (via Relation.Append).
+// It exists for writers that fan one physical insert out to several
+// maintainers sharing a relation — the query service's insert path:
+// exactly one maintainer (or the writer itself) appends the tuple, every
+// other maintainer absorbs it. Each appended tuple must be absorbed
+// exactly once, in append order.
+func (m *Maintainer) AbsorbLeft(id int) (displaced, admitted int, err error) {
+	return m.absorbChecked(id, true)
+}
+
+// AbsorbRight is AbsorbLeft for the R2 side.
+func (m *Maintainer) AbsorbRight(id int) (displaced, admitted int, err error) {
+	return m.absorbChecked(id, false)
+}
+
+func (m *Maintainer) absorbChecked(id int, left bool) (displaced, admitted int, err error) {
+	if m.closed {
+		return 0, 0, ErrMaintainerClosed
 	}
-	t.ID = r.Len()
-	r.Tuples = append(r.Tuples, t)
+	r := m.q.R2
+	if left {
+		r = m.q.R1
+	}
+	if id < 0 || id >= r.Len() {
+		return 0, 0, fmt.Errorf("core: absorb index %d out of range [0,%d)", id, r.Len())
+	}
+	return m.absorb(id, left)
+}
+
+// UseResident lets the next absorbs reuse prebuilt index structures (a
+// Resident over the relations' current, post-append state) instead of
+// rebuilding the full-R2 index and probe orders per call — writers that
+// fan one insert out to many maintainers over the same relation pair
+// build one Resident and hand it to all of them. A resident that no
+// longer matches the relations (e.g. after a further insert) is ignored,
+// never an error.
+func (m *Maintainer) UseResident(res *Resident) { m.res = res }
+
+// absorb updates the skyline for the already-appended tuple r[id].
+func (m *Maintainer) absorb(id int, left bool) (displaced, admitted int, err error) {
 	m.inserted++
 
 	// New joined pairs introduced by the tuple.
 	st := Stats{}
-	e := newEngine(m.q, &st)
+	res := m.res
+	if res != nil && !res.matches(m.q) {
+		res = nil
+	}
+	e := newEngineResident(m.q, &st, res)
 	var newPairs []join.Pair
 	if left {
-		newPairs = e.pairs([]int{t.ID}, allIndices(m.q.R2.Len()))
+		newPairs = e.pairs([]int{id}, allIndices(m.q.R2.Len()))
 	} else {
-		newPairs = e.pairs(allIndices(m.q.R1.Len()), []int{t.ID})
+		newPairs = e.pairs(allIndices(m.q.R1.Len()), []int{id})
 	}
 	if len(newPairs) == 0 {
 		return 0, 0, nil
@@ -113,10 +197,16 @@ func (m *Maintainer) insert(t dataset.Tuple, left bool) (displaced, admitted int
 	chk := e.newChecker(allIndices(m.q.R1.Len()), allIndices(m.q.R2.Len()))
 	for _, np := range newPairs {
 		if !chk.dominates(np.Attrs) {
+			key := [2]int{np.Left, np.Right}
+			// Count only genuinely new members: a self-join absorbs the
+			// (new, new) pair from both sides, and it must not show up as
+			// two admissions.
+			if _, ok := m.sky[key]; !ok {
+				admitted++
+			}
 			// Detach from the per-insert materialization arena: the skyline
 			// map is long-lived and must not pin the whole insert's pairs.
-			m.sky[[2]int{np.Left, np.Right}] = detach(np)
-			admitted++
+			m.sky[key] = detach(np)
 		}
 	}
 	return displaced, admitted, nil
@@ -131,6 +221,14 @@ func (m *Maintainer) DeleteLeft(idx int) error { return m.delete(idx, true) }
 func (m *Maintainer) DeleteRight(idx int) error { return m.delete(idx, false) }
 
 func (m *Maintainer) delete(idx int, left bool) error {
+	if m.closed {
+		return ErrMaintainerClosed
+	}
+	// A delete can restore a relation to a length a shared resident was
+	// built at while changing its contents — the one mutation the
+	// resident's (pointer, length) staleness check cannot see — so drop
+	// it here rather than risk absorbing through a stale index later.
+	m.res = nil
 	r := m.q.R2
 	if left {
 		r = m.q.R1
@@ -154,8 +252,13 @@ func (m *Maintainer) delete(idx int, left bool) error {
 	return nil
 }
 
-// Skyline returns the current answer, sorted by (Left, Right).
+// Skyline returns the current answer, sorted by (Left, Right), or nil if
+// the maintainer is closed. A live maintainer of an empty answer returns a
+// non-nil empty slice, so nil is unambiguous.
 func (m *Maintainer) Skyline() []join.Pair {
+	if m.closed {
+		return nil
+	}
 	out := make([]join.Pair, 0, len(m.sky))
 	for _, p := range m.sky {
 		out = append(out, p)
@@ -167,8 +270,9 @@ func (m *Maintainer) Skyline() []join.Pair {
 // Len returns the current skyline size without copying.
 func (m *Maintainer) Len() int { return len(m.sky) }
 
-// Counters reports maintenance activity: tuples inserted incrementally and
-// full recomputes triggered by deletions.
+// Counters reports maintenance activity: incremental insert/absorb
+// operations processed (a self-joined tuple absorbed on both sides counts
+// as two operations) and full recomputes triggered by deletions.
 func (m *Maintainer) Counters() (inserted, recomputes int) {
 	return m.inserted, m.recomputes
 }

@@ -141,6 +141,163 @@ func TestMaintainerInsertNoPartners(t *testing.T) {
 	}
 }
 
+// TestMaintainerAbsorbSharedRelation drives the service-layer insert
+// pattern: two maintainers over queries sharing a relation, one physical
+// append, every maintainer absorbing it — each must track a from-scratch
+// recompute of its own query.
+func TestMaintainerAbsorbSharedRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 6; trial++ {
+		local := 1 + rng.Intn(3)
+		agg := rng.Intn(2)
+		groups := 1 + rng.Intn(3)
+		shared := randRelation(rng, "shared", 6+rng.Intn(8), local, agg, groups, 5)
+		rB := randRelation(rng, "b", 6+rng.Intn(8), local, agg, groups, 5)
+		rC := randRelation(rng, "c", 6+rng.Intn(8), local, agg, groups, 5)
+		qB := Query{R1: shared, R2: rB, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+		qB.K = qB.KMin()
+		qC := Query{R1: shared, R2: rC, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
+		qC.K = qC.Width()
+
+		mB, err := NewMaintainer(qB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mC, err := NewMaintainer(qC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 6; step++ {
+			id, err := shared.Append(randTuple(rng, local+agg, groups, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := mB.AbsorbLeft(id); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := mC.AbsorbLeft(id); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range []struct {
+				q Query
+				m *Maintainer
+			}{{qB, mB}, {qC, mC}} {
+				fresh, err := Run(c.q, Grouping)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := &Result{Skyline: c.m.Skyline()}
+				assertSameSkyline(t, fmt.Sprintf("absorb trial %d step %d", trial, step), got, fresh)
+			}
+		}
+	}
+}
+
+func TestMaintainerAbsorbOutOfRange(t *testing.T) {
+	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
+	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
+	m, err := NewMaintainer(Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.AbsorbLeft(5); err == nil {
+		t.Error("out-of-range absorb accepted")
+	}
+	if _, _, err := m.AbsorbRight(-1); err == nil {
+		t.Error("negative absorb accepted")
+	}
+}
+
+// TestMaintainerFrom checks a maintainer seeded from a previously computed
+// answer behaves exactly like one that computed it itself.
+func TestMaintainerFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	r1 := randRelation(rng, "r1", 10, 2, 1, 2, 5)
+	r2 := randRelation(rng, "r2", 10, 2, 1, 2, 5)
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: 4}
+	res, err := Run(q, Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainerFrom(q, res.Skyline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &Result{Skyline: m.Skyline()}
+	assertSameSkyline(t, "seeded initial", got, res)
+	for step := 0; step < 5; step++ {
+		if _, _, err := m.InsertRight(randTuple(rng, 3, 2, 5)); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Run(q, Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := &Result{Skyline: m.Skyline()}
+		assertSameSkyline(t, fmt.Sprintf("seeded step %d", step), got, fresh)
+	}
+	if _, err := NewMaintainerFrom(Query{}, nil); err == nil {
+		t.Error("invalid query accepted by NewMaintainerFrom")
+	}
+}
+
+// TestMaintainerClose locks in the lifecycle: Close is idempotent, every
+// mutating method returns ErrMaintainerClosed afterwards, and Skyline
+// returns nil (not an empty slice) once closed.
+func TestMaintainerClose(t *testing.T) {
+	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
+	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{2, 2}}})
+	q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality}, K: 3}
+	m, err := NewMaintainer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Closed() {
+		t.Fatal("fresh maintainer reports closed")
+	}
+	if sky := m.Skyline(); sky == nil {
+		t.Fatal("live maintainer returned nil skyline")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if !m.Closed() {
+		t.Error("Closed() false after Close")
+	}
+	if sky := m.Skyline(); sky != nil {
+		t.Errorf("closed Skyline() = %v, want nil", sky)
+	}
+	if m.Len() != 0 {
+		t.Errorf("closed Len() = %d, want 0", m.Len())
+	}
+	tup := dataset.Tuple{Key: "a", Attrs: []float64{0, 0}}
+	if _, _, err := m.InsertLeft(tup); !errors.Is(err, ErrMaintainerClosed) {
+		t.Errorf("InsertLeft after Close: err = %v, want ErrMaintainerClosed", err)
+	}
+	if _, _, err := m.InsertRight(tup); !errors.Is(err, ErrMaintainerClosed) {
+		t.Errorf("InsertRight after Close: err = %v, want ErrMaintainerClosed", err)
+	}
+	if _, _, err := m.AbsorbLeft(0); !errors.Is(err, ErrMaintainerClosed) {
+		t.Errorf("AbsorbLeft after Close: err = %v, want ErrMaintainerClosed", err)
+	}
+	if _, _, err := m.AbsorbRight(0); !errors.Is(err, ErrMaintainerClosed) {
+		t.Errorf("AbsorbRight after Close: err = %v, want ErrMaintainerClosed", err)
+	}
+	if err := m.DeleteLeft(0); !errors.Is(err, ErrMaintainerClosed) {
+		t.Errorf("DeleteLeft after Close: err = %v, want ErrMaintainerClosed", err)
+	}
+	if err := m.DeleteRight(0); !errors.Is(err, ErrMaintainerClosed) {
+		t.Errorf("DeleteRight after Close: err = %v, want ErrMaintainerClosed", err)
+	}
+	// The relations themselves are untouched by Close.
+	if r1.Len() != 1 || r2.Len() != 1 {
+		t.Error("Close mutated the relations")
+	}
+}
+
 func TestMaintainerSchemaCheck(t *testing.T) {
 	r1 := dataset.MustNew("r1", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})
 	r2 := dataset.MustNew("r2", 2, 0, []dataset.Tuple{{Key: "a", Attrs: []float64{1, 1}}})

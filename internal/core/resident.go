@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// Resident holds the per-(R1, R2, join condition) structures the engine
+// otherwise rebuilds on every Exec: the probe-ordered full-R2 join index,
+// the sum-sorted R1 probe order, and the two base-point tables. None of
+// them depend on k or on the aggregator, so one Resident serves every
+// query over the same relation pair and condition.
+//
+// A Resident is immutable after construction and safe to share across
+// concurrent Execs — it is the resident-relation reuse the service layer
+// is built on: relations are loaded once, the index is built once, and
+// each admitted query skips straight to categorization and verification.
+//
+// A Resident is a snapshot: it is valid only while the relations it was
+// built from keep the exact contents (and lengths) they had at build time.
+// Callers that mutate relations (the maintainer's insert path) must build
+// a fresh Resident afterwards; Exec rejects a stale one.
+type Resident struct {
+	r1, r2     *dataset.Relation
+	n1, n2     int
+	cond       join.Condition
+	rightIx    *join.Index
+	leftSorted []int
+	pts1, pts2 [][]float64
+}
+
+// ErrStaleResident is returned by Exec when ExecOptions.Resident does not
+// match the query: different relations, a different join condition, or
+// relations that grew or shrank since the Resident was built.
+var ErrStaleResident = errors.New("core: resident index does not match the query's relations")
+
+// NewResident builds the shared structures for q's relation pair and join
+// condition. Unlike Exec it does not validate k: the same Resident serves
+// queries at every admissible k.
+func NewResident(q Query) (*Resident, error) {
+	if q.R1 == nil || q.R2 == nil {
+		return nil, errors.New("core: nil relation")
+	}
+	if err := q.R1.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.R2.Validate(); err != nil {
+		return nil, err
+	}
+	if err := join.CheckSchemas(q.R1, q.R2); err != nil {
+		return nil, err
+	}
+	// Drive the engine's own lazy builders so the resident structures are
+	// bit-identical to what a cold Exec would construct.
+	st := Stats{}
+	e := newEngine(q, &st)
+	e.rightAllIndex()
+	e.leftProbeOrder(allIndices(q.R1.Len()))
+	e.points2()
+	return &Resident{
+		r1:         q.R1,
+		r2:         q.R2,
+		n1:         q.R1.Len(),
+		n2:         q.R2.Len(),
+		cond:       e.cond,
+		rightIx:    e.allRightIx,
+		leftSorted: e.allLeftSorted,
+		pts1:       e.pts1,
+		pts2:       e.pts2,
+	}, nil
+}
+
+// matches reports whether the resident snapshot is still valid for q.
+func (r *Resident) matches(q Query) bool {
+	return r.r1 == q.R1 && r.r2 == q.R2 && r.cond == q.Spec.Cond &&
+		r.n1 == q.R1.Len() && r.n2 == q.R2.Len()
+}
+
+// check returns ErrStaleResident (with detail) when the snapshot no longer
+// matches q.
+func (r *Resident) check(q Query) error {
+	if r.matches(q) {
+		return nil
+	}
+	return fmt.Errorf("%w: built for (%s[%d], %s[%d], %v), query is (%s[%d], %s[%d], %v)",
+		ErrStaleResident, r.r1.Name, r.n1, r.r2.Name, r.n2, r.cond,
+		q.R1.Name, q.R1.Len(), q.R2.Name, q.R2.Len(), q.Spec.Cond)
+}
+
+// seed pre-loads an engine with the resident structures, skipping the
+// per-Exec index and probe-order construction.
+func (r *Resident) seed(e *engine) {
+	e.allRightIx = r.rightIx
+	e.allLeftSorted = r.leftSorted
+	e.pts1 = r.pts1
+	e.pts2 = r.pts2
+}
+
+// newEngineResident is newEngine seeded from an optional Resident; res may
+// be nil.
+func newEngineResident(q Query, stats *Stats, res *Resident) *engine {
+	e := newEngine(q, stats)
+	if res != nil {
+		res.seed(e)
+	}
+	return e
+}

@@ -88,6 +88,27 @@ func MustNew(name string, local, agg int, tuples []Tuple) *Relation {
 	return r
 }
 
+// Append validates t against the relation's schema, assigns it the next
+// tuple ID, and appends it, returning the assigned ID. It is the one
+// supported way to grow a relation after construction: the incremental
+// maintainer and the query service both route inserts through it, so the
+// invariants New enforces (attribute width, no NaN band) hold for the
+// relation's whole life.
+func (r *Relation) Append(t Tuple) (int, error) {
+	if len(t.Attrs) != r.D() {
+		return 0, fmt.Errorf("%w: tuple has %d attributes, relation %s requires %d",
+			ErrBadSchema, len(t.Attrs), r.Name, r.D())
+	}
+	// A NaN band has no position in the band-sorted join index; reject it
+	// here exactly like New does.
+	if math.IsNaN(t.Band) {
+		return 0, fmt.Errorf("%w: tuple has NaN band", ErrBadSchema)
+	}
+	t.ID = r.Len()
+	r.Tuples = append(r.Tuples, t)
+	return t.ID, nil
+}
+
 // D returns the total number of skyline attributes (d = l + a).
 func (r *Relation) D() int { return r.Local + r.Agg }
 

@@ -44,6 +44,32 @@ func TestNewRejectsBadSchema(t *testing.T) {
 	}
 }
 
+func TestAppend(t *testing.T) {
+	r := sample()
+	id, err := r.Append(Tuple{Key: "C", Attrs: []float64{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 {
+		t.Errorf("Append assigned ID %d, want 3", id)
+	}
+	if r.Len() != 4 || r.Tuples[3].ID != 3 {
+		t.Errorf("relation after Append: len=%d, last ID=%d", r.Len(), r.Tuples[r.Len()-1].ID)
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate after Append: %v", err)
+	}
+	if _, err := r.Append(Tuple{Key: "C", Attrs: []float64{1}}); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("width mismatch: err = %v, want ErrBadSchema", err)
+	}
+	if _, err := r.Append(Tuple{Key: "C", Band: math.NaN(), Attrs: []float64{1, 1, 1}}); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("NaN band: err = %v, want ErrBadSchema", err)
+	}
+	if r.Len() != 4 {
+		t.Errorf("rejected Append mutated the relation: len=%d", r.Len())
+	}
+}
+
 func TestNaNBandRejected(t *testing.T) {
 	// A NaN band has no position in the band-sorted join index and is
 	// silently unjoinable under Condition.Matches; both constructors and

@@ -8,7 +8,7 @@
 // tuples) take minutes per figure; the Small scale shrinks n while keeping
 // every ratio the paper's claims depend on, so the full suite runs in
 // seconds and the qualitative shape (who wins, how phases stack) is
-// preserved. EXPERIMENTS.md records paper-vs-measured for both scales.
+// preserved. DESIGN.md §4 records how the scales relate.
 package experiments
 
 import (

@@ -10,7 +10,7 @@ import (
 
 // WriteRowsCSV exports rows in a layout convenient for external plotting
 // tools (one row per bar, durations in microseconds). The column set is
-// stable; EXPERIMENTS.md's tables are derived from this output.
+// stable; downstream tables and charts are derived from this output.
 func WriteRowsCSV(w io.Writer, rows []Row) error {
 	cw := csv.NewWriter(w)
 	header := []string{"figure", "setting", "alg", "grouping_us", "join_us", "dominator_us", "remaining_us", "total_us", "skyline", "k"}

@@ -7,6 +7,7 @@ package join
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/dataset"
 )
@@ -47,6 +48,49 @@ func (c Condition) String() string {
 		return "R1.band >= R2.band"
 	default:
 		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// Token returns the condition's canonical short spelling — the one the
+// CLI -join flag and the service's JSON API accept, and the one the answer
+// cache normalizes query keys to.
+func (c Condition) Token() string {
+	switch c {
+	case Equality:
+		return "eq"
+	case Cross:
+		return "cross"
+	case BandLess:
+		return "lt"
+	case BandLessEq:
+		return "le"
+	case BandGreater:
+		return "gt"
+	case BandGreaterEq:
+		return "ge"
+	default:
+		return fmt.Sprintf("cond%d", int(c))
+	}
+}
+
+// ParseCondition maps CLI and API spellings to a Condition. The empty
+// string defaults to Equality.
+func ParseCondition(s string) (Condition, error) {
+	switch strings.ToLower(s) {
+	case "", "eq", "equality":
+		return Equality, nil
+	case "cross", "cartesian":
+		return Cross, nil
+	case "lt":
+		return BandLess, nil
+	case "le":
+		return BandLessEq, nil
+	case "gt":
+		return BandGreater, nil
+	case "ge":
+		return BandGreaterEq, nil
+	default:
+		return 0, fmt.Errorf("join: unknown join condition %q (want eq, cross, lt, le, gt or ge)", s)
 	}
 }
 
@@ -100,6 +144,22 @@ var (
 		return y
 	}}
 )
+
+// ParseAggregator maps CLI and API spellings to a built-in aggregator. The
+// empty string defaults to Sum, the only aggregator the optimized
+// algorithms accept.
+func ParseAggregator(s string) (Aggregator, error) {
+	switch strings.ToLower(s) {
+	case "", "sum":
+		return Sum, nil
+	case "max":
+		return Max, nil
+	case "min":
+		return Min, nil
+	default:
+		return Aggregator{}, fmt.Errorf("join: unknown aggregator %q (want sum, max or min)", s)
+	}
+}
 
 // Spec describes how two relations are joined.
 type Spec struct {

@@ -228,3 +228,34 @@ func TestCountPairsMatchesPairsRandom(t *testing.T) {
 		}
 	}
 }
+
+// TestParseRoundTrip pins the canonical token spellings: every condition
+// and built-in aggregator parses back from its own token, and unknown
+// spellings are rejected.
+func TestParseRoundTrip(t *testing.T) {
+	conds := []Condition{Equality, Cross, BandLess, BandLessEq, BandGreater, BandGreaterEq}
+	for _, c := range conds {
+		got, err := ParseCondition(c.Token())
+		if err != nil || got != c {
+			t.Errorf("ParseCondition(%q) = %v, %v; want %v", c.Token(), got, err, c)
+		}
+	}
+	if c, err := ParseCondition(""); err != nil || c != Equality {
+		t.Errorf("ParseCondition(\"\") = %v, %v; want Equality", c, err)
+	}
+	if _, err := ParseCondition("bogus"); err == nil {
+		t.Error("ParseCondition accepted bogus condition")
+	}
+	for _, name := range []string{"sum", "max", "min"} {
+		agg, err := ParseAggregator(name)
+		if err != nil || agg.Name != name {
+			t.Errorf("ParseAggregator(%q) = %q, %v", name, agg.Name, err)
+		}
+	}
+	if agg, err := ParseAggregator(""); err != nil || agg.Name != "sum" {
+		t.Errorf("ParseAggregator(\"\") = %q, %v; want sum", agg.Name, err)
+	}
+	if _, err := ParseAggregator("avg"); err == nil {
+		t.Error("ParseAggregator accepted non-monotonic avg")
+	}
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/join"
+)
+
+// cacheKey is the normalized identity of an answer: the two registered
+// relations at specific versions, the canonical join and aggregator
+// tokens, and k. Algorithm and parallel degree are deliberately absent —
+// every strategy computes the same skyline, so a result computed by one
+// serves requests asking for another.
+type cacheKey struct {
+	r1, r2 string
+	v1, v2 uint64
+	cond   join.Condition
+	agg    string
+	k      int
+}
+
+// entry is one cached answer. While m is nil the entry is a plain
+// snapshot: it dies when either relation's version moves. Once promoted
+// (m non-nil) the entry is live: the insert path advances its versions in
+// place and refreshes skyline from the maintainer after each absorb —
+// skyline is therefore always the served answer, and lookups never pay
+// the maintainer's copy-and-sort.
+type entry struct {
+	key     cacheKey
+	q       core.Query // normalized query; relation pointers are stable
+	skyline []join.Pair
+	algo    string // strategy that originally computed the answer
+	m       *core.Maintainer
+	elem    *list.Element
+}
+
+// answerCache is a bounded LRU of query answers. Its mutex covers only
+// map/list bookkeeping — never query execution — so hits stay O(1) and
+// uncontended. Maintainer mutation (absorb on insert) happens under the
+// service's exclusive lock, not here.
+type answerCache struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[cacheKey]*entry
+	lru       *list.List // front = most recently used
+	evictions uint64
+}
+
+func newAnswerCache(capacity int) *answerCache {
+	return &answerCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*entry, capacity),
+		lru:     list.New(),
+	}
+}
+
+// lookup returns the cached skyline for key, the algorithm that computed
+// it, and whether the entry is live-maintained. The returned slice must be
+// treated as read-only by callers.
+func (c *answerCache) lookup(key cacheKey) (sky []join.Pair, algo string, maintained, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, "", false, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.skyline, e.algo, e.m != nil, true
+}
+
+// store inserts an answer snapshot, evicting the least-recently-used
+// entry when over capacity. Storing an already-present key refreshes it.
+func (c *answerCache) store(key cacheKey, q core.Query, sky []join.Pair, algo string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		e.skyline = sky
+		e.algo = algo
+		if e.m != nil {
+			e.m.Close()
+			e.m = nil
+		}
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{key: key, q: q, skyline: sky, algo: algo}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for len(c.entries) > c.cap {
+		c.evictOldest()
+	}
+}
+
+func (c *answerCache) evictOldest() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*entry)
+	c.removeLocked(e)
+	c.evictions++
+}
+
+func (c *answerCache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	if e.m != nil {
+		e.m.Close()
+		e.m = nil
+	}
+}
+
+// takeForRelation removes and returns every entry whose key references the
+// relation name on either side, without closing maintainers — the insert
+// path decides which of them to promote, absorb, and restore, and which to
+// drop for good.
+func (c *answerCache) takeForRelation(name string) []*entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*entry
+	for key, e := range c.entries {
+		if key.r1 == name || key.r2 == name {
+			delete(c.entries, key)
+			c.lru.Remove(e.elem)
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// restore puts back an entry removed by takeForRelation under its
+// re-stamped key. No collision handling is needed: the caller (Insert)
+// holds the service's exclusive lock, so no store can interleave, and the
+// re-stamped keys of one insert are pairwise distinct.
+func (c *answerCache) restore(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.elem = c.lru.PushFront(e)
+	c.entries[e.key] = e
+	for len(c.entries) > c.cap {
+		c.evictOldest()
+	}
+}
+
+// drop discards an entry removed by takeForRelation, closing its
+// maintainer.
+func (c *answerCache) drop(e *entry) {
+	if e.m != nil {
+		e.m.Close()
+		e.m = nil
+	}
+}
+
+// stats returns entry counts for the stats endpoint.
+func (c *answerCache) stats() (entries, maintained int, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.m != nil {
+			maintained++
+		}
+	}
+	return len(c.entries), maintained, c.evictions
+}
+
+// closeAll drops every entry, closing maintainers. Used by Service.Close.
+func (c *answerCache) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if e.m != nil {
+			e.m.Close()
+			e.m = nil
+		}
+	}
+	c.entries = make(map[cacheKey]*entry)
+	c.lru.Init()
+}

@@ -1,0 +1,699 @@
+// Package service implements ksjqd, the long-lived KSJQ query service: a
+// relation registry whose datasets are loaded once and kept resident, an
+// answer cache keyed by (relation versions, normalized query) whose
+// entries are promoted to live incremental maintenance when inserts
+// arrive, and an admission scheduler that runs queries through the
+// engine's unified Exec path with per-request deadlines and a bounded
+// worker pool.
+//
+// The point of the layer is amortization — the substrate PR 2 built makes
+// every query cancellable and uniform, but each invocation still paid to
+// rebuild join indexes and recompute answers from scratch. Here the
+// expensive structures become resident:
+//
+//   - relations are registered once and versioned; every mutation goes
+//     through the service, so a (name, version) pair pins exact contents;
+//   - the engine's per-(pair, condition) structures (core.Resident: the
+//     full-R2 join index, probe orders, base-point tables) are built once
+//     and shared by every admitted query over that pair;
+//   - answers are cached under the normalized query (versions, condition,
+//     aggregator, k — algorithm is deliberately not part of the key, every
+//     strategy computes the same skyline);
+//   - an insert does not blow the cache away: entries at the current
+//     version are promoted, for free, to core.Maintainer-backed live
+//     entries (core.NewMaintainerFrom) and the new tuple is absorbed
+//     incrementally, so dashboard-style repeated queries keep hitting
+//     warm answers across updates.
+//
+// Concurrency model: queries hold the service's read lock while they
+// execute (relations are read-only during evaluation), inserts hold the
+// write lock (single writer, serialized against all reads). The answer
+// cache has its own mutex for O(1) hit bookkeeping, and entries being
+// mutated by an insert are removed from the cache first, so a cache hit
+// never observes a half-absorbed answer.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/join"
+	"repro/internal/planner"
+)
+
+// Service errors (beyond the registry's and scheduler's).
+var (
+	// ErrClosed is returned by every method after Close.
+	ErrClosed = errors.New("service: closed")
+	// ErrBadRequest wraps request validation failures (unknown spellings,
+	// schema violations, k out of range) so transports can map them to
+	// client errors (HTTP 400) rather than server faults.
+	ErrBadRequest = errors.New("service: bad request")
+)
+
+// DefaultRequestTimeout is the per-request deadline applied when neither
+// the configuration nor the request sets one. ksjqd's wire-facing clamp
+// shares this constant so the operator bound and the service default
+// cannot drift.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Config tunes one Service. The zero value picks sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds queries executing at once. Default: GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for a worker slot; anything beyond
+	// is rejected with ErrOverloaded. Default: 64.
+	MaxQueue int
+	// DefaultTimeout bounds each request (queue wait + execution) when the
+	// request itself does not set one. Default: 30s. Negative: no deadline.
+	DefaultTimeout time.Duration
+	// CacheEntries bounds the answer cache (LRU). Default: 256.
+	CacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = DefaultRequestTimeout
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	return c
+}
+
+// QueryRequest is one query against registered relations. Join, Agg and
+// Algorithm use the CLI spellings ("eq"/"cross"/"lt"/"le"/"gt"/"ge",
+// "sum"/"max"/"min", "auto"/"naive"/"grouping"/"dominator"); empty strings
+// mean equality join, sum, and the sampling planner respectively.
+type QueryRequest struct {
+	R1, R2    string
+	K         int
+	Join      string
+	Agg       string
+	Algorithm string
+	// Workers > 1 parallelizes candidate verification; the execution
+	// degree is clamped to GOMAXPROCS (requests arrive over the wire; an
+	// oversized degree must not spawn goroutines beyond the machine).
+	// The requested value implies the grouping algorithm: combined with
+	// "auto" the planner is skipped and grouping runs; combined with
+	// another explicit algorithm the request is rejected (same
+	// contradiction the CLI rejects).
+	Workers int
+	// Timeout bounds this request (queue wait + execution); 0 defers to
+	// Config.DefaultTimeout, negative means no deadline.
+	Timeout time.Duration
+	// NoCache skips the answer-cache lookup (the result still refreshes
+	// the cache) — for callers that need a recompute, not a warm answer.
+	NoCache bool
+}
+
+// Source says where an answer came from.
+type Source string
+
+const (
+	// SourceComputed: a full engine run (over the resident index).
+	SourceComputed Source = "computed"
+	// SourceCached: the answer cache, unchanged since it was computed.
+	SourceCached Source = "cached"
+	// SourceMaintained: a live entry kept current incrementally by a
+	// core.Maintainer across inserts.
+	SourceMaintained Source = "maintained"
+)
+
+// QueryResponse is one answer. Skyline is shared with the service's cache
+// and must be treated as read-only.
+type QueryResponse struct {
+	Skyline []join.Pair
+	Source  Source
+	// Algorithm is the strategy that computed the answer — for cache and
+	// maintained hits, the one that computed it originally.
+	Algorithm string
+	// Versions are the (R1, R2) registry versions the answer is valid at.
+	Versions [2]uint64
+	// Elapsed is the service-side wall time for this request.
+	Elapsed time.Duration
+	// Stats carries the engine's per-phase breakdown; nil unless the
+	// answer was computed by this request.
+	Stats *core.Stats
+}
+
+// InsertResult reports what one insert did to the resident state.
+type InsertResult struct {
+	// ID is the tuple's assigned index within its relation.
+	ID int
+	// Version is the relation's version after the insert.
+	Version uint64
+	// Maintained counts cache entries updated in place through their
+	// maintainer; Invalidated counts entries dropped as stale.
+	Maintained, Invalidated int
+	// Displaced and Admitted sum the skyline churn across maintained
+	// entries (see core.Maintainer).
+	Displaced, Admitted int
+}
+
+// Stats is the service-level counter snapshot.
+type Stats struct {
+	Queries        uint64 `json:"queries"`
+	CacheHits      uint64 `json:"cache_hits"`
+	MaintainedHits uint64 `json:"maintained_hits"`
+	Computed       uint64 `json:"computed"`
+	Inserts        uint64 `json:"inserts"`
+	Rejected       uint64 `json:"rejected"`
+	Evictions      uint64 `json:"evictions"`
+
+	CacheEntries      int   `json:"cache_entries"`
+	MaintainedEntries int   `json:"maintained_entries"`
+	Residents         int   `json:"residents"`
+	Busy              int   `json:"busy"`
+	Queued            int64 `json:"queued"`
+
+	Relations []RelationInfo `json:"relations"`
+}
+
+// Service is the long-lived query service. Create with New, share freely
+// across goroutines, Close when done.
+type Service struct {
+	cfg       Config
+	sched     *scheduler
+	cache     *answerCache
+	residents *residentCache
+
+	// mu guards the registry and — via read-locking for the whole of
+	// query execution — the relations' contents. Inserts take it
+	// exclusively: single writer, serialized against every reader.
+	mu     sync.RWMutex
+	rels   map[string]*regRelation
+	closed atomic.Bool
+
+	queries, cacheHits, maintainedHits atomic.Uint64
+	computed, inserts, rejected        atomic.Uint64
+}
+
+// New builds a Service with the given configuration.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:       cfg,
+		sched:     newScheduler(cfg.MaxConcurrent, cfg.MaxQueue),
+		cache:     newAnswerCache(cfg.CacheEntries),
+		residents: newResidentCache(),
+		rels:      make(map[string]*regRelation),
+	}
+}
+
+// Register adds a relation to the registry at version 1. The service owns
+// the relation afterwards: callers must not mutate it except through
+// Insert.
+func (s *Service) Register(name string, r *dataset.Relation) (uint64, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if name == "" {
+		return 0, fmt.Errorf("%w: empty relation name", ErrBadRequest)
+	}
+	if r == nil {
+		return 0, fmt.Errorf("%w: nil relation", ErrBadRequest)
+	}
+	if err := r.Validate(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if _, ok := s.rels[name]; ok {
+		return 0, fmt.Errorf("%w: %q", ErrDuplicateRelation, name)
+	}
+	// The same relation under two names would break version coherence:
+	// an insert through one name mutates the shared tuples but bumps only
+	// that name's version, leaving the alias's cache entries "current"
+	// over changed data. Self-joins don't need aliases — use one name on
+	// both sides of the request.
+	for other, rr := range s.rels {
+		if rr.rel == r {
+			return 0, fmt.Errorf("%w: relation already registered as %q", ErrDuplicateRelation, other)
+		}
+	}
+	s.rels[name] = &regRelation{rel: r, version: 1}
+	return 1, nil
+}
+
+// RegisterCSV loads a relation from CSV (see dataset.ReadCSV) and
+// registers it under name.
+func (s *Service) RegisterCSV(name string, rd io.Reader, opts dataset.ReadOptions) (uint64, error) {
+	if opts.Name == "" {
+		opts.Name = name
+	}
+	r, err := dataset.ReadCSV(rd, opts)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return s.Register(name, r)
+}
+
+// Relations lists the registry, sorted by name.
+func (s *Service) Relations() []RelationInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return relationInfos(s.rels)
+}
+
+// Relation returns the registered relation and its current version. The
+// relation is owned by the service: treat it as read-only, and do not
+// read it concurrently with Insert (which appends in place) — callers
+// that only need metadata should use RelationInfo, which snapshots under
+// the service lock.
+func (s *Service) Relation(name string) (*dataset.Relation, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rr, ok := s.rels[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownRelation, name)
+	}
+	return rr.rel, rr.version, nil
+}
+
+// RelationInfo snapshots one relation's metadata (name, version, sizes)
+// under the service lock, safe against concurrent inserts.
+func (s *Service) RelationInfo(name string) (RelationInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rr, ok := s.rels[name]
+	if !ok {
+		return RelationInfo{}, fmt.Errorf("%w: %q", ErrUnknownRelation, name)
+	}
+	return RelationInfo{
+		Name:    name,
+		Version: rr.version,
+		Tuples:  rr.rel.Len(),
+		Local:   rr.rel.Local,
+		Agg:     rr.rel.Agg,
+	}, nil
+}
+
+// parsed is a QueryRequest after spelling resolution.
+type parsed struct {
+	cond join.Condition
+	agg  join.Aggregator
+	alg  core.Algorithm
+	auto bool
+}
+
+func parseRequest(req QueryRequest) (parsed, error) {
+	var p parsed
+	var err error
+	if p.cond, err = join.ParseCondition(req.Join); err != nil {
+		return p, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if p.agg, err = join.ParseAggregator(req.Agg); err != nil {
+		return p, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if p.alg, p.auto, err = core.ParseAlgorithm(req.Algorithm); err != nil {
+		return p, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if req.Workers > 1 {
+		if p.auto {
+			// A parallel degree implies the one algorithm that can honor
+			// it; skipping the planner is the only non-contradictory
+			// reading.
+			p.alg, p.auto = core.Grouping, false
+		} else if p.alg != core.Grouping {
+			return p, fmt.Errorf("%w: workers require the grouping algorithm (got %q)", ErrBadRequest, req.Algorithm)
+		}
+	}
+	return p, nil
+}
+
+// resolveLocked builds the normalized query and cache key; the caller
+// holds s.mu (read or write).
+func (s *Service) resolveLocked(req QueryRequest, p parsed) (core.Query, cacheKey, error) {
+	rr1, ok := s.rels[req.R1]
+	if !ok {
+		return core.Query{}, cacheKey{}, fmt.Errorf("%w: %q", ErrUnknownRelation, req.R1)
+	}
+	rr2, ok := s.rels[req.R2]
+	if !ok {
+		return core.Query{}, cacheKey{}, fmt.Errorf("%w: %q", ErrUnknownRelation, req.R2)
+	}
+	q := core.Query{
+		R1:   rr1.rel,
+		R2:   rr2.rel,
+		Spec: join.Spec{Cond: p.cond, Agg: p.agg},
+		K:    req.K,
+	}
+	key := cacheKey{
+		r1: req.R1, r2: req.R2,
+		v1: rr1.version, v2: rr2.version,
+		cond: p.cond, agg: p.agg.Name, k: req.K,
+	}
+	return q, key, nil
+}
+
+// resolveAndValidate resolves the request and fail-fasts malformed
+// queries under one read lock. Validation here is O(1) on purpose:
+// registered relations were content-validated by Register and Append
+// preserves the invariants, so per-request checks only need the schema
+// geometry (k range, aggregate pairing, aggregator strictness) — a full
+// q.Validate would rescan every tuple on every request, warm hits
+// included. The computed path still runs the full validation inside
+// core.Exec, under the same read lock.
+func (s *Service) resolveAndValidate(req QueryRequest, p parsed) (core.Query, cacheKey, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	q, key, err := s.resolveLocked(req, p)
+	if err != nil {
+		return q, key, err
+	}
+	if err := checkRequest(q, p); err != nil {
+		return q, key, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return q, key, nil
+}
+
+// checkRequest is the O(1) structural subset of core's query validation.
+func checkRequest(q core.Query, p parsed) error {
+	if err := join.CheckSchemas(q.R1, q.R2); err != nil {
+		return err
+	}
+	if q.K < q.KMin() || q.K > q.Width() {
+		return fmt.Errorf("%v: k=%d, admissible range (%d, %d]", core.ErrBadK, q.K, q.KMin()-1, q.Width())
+	}
+	// Only the naive algorithm accepts a non-strict aggregator, and the
+	// planner never picks on strictness — reject auto here rather than
+	// let a planner choice fail deep inside Exec as a server error.
+	if q.R1.Agg > 0 && !p.agg.Strict && (p.auto || p.alg != core.Naive) {
+		return fmt.Errorf("%v: aggregator %q requires algorithm \"naive\"", core.ErrNonStrictAgg, p.agg.Name)
+	}
+	return nil
+}
+
+// hitResponse assembles a cache/maintained-hit response and bumps the
+// counters.
+func (s *Service) hitResponse(sky []join.Pair, algo string, maintained bool, key cacheKey, start time.Time) *QueryResponse {
+	src := SourceCached
+	if maintained {
+		src = SourceMaintained
+		s.maintainedHits.Add(1)
+	} else {
+		s.cacheHits.Add(1)
+	}
+	return &QueryResponse{
+		Skyline:   sky,
+		Source:    src,
+		Algorithm: algo,
+		Versions:  [2]uint64{key.v1, key.v2},
+		Elapsed:   time.Since(start),
+	}
+}
+
+// Query answers one request: answer-cache hit, or an admitted engine run
+// over the resident index. It is safe for arbitrary concurrent use.
+func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	start := time.Now()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.queries.Add(1)
+	p, err := parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	// Bound the execution degree after parsing: the requested value
+	// decides algorithm implication and conflicts, but an over-the-wire
+	// degree must never spawn goroutines beyond the machine.
+	if max := runtime.GOMAXPROCS(0); req.Workers > max {
+		req.Workers = max
+	}
+
+	// Resolve and validate first — even a request the cache could serve
+	// must be rejected if it is malformed, so accept/reject behavior
+	// never depends on cache state. Then the fast path: a warm answer
+	// needs no admission and no engine work.
+	q, key, err := s.resolveAndValidate(req, p)
+	if err != nil {
+		return nil, err
+	}
+	if !req.NoCache {
+		if sky, algo, maintained, ok := s.cache.lookup(key); ok {
+			return s.hitResponse(sky, algo, maintained, key, start), nil
+		}
+	}
+
+	// Admission: the deadline covers queue wait and execution together.
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	release, err := s.sched.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.rejected.Add(1)
+		}
+		return nil, err
+	}
+	defer release()
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Versions may have moved while the request was queued; resolve again
+	// and re-check the cache — an identical query ahead of us in the pool
+	// may already have warmed it.
+	if q, key, err = s.resolveLocked(req, p); err != nil {
+		return nil, err
+	}
+	if !req.NoCache {
+		if sky, algo, maintained, ok := s.cache.lookup(key); ok {
+			return s.hitResponse(sky, algo, maintained, key, start), nil
+		}
+	}
+
+	// The naive algorithm materializes the full join instead of probing
+	// and ignores resident structures; don't build them for it.
+	var res *core.Resident
+	if p.auto || p.alg != core.Naive {
+		res, err = s.residents.get(residentKey{r1: key.r1, r2: key.r2, v1: key.v1, v2: key.v2, cond: key.cond}, q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	alg := p.alg
+	if p.auto {
+		plan, err := planner.Choose(ctx, q, planner.Options{})
+		if err != nil {
+			return nil, err
+		}
+		alg = plan.Algorithm
+	}
+	out, err := core.Exec(ctx, q, core.ExecOptions{Algorithm: alg, Workers: req.Workers, Resident: res})
+	if err != nil {
+		return nil, err
+	}
+	s.computed.Add(1)
+	algo := alg.Token()
+	s.cache.store(key, q, out.Skyline, algo)
+	return &QueryResponse{
+		Skyline:   out.Skyline,
+		Source:    SourceComputed,
+		Algorithm: algo,
+		Versions:  [2]uint64{key.v1, key.v2},
+		Elapsed:   time.Since(start),
+		Stats:     &out.Stats,
+	}, nil
+}
+
+// Insert appends one tuple to a registered relation and brings the
+// resident state with it: the relation's version moves, stale residents
+// and cache entries are dropped, and cache entries still current at the
+// old version are promoted to live maintenance and updated incrementally
+// instead of recomputed. Inserts are serialized (single writer) and
+// exclusive against running queries.
+func (s *Service) Insert(name string, t dataset.Tuple) (*InsertResult, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	rr, ok := s.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, name)
+	}
+	id, err := rr.rel.Append(t)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	oldV := rr.version
+	rr.version++
+	s.residents.dropRelation(name)
+	s.inserts.Add(1)
+
+	out := &InsertResult{ID: id, Version: rr.version}
+	// One Resident per affected (pair, condition) at the post-insert
+	// versions: its index structures are k- and aggregator-independent,
+	// so every maintained entry over the same combo absorbs through one
+	// build instead of rebuilding per entry — and the same snapshot
+	// warm-starts the next query.
+	combos := make(map[residentKey]*core.Resident)
+	for _, e := range s.cache.takeForRelation(name) {
+		if !s.entryCurrent(e, name, oldV) {
+			s.cache.drop(e)
+			out.Invalidated++
+			continue
+		}
+		if e.key.r1 == name {
+			e.key.v1 = rr.version
+		}
+		if e.key.r2 == name {
+			e.key.v2 = rr.version
+		}
+		if e.m == nil {
+			// Promotion is free: the cached skyline at the pre-insert
+			// version seeds the maintainer, no recomputation. Queries the
+			// maintainer cannot take (non-strict aggregators) fall back
+			// to invalidation.
+			m, err := core.NewMaintainerFrom(e.q, e.skyline)
+			if err != nil {
+				s.cache.drop(e)
+				out.Invalidated++
+				continue
+			}
+			e.m = m
+		}
+		combo := residentKey{r1: e.key.r1, r2: e.key.r2, v1: e.key.v1, v2: e.key.v2, cond: e.key.cond}
+		res, ok := combos[combo]
+		if !ok {
+			// Best effort: a failed build (unreachable for registry-owned
+			// relations) just means this combo absorbs without sharing.
+			res, _ = core.NewResident(e.q)
+			combos[combo] = res
+		}
+		e.m.UseResident(res)
+		displaced, admitted, err := absorbInto(e, name, id)
+		if err != nil {
+			s.cache.drop(e)
+			out.Invalidated++
+			continue
+		}
+		out.Displaced += displaced
+		out.Admitted += admitted
+		// Refresh the served snapshot once per insert, under the write
+		// lock, so cache hits stay O(1) instead of paying the
+		// maintainer's copy-and-sort per lookup.
+		e.skyline = e.m.Skyline()
+		s.cache.restore(e)
+		out.Maintained++
+	}
+	for key, res := range combos {
+		if res != nil {
+			s.residents.put(key, res)
+		}
+	}
+	return out, nil
+}
+
+// entryCurrent reports whether a cache entry is valid at the registry
+// state immediately before the current insert: the inserted relation at
+// its pre-bump version, every other relation at its live version. The
+// caller holds s.mu.
+func (s *Service) entryCurrent(e *entry, name string, oldV uint64) bool {
+	versionOf := func(rel string) (uint64, bool) {
+		if rel == name {
+			return oldV, true
+		}
+		rr, ok := s.rels[rel]
+		if !ok {
+			return 0, false
+		}
+		return rr.version, true
+	}
+	v1, ok1 := versionOf(e.key.r1)
+	v2, ok2 := versionOf(e.key.r2)
+	return ok1 && ok2 && e.key.v1 == v1 && e.key.v2 == v2
+}
+
+// absorbInto folds the appended tuple into the entry's maintainer on
+// every side the relation occupies (both, for a self-join).
+func absorbInto(e *entry, name string, id int) (displaced, admitted int, err error) {
+	if e.key.r1 == name {
+		d, a, err := e.m.AbsorbLeft(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		displaced += d
+		admitted += a
+	}
+	if e.key.r2 == name {
+		d, a, err := e.m.AbsorbRight(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		displaced += d
+		admitted += a
+	}
+	return displaced, admitted, nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	entries, maintained, evictions := s.cache.stats()
+	s.mu.RLock()
+	rels := relationInfos(s.rels)
+	s.mu.RUnlock()
+	return Stats{
+		Queries:           s.queries.Load(),
+		CacheHits:         s.cacheHits.Load(),
+		MaintainedHits:    s.maintainedHits.Load(),
+		Computed:          s.computed.Load(),
+		Inserts:           s.inserts.Load(),
+		Rejected:          s.rejected.Load(),
+		Evictions:         evictions,
+		CacheEntries:      entries,
+		MaintainedEntries: maintained,
+		Residents:         s.residents.len(),
+		Busy:              s.sched.busy(),
+		Queued:            s.sched.queued(),
+		Relations:         rels,
+	}
+}
+
+// Close marks the service closed, waits for in-flight queries, and
+// releases the cache (closing every live maintainer). Close is
+// idempotent; methods called after it return ErrClosed.
+func (s *Service) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// The exclusive lock drains every reader: no query is mid-execution
+	// when the cache and registry go away.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.closeAll()
+	s.residents.clear() // resident indexes pin O(n) per pair — release them
+	s.rels = make(map[string]*regRelation)
+	return nil
+}

@@ -1,0 +1,150 @@
+package ksjq_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/ksjq"
+)
+
+// flightLegs builds the two-leg flight workload the examples share: each
+// relation is one leg of a DEL→BOM trip, keyed by the hub airport, with
+// skyline attributes (flying time, price) — lower preferred on both.
+func flightLegs() (leg1, leg2 *ksjq.Relation) {
+	leg1 = ksjq.MustNewRelation("leg1", 2, 0, []ksjq.Tuple{
+		{Key: "HYD", Attrs: []float64{95, 120}},
+		{Key: "HYD", Attrs: []float64{70, 210}},
+		{Key: "JAI", Attrs: []float64{60, 80}},
+	})
+	leg2 = ksjq.MustNewRelation("leg2", 2, 0, []ksjq.Tuple{
+		{Key: "HYD", Attrs: []float64{75, 85}},
+		{Key: "JAI", Attrs: []float64{75, 90}},
+		{Key: "JAI", Attrs: []float64{110, 100}},
+	})
+	return leg1, leg2
+}
+
+// Example evaluates one k-dominant skyline join: itineraries join legs on
+// the hub, and K=3 of the 4 joined attributes relaxes full dominance just
+// enough that one connection beats every other (at K=4 — classic skyline
+// — three of the four itineraries would be incomparable and survive).
+func Example() {
+	leg1, leg2 := flightLegs()
+	q := ksjq.Query{R1: leg1, R2: leg2, K: 3}
+	res, err := ksjq.Run(context.Background(), q, ksjq.Options{Algorithm: ksjq.Grouping})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Skyline {
+		fmt.Printf("%s ⋈ %s %v\n", leg1.Tuples[p.Left].Key, leg2.Tuples[p.Right].Key, p.Attrs)
+	}
+	// Output:
+	// JAI ⋈ JAI [60 80 75 90]
+}
+
+// ExampleRun shows the execution options: an explicit algorithm and
+// parallel candidate verification. Workers only changes how the engine
+// runs — the answer (and its deterministic order) is identical.
+func ExampleRun() {
+	leg1, leg2 := flightLegs()
+	q := ksjq.Query{R1: leg1, R2: leg2, K: 4}
+	res, err := ksjq.Run(context.Background(), q, ksjq.Options{
+		Algorithm: ksjq.Grouping,
+		Workers:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d itineraries in the 4-dominant skyline\n", len(res.Skyline))
+	fmt.Printf("categorization R1: SS=%d SN=%d NN=%d\n", res.Stats.SS1, res.Stats.SN1, res.Stats.NN1)
+	// Output:
+	// 3 itineraries in the 4-dominant skyline
+	// categorization R1: SS=1 SN=2 NN=0
+}
+
+// ExampleFindK solves the paper's Problem 3: the smallest k whose
+// k-dominant skyline join holds at least delta tuples — here, the
+// strictest dominance level that still leaves two itineraries to offer.
+func ExampleFindK() {
+	leg1, leg2 := flightLegs()
+	q := ksjq.Query{R1: leg1, R2: leg2}
+	res, err := ksjq.FindK(context.Background(), q, 2, ksjq.FindKBinary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("smallest k with at least 2 skyline tuples: k=%d\n", res.K)
+	// Output:
+	// smallest k with at least 2 skyline tuples: k=4
+}
+
+// ExampleNewMaintainer keeps an answer current while tuples arrive:
+// inserting a leg that dominates everything displaces the whole previous
+// skyline and admits exactly the new tuple's join pairs — no
+// recomputation.
+func ExampleNewMaintainer() {
+	r1 := ksjq.MustNewRelation("r1", 2, 0, []ksjq.Tuple{
+		{Key: "h", Attrs: []float64{1, 9}},
+		{Key: "h", Attrs: []float64{9, 1}},
+	})
+	r2 := ksjq.MustNewRelation("r2", 2, 0, []ksjq.Tuple{
+		{Key: "h", Attrs: []float64{1, 9}},
+		{Key: "h", Attrs: []float64{9, 1}},
+	})
+	m, err := ksjq.NewMaintainer(ksjq.Query{R1: r1, R2: r2, K: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial skyline: %d tuples\n", m.Len())
+
+	displaced, admitted, err := m.InsertLeft(ksjq.Tuple{Key: "h", Attrs: []float64{0, 0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("insert displaced %d, admitted %d; skyline now %d tuples\n",
+		displaced, admitted, m.Len())
+	// Output:
+	// initial skyline: 4 tuples
+	// insert displaced 4, admitted 2; skyline now 2 tuples
+}
+
+// ExampleNewService is the embedded form of the ksjqd server: relations
+// are registered once, repeated queries hit the answer cache, and inserts
+// promote cached answers to live incremental maintenance instead of
+// invalidating them.
+func ExampleNewService() {
+	svc := ksjq.NewService(ksjq.ServiceConfig{})
+	defer svc.Close()
+
+	leg1, leg2 := flightLegs()
+	if _, err := svc.Register("leg1", leg1); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := svc.Register("leg2", leg2); err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	req := ksjq.QueryRequest{R1: "leg1", R2: "leg2", K: 3}
+	for i := 0; i < 2; i++ {
+		resp, err := svc.Query(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d tuples (versions %v)\n", resp.Source, len(resp.Skyline), resp.Versions)
+	}
+
+	// A new dominant JAI leg: the cached answer is maintained in place.
+	if _, err := svc.Insert("leg2", ksjq.Tuple{Key: "JAI", Attrs: []float64{70, 80}}); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := svc.Query(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d tuples (versions %v)\n", resp.Source, len(resp.Skyline), resp.Versions)
+	// Output:
+	// computed: 1 tuples (versions [1 1])
+	// cached: 1 tuples (versions [1 1])
+	// maintained: 1 tuples (versions [1 2])
+}

@@ -61,19 +61,23 @@ func (a Algorithm) String() string {
 }
 
 // ParseAlgorithm maps CLI spellings (and the paper's one-letter labels) to
-// an Algorithm.
+// an Algorithm. It delegates to the engine's one spelling table, shared
+// with the query service's request parser.
 func ParseAlgorithm(s string) (Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "auto", "a":
-		return Auto, nil
-	case "naive", "n":
-		return Naive, nil
-	case "grouping", "g":
-		return Grouping, nil
-	case "dominator", "dominator-based", "d":
-		return DominatorBased, nil
-	default:
+	calg, auto, err := core.ParseAlgorithm(s)
+	if err != nil {
 		return 0, fmt.Errorf("ksjq: unknown algorithm %q (want auto, naive, grouping or dominator)", s)
+	}
+	if auto {
+		return Auto, nil
+	}
+	switch calg {
+	case core.Naive:
+		return Naive, nil
+	case core.Grouping:
+		return Grouping, nil
+	default:
+		return DominatorBased, nil
 	}
 }
 

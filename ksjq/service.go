@@ -1,0 +1,85 @@
+package ksjq
+
+import (
+	"repro/internal/join"
+	"repro/internal/service"
+)
+
+// The service types are aliases of the service package's own, mirroring
+// how the facade treats the engine: embedders of ksjq.Service and the
+// ksjqd server program against the exact same implementation.
+type (
+	// Service is the long-lived query service: resident relations with
+	// versioning, an answer cache with maintainer-driven invalidation,
+	// and an admission scheduler over the unified execution path. Create
+	// with NewService, share freely across goroutines, Close when done.
+	Service = service.Service
+	// ServiceConfig tunes a Service; the zero value picks defaults.
+	ServiceConfig = service.Config
+	// QueryRequest is one query against registered relations.
+	QueryRequest = service.QueryRequest
+	// QueryResponse is one answer, with its provenance (computed, cached
+	// or live-maintained) and the relation versions it is valid at.
+	QueryResponse = service.QueryResponse
+	// InsertResult reports what one insert did to the resident state.
+	InsertResult = service.InsertResult
+	// ServiceStats is the service-level counter snapshot.
+	ServiceStats = service.Stats
+	// RelationInfo describes one registered relation.
+	RelationInfo = service.RelationInfo
+	// Source says where an answer came from.
+	Source = service.Source
+)
+
+// Answer provenance values.
+const (
+	SourceComputed   = service.SourceComputed
+	SourceCached     = service.SourceCached
+	SourceMaintained = service.SourceMaintained
+)
+
+// DefaultRequestTimeout is the per-request deadline used when neither the
+// ServiceConfig nor the request sets one.
+const DefaultRequestTimeout = service.DefaultRequestTimeout
+
+// Service errors.
+var (
+	// ErrServiceClosed is returned by every Service method after Close.
+	ErrServiceClosed = service.ErrClosed
+	// ErrOverloaded is returned when the worker pool and wait queue are
+	// both full; shed the request rather than retrying immediately.
+	ErrOverloaded = service.ErrOverloaded
+	// ErrBadRequest wraps request validation failures.
+	ErrBadRequest = service.ErrBadRequest
+	// ErrUnknownRelation is returned for unregistered relation names.
+	ErrUnknownRelation = service.ErrUnknownRelation
+	// ErrDuplicateRelation is returned when registering a taken name.
+	ErrDuplicateRelation = service.ErrDuplicateRelation
+)
+
+// NewService builds a query service. Register relations, then Query and
+// Insert from any number of goroutines:
+//
+//	svc := ksjq.NewService(ksjq.ServiceConfig{})
+//	defer svc.Close()
+//	svc.Register("flights1", r1)
+//	svc.Register("flights2", r2)
+//	resp, err := svc.Query(ctx, ksjq.QueryRequest{R1: "flights1", R2: "flights2", K: 6})
+//
+// Repeated queries hit the answer cache; inserts through svc.Insert keep
+// cached answers current incrementally instead of invalidating them.
+func NewService(cfg ServiceConfig) *Service {
+	return service.New(cfg)
+}
+
+// ParseCondition maps CLI and API spellings ("eq", "cross", "lt", "le",
+// "gt", "ge"; empty means "eq") to a join Condition.
+func ParseCondition(s string) (Condition, error) {
+	return join.ParseCondition(s)
+}
+
+// ParseAggregator maps CLI and API spellings ("sum", "max", "min"; empty
+// means "sum") to a built-in Aggregator.
+func ParseAggregator(s string) (Aggregator, error) {
+	return join.ParseAggregator(s)
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# bench_snapshot.sh [output.json] — run the tracked benchmark set and emit
+# a JSON snapshot (the bench trajectory record; see README.md and
+# CHANGES.md). Run from the repo root; `make bench` wraps this.
+set -eu
+
+out=${1:-BENCH_pr3.json}
+benchtime=${BENCHTIME:-3x}
+pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert)$'
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go test -run xxx -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+    b[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                     name, $2, $3, $5, $7)
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench_snapshot.sh\",\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", b[i], (i < n ? "," : "")
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

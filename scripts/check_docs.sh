@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# check_docs.sh — fail when README.md references things that no longer
+# exist: a command without a cmd/<name> directory, a CLI flag no command
+# defines, or a repo file path that is gone. Run from the repo root
+# (CI's docs lane does).
+set -eu
+
+fail=0
+readme=README.md
+
+# --- commands -------------------------------------------------------------
+# Every ksjq* command name mentioned in the README must have a cmd dir.
+for name in $(grep -oE '\bksjq(-[a-z]+|d)?\b' "$readme" | sort -u); do
+    if [ ! -d "cmd/$name" ]; then
+        echo "README references command '$name' but cmd/$name does not exist" >&2
+        fail=1
+    fi
+done
+
+# --- flags ----------------------------------------------------------------
+# Flags defined anywhere under cmd/ (both flag.String("name", ...) and
+# flag.StringVar(&x, "name", ...) forms).
+defined=$(grep -rhoE 'flag\.[A-Za-z]+\((&[A-Za-z0-9_.]+, *)?"[a-z][a-z0-9-]*"' cmd/*/main.go \
+    | sed -E 's/.*"([a-z][a-z0-9-]*)"/\1/' | sort -u)
+# Flags owned by tools the README invokes (go test, curl), not by our
+# commands.
+go_flags="bench benchmem benchtime count race run v s d"
+
+# Candidate flags: "-name" tokens inside code fences or inline backticks.
+candidates=$( {
+    sed -n '/^```/,/^```/p' "$readme"
+    grep -oE '`[^`]*`' "$readme"
+} | grep -oE '(^|[ `(])-[a-z][a-z0-9-]*' | sed -E 's/.*-([a-z][a-z0-9-]*)$/\1/' | sort -u)
+
+for f in $candidates; do
+    if echo "$defined" | grep -qx "$f"; then
+        continue
+    fi
+    if echo "$go_flags" | tr ' ' '\n' | grep -qx "$f"; then
+        continue
+    fi
+    echo "README references flag '-$f' but no command under cmd/ defines it" >&2
+    fail=1
+done
+
+# --- repo file paths ------------------------------------------------------
+# Backticked paths that look like repo files must exist.
+for path in $(grep -oE '`[A-Za-z0-9_./-]+\.(md|json|go|yml|yaml|csv|sh)`' "$readme" \
+    | tr -d '`' | sort -u); do
+    case "$path" in
+    *.csv) continue ;; # sample data paths in usage examples, not repo files
+    esac
+    if [ ! -e "$path" ]; then
+        echo "README references file '$path' which does not exist" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs check failed: README.md is out of date" >&2
+    exit 1
+fi
+echo "docs check passed"
