@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench docs-check examples ci
+.PHONY: build test race bench docs-check examples staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,19 @@ race:
 examples:
 	$(GO) test -run Example -v ./ksjq/
 
-# Snapshot the tracked benchmarks into BENCH_pr3.json.
+# Snapshot the tracked benchmarks into BENCH_pr4.json.
 bench:
-	./scripts/bench_snapshot.sh BENCH_pr3.json
+	./scripts/bench_snapshot.sh BENCH_pr4.json
 
 # Fail if README.md references commands, flags, or files that are gone.
 docs-check:
 	./scripts/check_docs.sh
+
+# Static analysis. CI installs staticcheck; locally this uses whatever is
+# on PATH and explains itself if nothing is.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
+	staticcheck ./...
 
 ci: build test race examples docs-check

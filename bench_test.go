@@ -328,3 +328,74 @@ func BenchmarkCheckerAlloc(b *testing.B) {
 		}
 	}
 }
+
+// --- Columnar storage benchmarks (PR 4) -------------------------------
+//
+// The struct-of-arrays relation layout turns the engine's dense scans into
+// contiguous stride-D float64 sweeps and its group lookups into integer
+// symbol comparisons. These benchmarks pin the three layers that change:
+// categorization (key-sorted runs over column views), the checker's
+// domination probes (flat-column k-dominance tests), and the append path
+// (column growth + key interning).
+
+// BenchmarkColumnarCategorize measures the SS/SN/NN split of one relation:
+// a global Two-Scan over the attribute column plus per-group scans located
+// by interned key symbols — no string hashing, no per-row pointer chasing.
+func BenchmarkColumnarCategorize(b *testing.B) {
+	r := datagen.MustGenerate(datagen.Config{
+		Name: "R", N: 5000, Local: 5, Agg: 2, Groups: 10, Dist: datagen.Independent, Seed: 2017,
+	})
+	// k′ = 6 matches the default workload: K=11 over d=7+5, k′1 = K − l2.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := core.Categorize(r, 6, join.Equality, core.Left)
+		if len(c.SS)+len(c.SN)+len(c.NN) != r.Len() {
+			b.Fatal("categorization lost tuples")
+		}
+	}
+}
+
+// BenchmarkColumnarChecker measures raw domination probes: each probe
+// sweeps the checker's sum-sorted left column with the shared x-section
+// prefix and strides the flat attribute blocks of both relations.
+func BenchmarkColumnarChecker(b *testing.B) {
+	q := defaultQuery(1000)
+	vectors := make([][]float64, 64)
+	rng := rand.New(rand.NewSource(11))
+	for i := range vectors {
+		v := make([]float64, q.Width())
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		vectors[i] = v
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.AnyDominators(q, vectors); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColumnarAppend measures the insert door: per-tuple validation
+// (finite attributes), column growth, and join-key interning against a
+// working set of 100 distinct keys.
+func BenchmarkColumnarAppend(b *testing.B) {
+	base := datagen.MustGenerate(datagen.Config{
+		Name: "R", N: 100, Local: 5, Agg: 2, Groups: 100, Dist: datagen.Independent, Seed: 3,
+	})
+	tup := dataset.Tuple{Key: "g0042", Attrs: []float64{1, 2, 3, 4, 5, 6, 7}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := base.Clone()
+	for i := 0; i < b.N; i++ {
+		if i%100000 == 0 {
+			r = base.Clone() // bound the working set so growth stays realistic
+		}
+		if _, err := r.Append(tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -136,7 +136,7 @@ func run(out io.Writer, o options) error {
 		st.SS1, st.SN1, st.NN1, st.SS2, st.SN2, st.NN2)
 	if !o.quiet {
 		for _, p := range res.Skyline {
-			fmt.Fprintf(out, "%s ⋈ %s  %v\n", r1.Tuples[p.Left].Key, r2.Tuples[p.Right].Key, p.Attrs)
+			fmt.Fprintf(out, "%s ⋈ %s  %v\n", r1.Key(p.Left), r2.Key(p.Right), p.Attrs)
 		}
 	}
 	return nil

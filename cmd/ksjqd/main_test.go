@@ -214,6 +214,25 @@ func TestServerErrors(t *testing.T) {
 		t.Errorf("malformed JSON: status %d", resp.StatusCode)
 	}
 
+	// Non-finite insert payloads never reach a relation: NaN/Infinity are
+	// not representable in JSON (decode rejects them), and an overflowing
+	// literal like 1e999 fails float64 decoding — both are 400s, and the
+	// dataset layer's finite-attribute check backstops any path that might
+	// bypass the wire decode.
+	for name, body := range map[string]string{
+		"NaN attr":      `{"relation":"r1","tuple":{"attrs":[NaN,1]}}`,
+		"overflow attr": `{"relation":"r1","tuple":{"attrs":[1e999,1]}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s insert: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
 	// Wrong method.
 	resp, err = http.Get(srv.URL + "/v1/query")
 	if err != nil {

@@ -74,7 +74,7 @@ func printTop(out, in *ksjq.Relation, res *ksjq.Result, n int) {
 			return
 		}
 		fmt.Printf("  via %s: fee=%4.0f+%4.0f pop=%2.0f/%2.0f amen=%2.0f/%2.0f cost=%6.0f time=%.1fh\n",
-			out.Tuples[p.Left].Key,
+			out.Key(p.Left),
 			p.Attrs[0], p.Attrs[3], p.Attrs[1], p.Attrs[4], p.Attrs[2], p.Attrs[5],
 			p.Attrs[6], p.Attrs[7])
 	}
@@ -82,9 +82,8 @@ func printTop(out, in *ksjq.Relation, res *ksjq.Result, n int) {
 
 func filterKey(r *ksjq.Relation, key string) *ksjq.Relation {
 	var tuples []ksjq.Tuple
-	for _, t := range r.Tuples {
-		if t.Key == key {
-			t.Attrs = append([]float64(nil), t.Attrs...)
+	for i := 0; i < r.Len(); i++ {
+		if t := r.Tuple(i); t.Key == key {
 			tuples = append(tuples, t)
 		}
 	}

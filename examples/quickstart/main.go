@@ -53,7 +53,7 @@ func main() {
 	fmt.Printf("%d-dominant skyline of %s ⋈ %s (%d combinations):\n",
 		q.K, f1.Name, f2.Name, len(res.Skyline))
 	for _, p := range res.Skyline {
-		leg1, leg2 := f1.Tuples[p.Left], f2.Tuples[p.Right]
+		leg1, leg2 := f1.Tuple(p.Left), f2.Tuple(p.Right)
 		fmt.Printf("  via %s: leg1 %v + leg2 %v\n", leg1.Key, leg1.Attrs, leg2.Attrs)
 	}
 	fmt.Printf("categorized R1 as SS/SN/NN = %d/%d/%d in %v total\n",

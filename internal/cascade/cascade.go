@@ -260,12 +260,12 @@ func survivors(q Query, i int, r *dataset.Relation, kp int) []int {
 		return all(r.Len())
 	}
 	pts := make([][]float64, r.Len())
-	for t := range r.Tuples {
-		pts[t] = r.Tuples[t].Attrs
+	for t := range pts {
+		pts[t] = r.Attrs(t)
 	}
-	groups := make(map[[2]string][]int)
-	for t := range r.Tuples {
-		key := groupKey(q, i, &r.Tuples[t])
+	groups := make(map[[2]int32][]int)
+	for t := 0; t < r.Len(); t++ {
+		key := groupKey(q, i, r, t)
 		groups[key] = append(groups[key], t)
 	}
 	var out []int
@@ -276,18 +276,17 @@ func survivors(q Query, i int, r *dataset.Relation, kp int) []int {
 	return out
 }
 
-// groupKey returns the join group of a tuple within its chain position:
+// groupKey returns the join group of tuple t within its chain position:
 // the first relation groups on Key, middle relations on (Key, Key2), the
 // last on Key. Two tuples in the same group join with exactly the same
-// partners.
-func groupKey(q Query, i int, t *dataset.Tuple) [2]string {
+// partners. Keys are compared as interned symbols — both columns live in
+// the relation's own table, so equal symbols mean equal strings.
+func groupKey(q Query, i int, r *dataset.Relation, t int) [2]int32 {
 	switch {
-	case i == 0:
-		return [2]string{t.Key, ""}
-	case i == len(q.Relations)-1:
-		return [2]string{t.Key, ""}
+	case i == 0, i == len(q.Relations)-1:
+		return [2]int32{r.KeyID(t), -1}
 	default:
-		return [2]string{t.Key, t.Key2}
+		return [2]int32{r.KeyID(t), r.Key2ID(t)}
 	}
 }
 
@@ -300,40 +299,45 @@ func fold(q Query, keep [][]int) []Combo {
 	a := q.Relations[0].Agg
 	r0 := q.Relations[0]
 
+	// outKey chains the join left to right as interned symbols: it is a
+	// symbol of the *previous* relation's table, and each step's index is
+	// built with that relation as the probe side, so chaining costs two
+	// array lookups per probe — no string hashing along the chain.
 	type partial struct {
 		indices []int
 		locals  []float64
 		aggs    []float64
-		outKey  string
+		outKey  int32
 	}
 	cur := make([]partial, 0, len(keep[0]))
 	for _, t := range keep[0] {
-		tup := &r0.Tuples[t]
+		attrs := r0.Attrs(t)
 		cur = append(cur, partial{
 			indices: []int{t},
-			locals:  append([]float64(nil), tup.Attrs[:r0.Local]...),
-			aggs:    append([]float64(nil), tup.Attrs[r0.Local:]...),
-			outKey:  tup.Key,
+			locals:  append([]float64(nil), attrs[:r0.Local]...),
+			aggs:    append([]float64(nil), attrs[r0.Local:]...),
+			outKey:  r0.KeyID(t),
 		})
 	}
 	for ri := 1; ri < len(q.Relations); ri++ {
+		prev := q.Relations[ri-1]
 		r := q.Relations[ri]
 		last := ri == len(q.Relations)-1
-		ix := join.NewIndex(r, keep[ri], join.Equality)
+		ix := join.NewIndex(prev, r, keep[ri], join.Equality)
 		next := make([]partial, 0, len(cur))
 		for _, p := range cur {
-			for _, t := range ix.PartnersKey(p.outKey) {
-				tup := &r.Tuples[t]
+			for _, t := range ix.PartnersSym(prev, p.outKey) {
+				attrs := r.Attrs(t)
 				np := partial{
 					indices: append(append([]int(nil), p.indices...), t),
-					locals:  append(append([]float64(nil), p.locals...), tup.Attrs[:r.Local]...),
+					locals:  append(append([]float64(nil), p.locals...), attrs[:r.Local]...),
 					aggs:    make([]float64, a),
 				}
 				for j := 0; j < a; j++ {
-					np.aggs[j] = agg.Fn(p.aggs[j], tup.Attrs[r.Local+j])
+					np.aggs[j] = agg.Fn(p.aggs[j], attrs[r.Local+j])
 				}
 				if !last {
-					np.outKey = tup.Key2
+					np.outKey = r.Key2ID(t)
 				}
 				next = append(next, np)
 			}

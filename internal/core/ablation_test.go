@@ -103,7 +103,7 @@ func BenchmarkAblationProbeOrder(b *testing.B) {
 		}
 	})
 	b.Run("identity-order", func(b *testing.B) {
-		chk := &checker{e: e, left: all1, ix: join.NewIndex(q.R2, all2, e.cond)}
+		chk := &checker{e: e, left: all1, ix: join.NewIndex(q.R1, q.R2, all2, e.cond)}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, p := range candidates {
@@ -117,8 +117,8 @@ func BenchmarkMembershipProbe(b *testing.B) {
 	q := ablationQuery()
 	g2 := q.R2.GroupIndex()
 	var pair [2]int
-	for i := range q.R1.Tuples {
-		if js := g2[q.R1.Tuples[i].Key]; len(js) > 0 {
+	for i := 0; i < q.R1.Len(); i++ {
+		if js := g2[q.R1.Key(i)]; len(js) > 0 {
 			pair = [2]int{i, js[0]}
 			break
 		}

@@ -35,10 +35,10 @@ func TestBandJoinFlightConnections(t *testing.T) {
 		attrs []float64
 	}
 	var feasible []pair
-	for i := range r1.Tuples {
-		for j := range r2.Tuples {
-			if r1.Tuples[i].Band < r2.Tuples[j].Band {
-				attrs := append(append([]float64(nil), r1.Tuples[i].Attrs...), r2.Tuples[j].Attrs...)
+	for i := 0; i < r1.Len(); i++ {
+		for j := 0; j < r2.Len(); j++ {
+			if r1.Band(i) < r2.Band(j) {
+				attrs := append(append([]float64(nil), r1.Attrs(i)...), r2.Attrs(j)...)
 				feasible = append(feasible, pair{i, j, attrs})
 			}
 		}
@@ -82,27 +82,31 @@ func TestBandJoinFlightConnections(t *testing.T) {
 // can join every partner the later one can), and on the right side the
 // relation flips.
 func TestBandJoinGroupSemantics(t *testing.T) {
-	early := &dataset.Tuple{Band: 9}
-	late := &dataset.Tuple{Band: 15}
-	if !covers(join.BandLess, Left, early, late) {
+	// Rows: 0 = early (band 9), 1 = late (band 15), 2 = tie with early.
+	r := dataset.MustNew("legs", 1, 0, []dataset.Tuple{
+		{Band: 9, Attrs: []float64{0}},
+		{Band: 15, Attrs: []float64{0}},
+		{Band: 9, Attrs: []float64{0}},
+	})
+	early, late, tie := 0, 1, 2
+	if !covers(join.BandLess, Left, r, early, late) {
 		t.Error("earlier arrival must cover later arrival on the left side")
 	}
-	if covers(join.BandLess, Left, late, early) {
+	if covers(join.BandLess, Left, r, late, early) {
 		t.Error("later arrival must not cover earlier arrival on the left side")
 	}
-	if !covers(join.BandLess, Right, late, early) {
+	if !covers(join.BandLess, Right, r, late, early) {
 		t.Error("later departure must cover earlier departure on the right side")
 	}
-	if covers(join.BandLess, Right, early, late) {
+	if covers(join.BandLess, Right, r, early, late) {
 		t.Error("earlier departure must not cover later departure on the right side")
 	}
 	// Greater-than conditions mirror the rule.
-	if !covers(join.BandGreaterEq, Left, late, early) || !covers(join.BandGreaterEq, Right, early, late) {
+	if !covers(join.BandGreaterEq, Left, r, late, early) || !covers(join.BandGreaterEq, Right, r, early, late) {
 		t.Error("greater-or-equal condition has mirrored covering")
 	}
 	// Ties cover in both directions.
-	tie := &dataset.Tuple{Band: 9}
-	if !covers(join.BandLess, Left, early, tie) || !covers(join.BandLess, Left, tie, early) {
+	if !covers(join.BandLess, Left, r, early, tie) || !covers(join.BandLess, Left, r, tie, early) {
 		t.Error("equal bands must cover each other")
 	}
 }

@@ -58,28 +58,29 @@ type Categorization struct {
 
 // covers reports whether tuple x can join every partner tuple u can: x is
 // "in u's group" for the purposes of Definitions 1-3, extended to
-// non-equality conditions per Sec. 6.6.
+// non-equality conditions per Sec. 6.6. x and u are row indices into r.
 //
-// For equality joins this is plain key equality. For a band condition such
-// as R1.band < R2.band, any x with x.band <= u.band joins every partner of
-// u (left side); on the right side the inequality flips. For the Cartesian
-// product every tuple covers every other (Sec. 6.5).
-func covers(cond join.Condition, side Side, x, u *dataset.Tuple) bool {
+// For equality joins this is key equality — one integer comparison of
+// interned symbols, both rows living in the same relation. For a band
+// condition such as R1.band < R2.band, any x with x.band <= u.band joins
+// every partner of u (left side); on the right side the inequality flips.
+// For the Cartesian product every tuple covers every other (Sec. 6.5).
+func covers(cond join.Condition, side Side, r *dataset.Relation, x, u int) bool {
 	switch cond {
 	case join.Equality:
-		return x.Key == u.Key
+		return r.KeyID(x) == r.KeyID(u)
 	case join.Cross:
 		return true
 	case join.BandLess, join.BandLessEq:
 		if side == Left {
-			return x.Band <= u.Band
+			return r.Band(x) <= r.Band(u)
 		}
-		return x.Band >= u.Band
+		return r.Band(x) >= r.Band(u)
 	case join.BandGreater, join.BandGreaterEq:
 		if side == Left {
-			return x.Band >= u.Band
+			return r.Band(x) >= r.Band(u)
 		}
-		return x.Band <= u.Band
+		return r.Band(x) <= r.Band(u)
 	default:
 		return false
 	}
@@ -104,19 +105,21 @@ func Categorize(r *dataset.Relation, kPrime int, cond join.Condition, side Side)
 	groupDominated := make([]bool, n)
 	switch cond {
 	case join.Equality:
-		// Sort tuple indices by key so every join group is one contiguous
-		// run — group iteration needs no maps, and within a group the
-		// natural tuple order is preserved (stable sort).
+		// Sort tuple indices by interned key symbol so every join group is
+		// one contiguous run — group iteration needs no maps or string
+		// hashing, and within a group the natural tuple order is preserved
+		// (stable sort). Group *order* differs from a string sort, but
+		// groups are disjoint so the categorization is unaffected.
 		perm := make([]int, n)
 		for i := range perm {
 			perm[i] = i
 		}
 		sort.SliceStable(perm, func(a, b int) bool {
-			return r.Tuples[perm[a]].Key < r.Tuples[perm[b]].Key
+			return r.KeyID(perm[a]) < r.KeyID(perm[b])
 		})
 		for lo := 0; lo < n; {
 			hi := lo + 1
-			for hi < n && r.Tuples[perm[hi]].Key == r.Tuples[perm[lo]].Key {
+			for hi < n && r.KeyID(perm[hi]) == r.KeyID(perm[lo]) {
 				hi++
 			}
 			group := perm[lo:hi]
@@ -141,7 +144,7 @@ func Categorize(r *dataset.Relation, kPrime int, cond join.Condition, side Side)
 				continue
 			}
 			for j := 0; j < n; j++ {
-				if j == i || !covers(cond, side, &r.Tuples[j], &r.Tuples[i]) {
+				if j == i || !covers(cond, side, r, j, i) {
 					continue
 				}
 				if dom.KDominates(pts[j], pts[i], kPrime) {

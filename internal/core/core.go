@@ -258,11 +258,13 @@ func sortPairs(pairs []join.Pair) {
 	})
 }
 
-// basePoints extracts the base attribute vectors of a relation.
+// basePoints extracts the base attribute vectors of a relation as views
+// into its flat attribute column: one slice-header allocation, no data
+// copies, and consecutive points are contiguous in memory.
 func basePoints(r *dataset.Relation) [][]float64 {
 	pts := make([][]float64, r.Len())
-	for i := range r.Tuples {
-		pts[i] = r.Tuples[i].Attrs
+	for i := range pts {
+		pts[i] = r.Attrs(i)
 	}
 	return pts
 }

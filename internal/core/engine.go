@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dataset"
@@ -15,8 +16,17 @@ type engine struct {
 	cond       join.Condition
 	agg        join.Aggregator
 	l1, l2, a  int
+	d1, d2     int
 	k1pp, k2pp int // k″1, k″2: target-set thresholds over local attributes
-	stats      *Stats
+	// at1/at2 are the relations' flat row-major attribute columns; row i of
+	// R1 is at1[i*d1 : (i+1)*d1]. The checker's inner loops stride them
+	// directly — contiguous scans, no per-row slice-header chasing.
+	at1, at2 []float64
+	// isSum marks the built-in Sum aggregator, letting the domination test
+	// inline the addition instead of an indirect call per aggregate
+	// attribute.
+	isSum bool
+	stats *Stats
 	// allRightIx and allLeftSorted cache the full-R2 join index and the
 	// sum-sorted full-R1 probe order; each is built at most once per engine
 	// (on first full-list use) and read-only afterwards, so checkers
@@ -26,9 +36,25 @@ type engine struct {
 	// pts1/pts2 cache the relations' base attribute vectors for the probe
 	// orderings (built lazily, then read-only).
 	pts1, pts2 [][]float64
+	// kt caches the R1→R2 key-symbol translation shared by every equality
+	// index this engine builds (one per cell, one per dominator-set
+	// checker); built once on first use, read-only afterwards.
+	kt *join.KeyTrans
 	// noTargetPrune disables the checker's target-set skip; used only by
 	// the ablation benchmarks to quantify the optimization.
 	noTargetPrune bool
+}
+
+// keyTrans returns the engine's shared R1→R2 key translation (equality
+// joins only), building it on first use.
+func (e *engine) keyTrans() *join.KeyTrans {
+	if e.cond != join.Equality {
+		return nil
+	}
+	if e.kt == nil {
+		e.kt = join.NewKeyTrans(e.q.R1, e.q.R2)
+	}
+	return e.kt
 }
 
 func newEngine(q Query, stats *Stats) *engine {
@@ -39,8 +65,13 @@ func newEngine(q Query, stats *Stats) *engine {
 		l1:    q.R1.Local,
 		l2:    q.R2.Local,
 		a:     q.R1.Agg,
+		d1:    q.R1.D(),
+		d2:    q.R2.D(),
+		at1:   q.R1.FlatAttrs(),
+		at2:   q.R2.FlatAttrs(),
 		stats: stats,
 	}
+	e.isSum = join.IsSum(e.agg)
 	e.k1pp, e.k2pp = q.KDoublePrimes()
 	return e
 }
@@ -76,7 +107,7 @@ func (e *engine) rightProbeOrder(right []int) []int {
 // priority, building it on first use.
 func (e *engine) rightAllIndex() *join.Index {
 	if e.allRightIx == nil {
-		e.allRightIx = join.NewIndex(e.q.R2, e.rightProbeOrder(allIndices(e.q.R2.Len())), e.cond)
+		e.allRightIx = join.NewIndexTrans(e.q.R1, e.q.R2, e.rightProbeOrder(allIndices(e.q.R2.Len())), e.cond, e.keyTrans())
 	}
 	return e.allRightIx
 }
@@ -88,7 +119,7 @@ func (e *engine) rightIndex(right []int) *join.Index {
 	if len(right) == e.q.R2.Len() {
 		return e.rightAllIndex()
 	}
-	return join.NewIndex(e.q.R2, right, e.cond)
+	return join.NewIndexTrans(e.q.R1, e.q.R2, right, e.cond, e.keyTrans())
 }
 
 // pairs materializes the join-compatible pairs between the given index
@@ -146,7 +177,7 @@ func (e *engine) newChecker(left, right []int) *checker {
 	if len(right) == e.q.R2.Len() {
 		c.ix = e.rightAllIndex()
 	} else {
-		c.ix = join.NewIndex(e.q.R2, e.rightProbeOrder(right), e.cond)
+		c.ix = join.NewIndexTrans(e.q.R1, e.q.R2, e.rightProbeOrder(right), e.cond, e.keyTrans())
 	}
 	return c
 }
@@ -162,21 +193,42 @@ func (c *checker) bind(we *engine) *checker {
 // dominates reports whether some join-compatible pair from the checker's
 // lists k-dominates cand.
 //
-// Two optimizations, both justified by the target-set theorem (Def 5 /
-// DESIGN.md §3): a left tuple x whose local attributes win fewer than
-// k″1 = k − l2 − a positions against cand's left part can never complete a
-// dominator, so all its pairs are skipped; and the k-dominance test runs
-// directly over the base vectors without materializing the joined tuple.
+// Three optimizations, the first two justified by the target-set theorem
+// (Def 5 / DESIGN.md §3): a left tuple x whose local attributes win fewer
+// than k″1 = k − l2 − a positions against cand's left part can never
+// complete a dominator, so all its pairs are skipped; the k-dominance test
+// runs directly over the base vectors without materializing the joined
+// tuple; and the x-section of the test (the l1 left-local comparisons plus
+// the reachability bound) is computed once per left tuple and shared by
+// all of its partners, instead of being redone inside every pair test.
 func (c *checker) dominates(cand []float64) bool {
 	e := c.e
-	candL := cand[:e.l1]
+	r1 := e.q.R1
+	if e.noTargetPrune {
+		// Ablation control arm: no left-level skip and no shared x-section
+		// — every partner pair gets its own counted full test, exactly the
+		// un-pruned checker the benchmarks compare against.
+		for _, i := range c.left {
+			for _, j := range c.ix.Partners(r1, i) {
+				if e.pairKDominates(i, j, cand) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// The x-section threshold: the pair test's own reachability bound at
+	// pos = l1 is K − (d − l1) = K − l2 − a (d = l1+l2+a), which is exactly
+	// the target-set threshold k″1 — Def 5's prune is the bound the test
+	// would apply anyway, hoisted above the partner loop.
 	for _, i := range c.left {
-		u := &e.q.R1.Tuples[i]
-		if !e.noTargetPrune && !localLeqAtLeast(u.Attrs, candL, e.l1, e.k1pp) {
+		x := e.at1[i*e.d1 : i*e.d1+e.d1]
+		leq, strict, ok := localPrefix(x, cand, e.l1, e.k1pp)
+		if !ok {
 			continue
 		}
-		for _, j := range c.ix.Partners(u) {
-			if e.pairKDominates(i, j, cand) {
+		for _, j := range c.ix.Partners(r1, i) {
+			if e.pairKDominatesTail(x, j, leq, strict, cand) {
 				return true
 			}
 		}
@@ -184,20 +236,120 @@ func (c *checker) dominates(cand []float64) bool {
 	return false
 }
 
+// dominatesBatch filters many candidates through the checker at once,
+// setting keep[ci] = false for every k-dominated candidates[ci]. It visits
+// exactly the (left, partner) pairs the per-candidate dominates would — in
+// the same per-candidate order, so results and domination-test counts are
+// identical — but runs left-outer: the x-section slice, the partner list
+// and empty-bucket skips are hoisted out of the candidate loop, and the
+// candidate attribute vectors (contiguous in their cell arena) are swept
+// sequentially. The context is polled every cancelEvery candidates, the
+// same latency bound as the per-candidate loop.
+func (c *checker) dominatesBatch(ctx context.Context, candidates []join.Pair, keep []bool) error {
+	e := c.e
+	r1 := e.q.R1
+	if len(candidates) == 0 {
+		return nil
+	}
+	for ci := range keep {
+		keep[ci] = true
+	}
+	if e.noTargetPrune {
+		// Ablation control arm: per-candidate, per-pair full tests.
+		for ci := range candidates {
+			if ci%cancelEvery == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			keep[ci] = !c.dominates(candidates[ci].Attrs)
+		}
+		return nil
+	}
+	alive := len(candidates)
+	for _, i := range c.left {
+		partners := c.ix.Partners(r1, i)
+		if len(partners) == 0 {
+			continue
+		}
+		x := e.at1[i*e.d1 : i*e.d1+e.d1]
+		for ci := range candidates {
+			if ci%cancelEvery == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !keep[ci] {
+				continue
+			}
+			cand := candidates[ci].Attrs
+			leq, strict, ok := localPrefix(x, cand, e.l1, e.k1pp)
+			if !ok {
+				continue
+			}
+			for _, j := range partners {
+				if e.pairKDominatesTail(x, j, leq, strict, cand) {
+					keep[ci] = false
+					alive--
+					break
+				}
+			}
+		}
+		if alive == 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+// localPrefix computes the x-section of the k-dominance test: how many of
+// the first l1 cand positions x wins or ties, and whether any win is
+// strict. ok is false when leq cannot reach (or ends below) threshold t —
+// the same early exit the per-pair bound would take, hoisted out of the
+// partner loop.
+func localPrefix(x, cand []float64, l1, t int) (leq int, strict, ok bool) {
+	for i := 0; i < l1; i++ {
+		if v, c := x[i], cand[i]; v <= c {
+			leq++
+			if v < c {
+				strict = true
+			}
+		}
+		if leq+(l1-i-1) < t {
+			return 0, false, false
+		}
+	}
+	return leq, strict, leq >= t
+}
+
 // pairKDominates reports whether the joined tuple R1[i] ⋈ R2[j] k-dominates
-// the joined attribute vector cand, without materializing the pair.
+// the joined attribute vector cand, without materializing the pair: the
+// x-section prefix followed by the shared tail.
 func (e *engine) pairKDominates(i, j int, cand []float64) bool {
+	x := e.at1[i*e.d1 : i*e.d1+e.d1]
+	leq, strict, ok := localPrefix(x, cand, e.l1, e.q.K-(len(cand)-e.l1))
+	if !ok {
+		e.stats.DominationTests++
+		return false
+	}
+	return e.pairKDominatesTail(x, j, leq, strict, cand)
+}
+
+// pairKDominatesTail finishes a k-dominance test against cand for the pair
+// (x, R2[j]), resuming after a precomputed x-section (leq wins, strict
+// strictness over the l1 left locals). The engine's hottest loop: x and y
+// are contiguous stride-D slices of the relations' flat attribute columns,
+// and the built-in Sum aggregator is devirtualized (isSum) so the
+// aggregate section costs one add instead of an indirect call per
+// attribute.
+func (e *engine) pairKDominatesTail(x []float64, j, leq int, strict bool, cand []float64) bool {
 	e.stats.DominationTests++
-	x := e.q.R1.Tuples[i].Attrs
-	y := e.q.R2.Tuples[j].Attrs
+	y := e.at2[j*e.d2 : j*e.d2+e.d2]
 	k := e.q.K
 	d := len(cand)
-	leq, pos := 0, 0
-	strict := false
-	for t := 0; t < e.l1; t++ {
-		if v := x[t]; v <= cand[pos] {
+	l1, l2, a := e.l1, e.l2, e.a
+	pos := l1
+	cy := cand[l1:]
+	for t := 0; t < l2; t++ {
+		if v, c := y[t], cy[t]; v <= c {
 			leq++
-			if v < cand[pos] {
+			if v < c {
 				strict = true
 			}
 		}
@@ -206,28 +358,31 @@ func (e *engine) pairKDominates(i, j int, cand []float64) bool {
 			return false
 		}
 	}
-	for t := 0; t < e.l2; t++ {
-		if v := y[t]; v <= cand[pos] {
-			leq++
-			if v < cand[pos] {
-				strict = true
+	if e.isSum {
+		for t := 0; t < a; t++ {
+			if v, c := x[l1+t]+y[l2+t], cand[pos]; v <= c {
+				leq++
+				if v < c {
+					strict = true
+				}
+			}
+			pos++
+			if leq+(d-pos) < k {
+				return false
 			}
 		}
-		pos++
-		if leq+(d-pos) < k {
-			return false
-		}
-	}
-	for t := 0; t < e.a; t++ {
-		if v := e.agg.Fn(x[e.l1+t], y[e.l2+t]); v <= cand[pos] {
-			leq++
-			if v < cand[pos] {
-				strict = true
+	} else {
+		for t := 0; t < a; t++ {
+			if v, c := e.agg.Fn(x[l1+t], y[l2+t]), cand[pos]; v <= c {
+				leq++
+				if v < c {
+					strict = true
+				}
 			}
-		}
-		pos++
-		if leq+(d-pos) < k {
-			return false
+			pos++
+			if leq+(d-pos) < k {
+				return false
+			}
 		}
 	}
 	return leq >= k && strict
@@ -240,8 +395,9 @@ func (e *engine) pairKDominates(i, j int, cand []float64) bool {
 func targetUnion(r *dataset.Relation, base []int, local, kpp int) []int {
 	var out []int
 	for x := 0; x < r.Len(); x++ {
+		xa := r.Attrs(x)
 		for _, u := range base {
-			if localLeqAtLeast(r.Tuples[x].Attrs, r.Tuples[u].Attrs, local, kpp) {
+			if localLeqAtLeast(xa, r.Attrs(u), local, kpp) {
 				out = append(out, x)
 				break
 			}
@@ -254,8 +410,9 @@ func targetUnion(r *dataset.Relation, base []int, local, kpp int) []int {
 // same-side component of a joined dominator of a tuple built from u.
 func targetSet(r *dataset.Relation, u, local, kpp int) []int {
 	var out []int
+	ua := r.Attrs(u)
 	for x := 0; x < r.Len(); x++ {
-		if localLeqAtLeast(r.Tuples[x].Attrs, r.Tuples[u].Attrs, local, kpp) {
+		if localLeqAtLeast(r.Attrs(x), ua, local, kpp) {
 			out = append(out, x)
 		}
 	}

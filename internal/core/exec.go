@@ -99,11 +99,15 @@ type sink func(p join.Pair) bool
 // verifyCell filters candidates through a checker over chkLeft × chkRight,
 // feeding the survivors to emit in candidate order. It returns false when
 // emit stopped the run, and ctx.Err() when the context was cancelled
-// mid-verification. With workers > 1 the candidates are sharded across
-// goroutines probing one shared read-only checker; every worker exits
-// within one cancelEvery batch of a cancellation, so verifyCell never
-// leaks goroutines.
-func verifyCell(ctx context.Context, e *engine, workers int, candidates []join.Pair, chkLeft, chkRight []int, emit sink) (bool, error) {
+// mid-verification. stream marks a user-visible Emit sink: the serial
+// streaming path verifies candidate by candidate so each tuple is emitted
+// the moment it is confirmed; the collecting path verifies the whole cell
+// with the batched checker (left-outer sweep over the cell arena) before
+// appending survivors, which is cheaper and observationally identical.
+// With workers > 1 the candidates are sharded across goroutines probing
+// one shared read-only checker; every worker exits within one cancelEvery
+// batch of a cancellation, so verifyCell never leaks goroutines.
+func verifyCell(ctx context.Context, e *engine, workers int, stream bool, candidates []join.Pair, chkLeft, chkRight []int, emit sink) (bool, error) {
 	if len(candidates) == 0 {
 		return true, nil
 	}
@@ -112,11 +116,23 @@ func verifyCell(ctx context.Context, e *engine, workers int, candidates []join.P
 		workers = len(candidates)
 	}
 	if workers <= 1 {
-		for i := range candidates {
-			if i%cancelEvery == 0 && ctx.Err() != nil {
-				return false, ctx.Err()
+		if stream {
+			for i := range candidates {
+				if i%cancelEvery == 0 && ctx.Err() != nil {
+					return false, ctx.Err()
+				}
+				if !chk.dominates(candidates[i].Attrs) && !emit(candidates[i]) {
+					return false, nil
+				}
 			}
-			if !chk.dominates(candidates[i].Attrs) && !emit(candidates[i]) {
+			return true, nil
+		}
+		keep := make([]bool, len(candidates))
+		if err := chk.dominatesBatch(ctx, candidates, keep); err != nil {
+			return false, err
+		}
+		for i := range candidates {
+			if keep[i] && !emit(candidates[i]) {
 				return false, nil
 			}
 		}

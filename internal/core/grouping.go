@@ -109,7 +109,7 @@ func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Re
 			st.Candidates += len(candidates)
 		}
 		t0 = time.Now()
-		more, err := verifyCell(ctx, e, workers, candidates, cell.chkLeft, cell.chkRight, out)
+		more, err := verifyCell(ctx, e, workers, emitFn != nil, candidates, cell.chkLeft, cell.chkRight, out)
 		st.RemainingTime += time.Since(t0)
 		if err != nil {
 			return nil, err

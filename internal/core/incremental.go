@@ -233,12 +233,8 @@ func (m *Maintainer) delete(idx int, left bool) error {
 	if left {
 		r = m.q.R1
 	}
-	if idx < 0 || idx >= r.Len() {
-		return fmt.Errorf("core: delete index %d out of range [0,%d)", idx, r.Len())
-	}
-	r.Tuples = append(r.Tuples[:idx], r.Tuples[idx+1:]...)
-	for i := range r.Tuples {
-		r.Tuples[i].ID = i
+	if err := r.Delete(idx); err != nil {
+		return err // dataset's bounds check; nothing has been mutated
 	}
 	res, err := Run(m.q, Grouping)
 	if err != nil {

@@ -46,7 +46,7 @@ func TestPropertyEnginePairsMatchScanOracle(t *testing.T) {
 				want := map[[2]int]bool{}
 				for _, i := range left {
 					for _, j := range right {
-						if cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
+						if cond.MatchesAt(r1, i, r2, j) {
 							want[[2]int{i, j}] = true
 						}
 					}
@@ -74,7 +74,7 @@ func TestPropertyEnginePairsMatchScanOracle(t *testing.T) {
 					if !want[[2]int{p.Left, p.Right}] {
 						t.Fatalf("%s: pairs materialized spurious (%d,%d)", label, p.Left, p.Right)
 					}
-					attrs := join.Combine(r1, r2, &r1.Tuples[p.Left], &r2.Tuples[p.Right], e.agg, nil)
+					attrs := join.CombineAt(r1, r2, p.Left, p.Right, e.agg, nil)
 					if !reflect.DeepEqual(p.Attrs, attrs) {
 						t.Fatalf("%s: pair (%d,%d) attrs %v, want %v", label, p.Left, p.Right, p.Attrs, attrs)
 					}
@@ -104,7 +104,7 @@ func TestPropertyCheckerMatchesScanOracle(t *testing.T) {
 				want := false
 				for _, i := range left {
 					for _, j := range right {
-						if cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) && e.pairKDominates(i, j, cand.Attrs) {
+						if cond.MatchesAt(r1, i, r2, j) && e.pairKDominates(i, j, cand.Attrs) {
 							want = true
 						}
 					}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// This file is the columnar-layout equivalence oracle: query results must
+// be byte-identical no matter how a relation's columnar storage came to be
+// — built in one shot, grown row by row through Append, round-tripped
+// through the row-shaped Tuple views, or deep-cloned — and no matter
+// whether the two sides of a join share a symbol table (self-join identity
+// translation) or own disjoint ones (cross-relation translation). The
+// variants cover every construction path a row-model implementation would
+// have taken, so agreement across them pins the struct-of-arrays layout to
+// the row semantics.
+
+// layoutVariants returns logically identical relations with different
+// storage histories.
+func layoutVariants(t *testing.T, r *dataset.Relation) map[string]*dataset.Relation {
+	t.Helper()
+	rows := r.Rows()
+
+	appended, err := dataset.New(r.Name, r.Local, r.Agg, rows[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows[1:] {
+		if _, err := appended.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	roundtrip, err := dataset.New(r.Name, r.Local, r.Agg, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return map[string]*dataset.Relation{
+		"base":      r,
+		"appended":  appended,
+		"roundtrip": roundtrip,
+		"cloned":    r.Clone(),
+	}
+}
+
+// assertBytesIdentical compares two skylines exactly: same (Left, Right)
+// pairs in the same order, and bit-identical attribute vectors.
+func assertBytesIdentical(t *testing.T, label string, got, want []join.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: skyline sizes differ: %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Left != w.Left || g.Right != w.Right {
+			t.Fatalf("%s: pair %d is (%d,%d), want (%d,%d)", label, i, g.Left, g.Right, w.Left, w.Right)
+		}
+		if len(g.Attrs) != len(w.Attrs) {
+			t.Fatalf("%s: pair %d has %d attrs, want %d", label, i, len(g.Attrs), len(w.Attrs))
+		}
+		for j := range w.Attrs {
+			if math.Float64bits(g.Attrs[j]) != math.Float64bits(w.Attrs[j]) {
+				t.Fatalf("%s: pair %d attr %d = %v, want %v (bit-exact)", label, i, j, g.Attrs[j], w.Attrs[j])
+			}
+		}
+	}
+}
+
+var oracleConditions = []join.Condition{
+	join.Equality, join.Cross,
+	join.BandLess, join.BandLessEq, join.BandGreater, join.BandGreaterEq,
+}
+
+// TestLayoutEquivalenceOracle runs every algorithm over every join
+// condition with mixed storage variants on both sides (including Workers>1
+// for grouping) and demands byte-identical answers and identical
+// categorization/work counters.
+func TestLayoutEquivalenceOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1701))
+	for trial := 0; trial < 6; trial++ {
+		agg := rng.Intn(2) * 2 // a=0 or a=2, exercising both aggregate paths
+		r1 := randRelation(rng, "r1", 20+rng.Intn(30), 3, agg, 1+rng.Intn(4), 6)
+		r2 := randRelation(rng, "r2", 20+rng.Intn(30), 3, agg, 1+rng.Intn(4), 6)
+		v1 := layoutVariants(t, r1)
+		v2 := layoutVariants(t, r2)
+		// Pair up differently-built variants so cross-relation symbol
+		// translation never sees two tables with a shared history.
+		combos := [][2]string{
+			{"appended", "roundtrip"},
+			{"roundtrip", "cloned"},
+			{"cloned", "appended"},
+		}
+		for _, cond := range oracleConditions {
+			q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: cond, Agg: join.Sum}}
+			q.K = q.KMin() + rng.Intn(q.Width()-q.KMin()+1)
+			for _, alg := range Algorithms {
+				want, err := Run(q, alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, combo := range combos {
+					vq := q
+					vq.R1, vq.R2 = v1[combo[0]], v2[combo[1]]
+					got, err := Run(vq, alg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("trial %d cond %v alg %v %s⋈%s", trial, cond, alg, combo[0], combo[1])
+					assertBytesIdentical(t, label, got.Skyline, want.Skyline)
+					if got.Stats.SS1 != want.Stats.SS1 || got.Stats.SN1 != want.Stats.SN1 ||
+						got.Stats.SS2 != want.Stats.SS2 || got.Stats.SN2 != want.Stats.SN2 ||
+						got.Stats.Candidates != want.Stats.Candidates ||
+						got.Stats.YesEmitted != want.Stats.YesEmitted ||
+						got.Stats.DominationTests != want.Stats.DominationTests {
+						t.Fatalf("%s: work counters diverge: %+v vs %+v", label, got.Stats, want.Stats)
+					}
+				}
+			}
+			// Parallel grouping over mixed variants must agree too.
+			par, err := Exec(context.Background(), Query{
+				R1: v1["appended"], R2: v2["roundtrip"], Spec: q.Spec, K: q.K,
+			}, ExecOptions{Algorithm: Grouping, Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantG, err := Run(q, Grouping)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBytesIdentical(t, fmt.Sprintf("trial %d cond %v parallel", trial, cond), par.Skyline, wantG.Skyline)
+		}
+	}
+}
+
+// TestLayoutEquivalenceSelfJoin pins the two equality probe paths against
+// each other: a true self-join (R1 == R2, shared symbol table, identity
+// translation) versus the same rows materialized as two independent
+// relations (disjoint tables, cross-relation translation).
+func TestLayoutEquivalenceSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(1703))
+	for trial := 0; trial < 8; trial++ {
+		r := randRelation(rng, "r", 15+rng.Intn(25), 3, 0, 1+rng.Intn(3), 5)
+		other, err := dataset.New(r.Name, r.Local, r.Agg, r.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cond := range oracleConditions {
+			q := Query{R1: r, R2: r, Spec: join.Spec{Cond: cond}}
+			q.K = q.KMin() + rng.Intn(q.Width()-q.KMin()+1)
+			self, err := Run(q, Grouping)
+			if err != nil {
+				t.Fatal(err)
+			}
+			split := q
+			split.R2 = other
+			sep, err := Run(split, Grouping)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBytesIdentical(t, fmt.Sprintf("trial %d cond %v self vs split", trial, cond), sep.Skyline, self.Skyline)
+		}
+	}
+}
+
+// TestLayoutEquivalenceMaintainer drives the maintained-insert path over
+// differently-built storage: maintainers positioned on different variants
+// absorb the same insert stream and must stay byte-identical to each other
+// and to a from-scratch run over the final rows.
+func TestLayoutEquivalenceMaintainer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1705))
+	for _, cond := range oracleConditions {
+		base1 := randRelation(rng, "r1", 25, 3, 0, 3, 6)
+		base2 := randRelation(rng, "r2", 25, 3, 0, 3, 6)
+		mkQuery := func(r1, r2 *dataset.Relation) Query {
+			return Query{R1: r1, R2: r2, Spec: join.Spec{Cond: cond}, K: 4}
+		}
+		ma, err := NewMaintainer(mkQuery(base1, base2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alt1, err := dataset.New(base1.Name, base1.Local, base1.Agg, base1.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := NewMaintainer(mkQuery(alt1, base2.Clone()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ins := 0; ins < 8; ins++ {
+			tup := dataset.Tuple{
+				// Mix existing keys with brand-new ones so inserts both hit
+				// interned symbols and grow the table.
+				Key:   fmt.Sprintf("g%d", rng.Intn(5)),
+				Band:  float64(rng.Intn(8)),
+				Attrs: []float64{float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6))},
+			}
+			left := ins%2 == 0
+			var da, db int
+			var aa, ab int
+			if left {
+				da, aa, err = ma.InsertLeft(tup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, ab, err = mb.InsertLeft(tup)
+			} else {
+				da, aa, err = ma.InsertRight(tup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, ab, err = mb.InsertRight(tup)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if da != db || aa != ab {
+				t.Fatalf("cond %v insert %d: displaced/admitted diverge: (%d,%d) vs (%d,%d)", cond, ins, da, aa, db, ab)
+			}
+			assertBytesIdentical(t, fmt.Sprintf("cond %v insert %d", cond, ins), mb.Skyline(), ma.Skyline())
+		}
+		// The maintained answer must equal a cold run over the final rows.
+		final, err := Run(mkQuery(base1, base2), Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBytesIdentical(t, fmt.Sprintf("cond %v maintained vs cold", cond), ma.Skyline(), final.Skyline)
+	}
+}

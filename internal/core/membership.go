@@ -41,7 +41,7 @@ func MembershipContext(ctx context.Context, q Query, pairs [][2]int) ([]bool, er
 		if i < 0 || i >= q.R1.Len() || j < 0 || j >= q.R2.Len() {
 			return nil, fmt.Errorf("core: pair (%d,%d) out of range", i, j)
 		}
-		if e.cond != join.Cross && !e.cond.Matches(&q.R1.Tuples[i], &q.R2.Tuples[j]) {
+		if e.cond != join.Cross && !e.cond.MatchesAt(q.R1, i, q.R2, j) {
 			return nil, fmt.Errorf("core: pair (%d,%d) is not join-compatible under %v", i, j, e.cond)
 		}
 	}
@@ -53,7 +53,7 @@ func MembershipContext(ctx context.Context, q Query, pairs [][2]int) ([]bool, er
 		if n%cancelEvery == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		buf = join.Combine(q.R1, q.R2, &q.R1.Tuples[pr[0]], &q.R2.Tuples[pr[1]], agg, buf)
+		buf = join.CombineAt(q.R1, q.R2, pr[0], pr[1], agg, buf)
 		out[n] = !chk.dominates(buf)
 	}
 	return out, nil

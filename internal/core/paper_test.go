@@ -130,7 +130,8 @@ func TestPaperTable3Skyline(t *testing.T) {
 func TestPaperTable6Aggregate(t *testing.T) {
 	reorder := func(r *dataset.Relation, name string) *dataset.Relation {
 		tuples := make([]dataset.Tuple, r.Len())
-		for i, tup := range r.Tuples {
+		for i := 0; i < r.Len(); i++ {
+			tup := r.Tuple(i)
 			tuples[i] = dataset.Tuple{
 				Key:   tup.Key,
 				Attrs: []float64{tup.Attrs[1], tup.Attrs[2], tup.Attrs[3], tup.Attrs[0]},

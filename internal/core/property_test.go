@@ -41,7 +41,7 @@ func TestPropertyResultIsSubsetOfJoin(t *testing.T) {
 			return false
 		}
 		for _, p := range res.Skyline {
-			u, v := q.R1.Tuples[p.Left], q.R2.Tuples[p.Right]
+			u, v := q.R1.Tuple(p.Left), q.R2.Tuple(p.Right)
 			if u.Key != v.Key {
 				return false
 			}
@@ -186,10 +186,10 @@ func TestPropertyTargetSetsComplete(t *testing.T) {
 				if !dom.KDominates(o.Attrs, p.Attrs, q.K) {
 					continue
 				}
-				if !localLeqAtLeast(q.R1.Tuples[o.Left].Attrs, q.R1.Tuples[p.Left].Attrs, e.l1, e.k1pp) {
+				if !localLeqAtLeast(q.R1.Attrs(o.Left), q.R1.Attrs(p.Left), e.l1, e.k1pp) {
 					return false
 				}
-				if !localLeqAtLeast(q.R2.Tuples[o.Right].Attrs, q.R2.Tuples[p.Right].Attrs, e.l2, e.k2pp) {
+				if !localLeqAtLeast(q.R2.Attrs(o.Right), q.R2.Attrs(p.Right), e.l2, e.k2pp) {
 					return false
 				}
 			}

@@ -15,14 +15,14 @@ func TestGenerateShape(t *testing.T) {
 	if err := r.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	for _, tup := range r.Tuples {
-		for _, v := range tup.Attrs {
-			if v < 0 || v >= 1 {
-				t.Fatalf("attribute %v outside [0,1)", v)
-			}
+	for _, v := range r.FlatAttrs() {
+		if v < 0 || v >= 1 {
+			t.Fatalf("attribute %v outside [0,1)", v)
 		}
-		if tup.Band < 0 || tup.Band >= 1 {
-			t.Fatalf("band %v outside [0,1)", tup.Band)
+	}
+	for _, v := range r.Bands() {
+		if v < 0 || v >= 1 {
+			t.Fatalf("band %v outside [0,1)", v)
 		}
 	}
 }
@@ -43,18 +43,18 @@ func TestGenerateGroupsBalanced(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	a := MustGenerate(Config{Name: "r", N: 50, Local: 3, Groups: 5, Dist: AntiCorrelated, Seed: 7})
 	b := MustGenerate(Config{Name: "r", N: 50, Local: 3, Groups: 5, Dist: AntiCorrelated, Seed: 7})
-	for i := range a.Tuples {
-		for j := range a.Tuples[i].Attrs {
-			if a.Tuples[i].Attrs[j] != b.Tuples[i].Attrs[j] {
+	for i := 0; i < a.Len(); i++ {
+		for j, v := range a.Attrs(i) {
+			if v != b.Attrs(i)[j] {
 				t.Fatal("same seed produced different data")
 			}
 		}
 	}
 	c := MustGenerate(Config{Name: "r", N: 50, Local: 3, Groups: 5, Dist: AntiCorrelated, Seed: 8})
 	same := true
-	for i := range a.Tuples {
-		for j := range a.Tuples[i].Attrs {
-			if a.Tuples[i].Attrs[j] != c.Tuples[i].Attrs[j] {
+	for i := 0; i < a.Len(); i++ {
+		for j, v := range a.Attrs(i) {
+			if v != c.Attrs(i)[j] {
 				same = false
 			}
 		}
@@ -87,8 +87,8 @@ func pairwiseCorrelation(t *testing.T, dist Distribution) float64 {
 		for b := a + 1; b < d; b++ {
 			var sa, sb, saa, sbb, sab float64
 			n := float64(r.Len())
-			for _, tup := range r.Tuples {
-				x, y := tup.Attrs[a], tup.Attrs[b]
+			for i := 0; i < r.Len(); i++ {
+				x, y := r.Attrs(i)[a], r.Attrs(i)[b]
 				sa += x
 				sb += y
 				saa += x * x
@@ -180,8 +180,8 @@ func TestFlightsCostTimeAntiCorrelated(t *testing.T) {
 	// negatively correlated.
 	var sa, sb, saa, sbb, sab float64
 	n := float64(out.Len())
-	for _, tup := range out.Tuples {
-		x, y := tup.Attrs[3], tup.Attrs[4]
+	for i := 0; i < out.Len(); i++ {
+		x, y := out.Attrs(i)[3], out.Attrs(i)[4]
 		sa += x
 		sb += y
 		saa += x * x
@@ -215,9 +215,9 @@ func TestFlightsConnectionsExist(t *testing.T) {
 	}
 	timed := 0
 	g2 := in.GroupIndex()
-	for i := range out.Tuples {
-		for _, j := range g2[out.Tuples[i].Key] {
-			if out.Tuples[i].Band < in.Tuples[j].Band {
+	for i := 0; i < out.Len(); i++ {
+		for _, j := range g2[out.Key(i)] {
+			if out.Band(i) < in.Band(j) {
 				timed++
 			}
 		}

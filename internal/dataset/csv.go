@@ -102,14 +102,13 @@ func WriteCSV(w io.Writer, r *Relation, withBand bool) error {
 		return fmt.Errorf("dataset: writing CSV header: %w", err)
 	}
 	rec := make([]string, 0, len(header))
-	for i := range r.Tuples {
-		t := &r.Tuples[i]
+	for i := 0; i < r.Len(); i++ {
 		rec = rec[:0]
-		rec = append(rec, t.Key)
+		rec = append(rec, r.Key(i))
 		if withBand {
-			rec = append(rec, strconv.FormatFloat(t.Band, 'g', -1, 64))
+			rec = append(rec, strconv.FormatFloat(r.Band(i), 'g', -1, 64))
 		}
-		for _, v := range t.Attrs {
+		for _, v := range r.Attrs(i) {
 			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
 		}
 		if err := cw.Write(rec); err != nil {

@@ -2,6 +2,17 @@
 // KSJQ implementation: relations carrying join keys, optional band
 // attributes for non-equality joins, and skyline attribute vectors split
 // into local and aggregate parts (Sec. 3 and Sec. 5.6 of the paper).
+//
+// Storage is columnar (struct of arrays): a relation keeps one flat
+// row-major attrs block strided by D(), flat band and key columns, and a
+// per-relation SymbolTable interning join-key strings into dense int32
+// symbol IDs. The algorithms' dense numeric scans — categorization,
+// verification, band-range probes — therefore touch contiguous float64
+// memory with no per-row pointer chasing, and group lookups compare
+// integers instead of re-hashing strings. Tuple survives as the row-shaped
+// view and constructor value: New and Append accept tuples, Tuple(i)
+// materializes one, and the public ksjq facade stays row-shaped while the
+// engine underneath runs on columns (DESIGN.md §8).
 package dataset
 
 import (
@@ -11,15 +22,16 @@ import (
 	"sort"
 )
 
-// Tuple is one row of a base relation.
+// Tuple is one row of a base relation — the row-shaped value used to
+// construct relations and to view single rows of the columnar storage.
 //
 // Attrs holds the skyline attributes: first the local attributes, then the
 // aggregate ones (Relation.Local and Relation.Agg give the split). Lower
 // values are preferred on every attribute.
 type Tuple struct {
-	// ID identifies the tuple within its relation. IDs are assigned by the
-	// relation constructor and are stable across algorithm runs so results
-	// can be compared set-wise.
+	// ID identifies the tuple within its relation. IDs equal the tuple's
+	// row index, are assigned by the relation constructor, and are stable
+	// across algorithm runs so results can be compared set-wise.
 	ID int
 	// Key is the equality-join attribute (the h attributes of Eq. 1-3,
 	// collapsed to a single comparable key). For the flight example this is
@@ -37,18 +49,30 @@ type Tuple struct {
 	Attrs []float64
 }
 
-// Relation is a base relation: a named list of tuples with a common schema.
+// Relation is a base relation: a named set of rows with a common schema,
+// stored column-wise.
 type Relation struct {
 	// Name is used in error messages and CLI output.
 	Name string
 	// Local is the number of local skyline attributes (l in Sec. 5.6).
 	Local int
 	// Agg is the number of aggregate skyline attributes (a in Sec. 5.6).
-	// Attrs[Local:Local+Agg] of each tuple are combined with the other
-	// relation's aggregate attributes on join.
+	// Attrs(i)[Local:Local+Agg] are combined with the other relation's
+	// aggregate attributes on join.
 	Agg int
-	// Tuples holds the rows.
-	Tuples []Tuple
+
+	// n is the row count; the columns below all have n rows.
+	n int
+	// attrs is the row-major skyline attribute block: row i occupies
+	// attrs[i*D() : (i+1)*D()].
+	attrs []float64
+	// band is the band-attribute column.
+	band []float64
+	// keys and keys2 are the interned join-key columns; both index syms.
+	keys  []int32
+	keys2 []int32
+	// syms interns the relation's join-key strings (Key and Key2 share it).
+	syms *SymbolTable
 }
 
 // Errors reported by relation validation.
@@ -57,23 +81,58 @@ var (
 	ErrBadSchema     = errors.New("dataset: invalid schema")
 )
 
-// New creates a relation with the given schema and assigns tuple IDs
-// 0..len(tuples)-1 in order. It validates that every tuple matches the
-// schema width local+agg.
+// checkTuple validates one incoming row against the schema: attribute
+// width, finite skyline attributes, and a non-NaN band. NaN skyline
+// attributes would make domination comparisons silently false, and ±Inf
+// breaks the attribute-sum probe ordering (Inf + -Inf = NaN), so both are
+// rejected everywhere tuples enter the system.
+func checkTuple(t *Tuple, d int) error {
+	if len(t.Attrs) != d {
+		return fmt.Errorf("%w: tuple has %d attributes, schema requires %d", ErrBadSchema, len(t.Attrs), d)
+	}
+	for j, v := range t.Attrs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: attribute %d is %v, skyline attributes must be finite", ErrBadSchema, j, v)
+		}
+	}
+	// A NaN band has no position in the band-sorted join index; `Matches`
+	// comparisons would also silently exclude the tuple from every join.
+	if math.IsNaN(t.Band) {
+		return fmt.Errorf("%w: tuple has NaN band", ErrBadSchema)
+	}
+	return nil
+}
+
+// New creates a relation with the given schema from row-shaped tuples,
+// assigning row IDs 0..len(tuples)-1 in order. It validates that every
+// tuple matches the schema width local+agg and carries finite skyline
+// attributes and a non-NaN band. The tuples' storage is copied into the
+// relation's columns; the input slice is not retained or mutated.
 func New(name string, local, agg int, tuples []Tuple) (*Relation, error) {
 	if local < 0 || agg < 0 || local+agg == 0 {
 		return nil, fmt.Errorf("%w: local=%d agg=%d", ErrBadSchema, local, agg)
 	}
-	r := &Relation{Name: name, Local: local, Agg: agg, Tuples: tuples}
-	for i := range r.Tuples {
-		if len(r.Tuples[i].Attrs) != local+agg {
-			return nil, fmt.Errorf("%w: tuple %d has %d attributes, schema requires %d",
-				ErrBadSchema, i, len(r.Tuples[i].Attrs), local+agg)
+	d := local + agg
+	r := &Relation{
+		Name:  name,
+		Local: local,
+		Agg:   agg,
+		n:     len(tuples),
+		attrs: make([]float64, 0, len(tuples)*d),
+		band:  make([]float64, 0, len(tuples)),
+		keys:  make([]int32, 0, len(tuples)),
+		keys2: make([]int32, 0, len(tuples)),
+		syms:  NewSymbolTable(),
+	}
+	for i := range tuples {
+		t := &tuples[i]
+		if err := checkTuple(t, d); err != nil {
+			return nil, fmt.Errorf("%w (tuple %d)", err, i)
 		}
-		if math.IsNaN(r.Tuples[i].Band) {
-			return nil, fmt.Errorf("%w: tuple %d has NaN band", ErrBadSchema, i)
-		}
-		r.Tuples[i].ID = i
+		r.attrs = append(r.attrs, t.Attrs...)
+		r.band = append(r.band, t.Band)
+		r.keys = append(r.keys, r.syms.Intern(t.Key))
+		r.keys2 = append(r.keys2, r.syms.Intern(t.Key2))
 	}
 	return r, nil
 }
@@ -89,54 +148,137 @@ func MustNew(name string, local, agg int, tuples []Tuple) *Relation {
 }
 
 // Append validates t against the relation's schema, assigns it the next
-// tuple ID, and appends it, returning the assigned ID. It is the one
-// supported way to grow a relation after construction: the incremental
-// maintainer and the query service both route inserts through it, so the
-// invariants New enforces (attribute width, no NaN band) hold for the
-// relation's whole life.
+// row ID, and appends it to the columns, returning the assigned ID. It is
+// the one supported way to grow a relation after construction: the
+// incremental maintainer and the query service both route inserts through
+// it, so the invariants New enforces (attribute width, finite attributes,
+// no NaN band) hold for the relation's whole life.
 func (r *Relation) Append(t Tuple) (int, error) {
-	if len(t.Attrs) != r.D() {
-		return 0, fmt.Errorf("%w: tuple has %d attributes, relation %s requires %d",
-			ErrBadSchema, len(t.Attrs), r.Name, r.D())
+	if err := checkTuple(&t, r.D()); err != nil {
+		return 0, fmt.Errorf("%w (relation %s)", err, r.Name)
 	}
-	// A NaN band has no position in the band-sorted join index; reject it
-	// here exactly like New does.
-	if math.IsNaN(t.Band) {
-		return 0, fmt.Errorf("%w: tuple has NaN band", ErrBadSchema)
+	id := r.n
+	r.attrs = append(r.attrs, t.Attrs...)
+	r.band = append(r.band, t.Band)
+	r.keys = append(r.keys, r.syms.Intern(t.Key))
+	r.keys2 = append(r.keys2, r.syms.Intern(t.Key2))
+	r.n++
+	return id, nil
+}
+
+// Delete removes row i, shifting higher rows down by one (their IDs shrink
+// accordingly, matching slice semantics). Interned symbols are never
+// reclaimed: a symbol ID stays valid for the life of the relation.
+func (r *Relation) Delete(i int) error {
+	if i < 0 || i >= r.n {
+		return fmt.Errorf("dataset: delete index %d out of range [0,%d)", i, r.n)
 	}
-	t.ID = r.Len()
-	r.Tuples = append(r.Tuples, t)
-	return t.ID, nil
+	d := r.D()
+	r.attrs = append(r.attrs[:i*d], r.attrs[(i+1)*d:]...)
+	r.band = append(r.band[:i], r.band[i+1:]...)
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	r.keys2 = append(r.keys2[:i], r.keys2[i+1:]...)
+	r.n--
+	return nil
 }
 
 // D returns the total number of skyline attributes (d = l + a).
 func (r *Relation) D() int { return r.Local + r.Agg }
 
-// Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.Tuples) }
+// Len returns the number of rows.
+func (r *Relation) Len() int { return r.n }
 
-// Validate checks the relation invariants: non-empty, consistent widths,
-// IDs matching positions.
+// Attrs returns row i's skyline attribute vector as a view into the
+// attribute column. The view is capacity-clipped so appending to it cannot
+// clobber the next row; callers must treat it as read-only.
+func (r *Relation) Attrs(i int) []float64 {
+	d := r.D()
+	lo := i * d
+	return r.attrs[lo : lo+d : lo+d]
+}
+
+// FlatAttrs returns the whole row-major attribute column (length
+// Len()·D()), for hot loops that stride it directly. Read-only.
+func (r *Relation) FlatAttrs() []float64 { return r.attrs }
+
+// Band returns row i's band attribute.
+func (r *Relation) Band(i int) float64 { return r.band[i] }
+
+// Bands returns the band column (length Len()). Read-only.
+func (r *Relation) Bands() []float64 { return r.band }
+
+// Key returns row i's join key string.
+func (r *Relation) Key(i int) string { return r.syms.String(r.keys[i]) }
+
+// KeyID returns row i's interned join-key symbol. Symbols are comparable
+// only within this relation's table (see Symbols).
+func (r *Relation) KeyID(i int) int32 { return r.keys[i] }
+
+// Key2 returns row i's secondary (cascade) join key string.
+func (r *Relation) Key2(i int) string { return r.syms.String(r.keys2[i]) }
+
+// Key2ID returns row i's interned secondary join-key symbol, in the same
+// table as KeyID.
+func (r *Relation) Key2ID(i int) int32 { return r.keys2[i] }
+
+// Symbols returns the relation's symbol table. Join machinery uses it to
+// build cross-relation key translations; callers must not intern into it.
+func (r *Relation) Symbols() *SymbolTable { return r.syms }
+
+// Tuple materializes row i as a row-shaped view. Attrs aliases the
+// attribute column (no copy); callers that retain or mutate the vector
+// must copy it first.
+func (r *Relation) Tuple(i int) Tuple {
+	return Tuple{
+		ID:    i,
+		Key:   r.Key(i),
+		Key2:  r.Key2(i),
+		Band:  r.band[i],
+		Attrs: r.Attrs(i),
+	}
+}
+
+// Rows materializes every row as a Tuple (attribute vectors are views, as
+// in Tuple). A convenience for tests, tooling and the facade's row-shaped
+// surface; hot paths read the columns directly.
+func (r *Relation) Rows() []Tuple {
+	out := make([]Tuple, r.n)
+	for i := range out {
+		out[i] = r.Tuple(i)
+	}
+	return out
+}
+
+// Validate checks the relation invariants: non-empty, a sane schema,
+// consistent column lengths, key symbols covered by the symbol table, and
+// finite attribute/band values.
 func (r *Relation) Validate() error {
-	if len(r.Tuples) == 0 {
+	if r.n == 0 {
 		return fmt.Errorf("%w: %s", ErrEmptyRelation, r.Name)
 	}
 	if r.Local < 0 || r.Agg < 0 || r.D() == 0 {
 		return fmt.Errorf("%w: %s: local=%d agg=%d", ErrBadSchema, r.Name, r.Local, r.Agg)
 	}
-	for i, t := range r.Tuples {
-		if len(t.Attrs) != r.D() {
-			return fmt.Errorf("%w: %s: tuple %d has width %d, want %d",
-				ErrBadSchema, r.Name, i, len(t.Attrs), r.D())
+	if len(r.attrs) != r.n*r.D() || len(r.band) != r.n || len(r.keys) != r.n || len(r.keys2) != r.n {
+		return fmt.Errorf("%w: %s: column lengths (attrs=%d band=%d keys=%d keys2=%d) inconsistent with %d rows of width %d",
+			ErrBadSchema, r.Name, len(r.attrs), len(r.band), len(r.keys), len(r.keys2), r.n, r.D())
+	}
+	if r.syms == nil {
+		return fmt.Errorf("%w: %s: nil symbol table", ErrBadSchema, r.Name)
+	}
+	nsyms := int32(r.syms.Len())
+	for i := 0; i < r.n; i++ {
+		if r.keys[i] < 0 || r.keys[i] >= nsyms || r.keys2[i] < 0 || r.keys2[i] >= nsyms {
+			return fmt.Errorf("%w: %s: row %d has key symbol outside the table", ErrBadSchema, r.Name, i)
 		}
-		if t.ID != i {
-			return fmt.Errorf("%w: %s: tuple at index %d has ID %d", ErrBadSchema, r.Name, i, t.ID)
-		}
-		// NaN bands have no position in a sorted order, so the band join
-		// index cannot represent them; `Matches` comparisons would also
-		// silently exclude the tuple from every join.
-		if math.IsNaN(t.Band) {
+		if math.IsNaN(r.band[i]) {
 			return fmt.Errorf("%w: %s: tuple %d has NaN band", ErrBadSchema, r.Name, i)
+		}
+	}
+	for j, v := range r.attrs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %s: tuple %d attribute %d is %v, skyline attributes must be finite",
+				ErrBadSchema, r.Name, j/r.D(), j%r.D(), v)
 		}
 	}
 	return nil
@@ -144,40 +286,46 @@ func (r *Relation) Validate() error {
 
 // Keys returns the distinct join-key values in deterministic (sorted) order.
 func (r *Relation) Keys() []string {
-	seen := make(map[string]bool)
-	for i := range r.Tuples {
-		seen[r.Tuples[i].Key] = true
-	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
+	seen := make([]bool, r.syms.Len())
+	keys := make([]string, 0, r.syms.Len())
+	for _, id := range r.keys {
+		if !seen[id] {
+			seen[id] = true
+			keys = append(keys, r.syms.String(id))
+		}
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// GroupIndex maps each join-key value to the indices of the tuples holding
-// it, preserving tuple order within each group. It is a one-shot
-// convenience for tests and tooling; hot paths should build a reusable
-// join.Index instead.
+// GroupIndex maps each join-key value to the indices of the rows holding
+// it, preserving row order within each group. It is a one-shot convenience
+// for tests and tooling; hot paths should build a reusable join.Index
+// instead.
 func (r *Relation) GroupIndex() map[string][]int {
 	idx := make(map[string][]int)
-	for i := range r.Tuples {
-		idx[r.Tuples[i].Key] = append(idx[r.Tuples[i].Key], i)
+	for i, id := range r.keys {
+		k := r.syms.String(id)
+		idx[k] = append(idx[k], i)
 	}
 	return idx
 }
 
-// Clone returns a deep copy of the relation. Algorithms never mutate their
-// inputs, but experiments reuse relations across runs and occasionally want
-// an isolated copy.
+// Clone returns a deep copy of the relation (columns and symbol table).
+// Algorithms never mutate their inputs, but experiments reuse relations
+// across runs and occasionally want an isolated copy.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{Name: r.Name, Local: r.Local, Agg: r.Agg, Tuples: make([]Tuple, len(r.Tuples))}
-	for i, t := range r.Tuples {
-		c.Tuples[i] = t
-		c.Tuples[i].Attrs = append([]float64(nil), t.Attrs...)
+	return &Relation{
+		Name:  r.Name,
+		Local: r.Local,
+		Agg:   r.Agg,
+		n:     r.n,
+		attrs: append([]float64(nil), r.attrs...),
+		band:  append([]float64(nil), r.band...),
+		keys:  append([]int32(nil), r.keys...),
+		keys2: append([]int32(nil), r.keys2...),
+		syms:  r.syms.clone(),
 	}
-	return c
 }
 
 // HasUVP reports whether the relation satisfies the unique value property
@@ -186,13 +334,16 @@ func (r *Relation) Clone() *Relation {
 // or more attribute positions.
 func (r *Relation) HasUVP(i int) bool {
 	if i <= 0 {
-		return len(r.Tuples) <= 1
+		return r.n <= 1
 	}
-	for a := 0; a < len(r.Tuples); a++ {
-		for b := a + 1; b < len(r.Tuples); b++ {
+	d := r.D()
+	for a := 0; a < r.n; a++ {
+		x := r.attrs[a*d : a*d+d]
+		for b := a + 1; b < r.n; b++ {
+			y := r.attrs[b*d : b*d+d]
 			eq := 0
-			for j, v := range r.Tuples[a].Attrs {
-				if v == r.Tuples[b].Attrs[j] {
+			for j, v := range x {
+				if v == y[j] {
 					eq++
 				}
 			}

@@ -18,8 +18,8 @@ func sample() *Relation {
 
 func TestNewAssignsIDs(t *testing.T) {
 	r := sample()
-	for i, tup := range r.Tuples {
-		if tup.ID != i {
+	for i := 0; i < r.Len(); i++ {
+		if tup := r.Tuple(i); tup.ID != i {
 			t.Errorf("tuple %d has ID %d", i, tup.ID)
 		}
 	}
@@ -28,6 +28,61 @@ func TestNewAssignsIDs(t *testing.T) {
 	}
 	if r.Len() != 3 {
 		t.Errorf("Len() = %d, want 3", r.Len())
+	}
+}
+
+func TestColumnarAccessors(t *testing.T) {
+	r := sample()
+	if got := r.Attrs(1); got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Errorf("Attrs(1) = %v, want [4 5 6]", got)
+	}
+	if r.Key(0) != "A" || r.Key(1) != "B" || r.Key(2) != "A" {
+		t.Errorf("keys = %q %q %q, want A B A", r.Key(0), r.Key(1), r.Key(2))
+	}
+	// Equal keys intern to equal symbols, distinct keys to distinct ones.
+	if r.KeyID(0) != r.KeyID(2) || r.KeyID(0) == r.KeyID(1) {
+		t.Errorf("key symbols = %d %d %d, want id(A)==id(A)!=id(B)", r.KeyID(0), r.KeyID(1), r.KeyID(2))
+	}
+	if got := r.FlatAttrs(); len(got) != r.Len()*r.D() || got[3] != 4 {
+		t.Errorf("FlatAttrs() = %v, want 9 row-major values", got)
+	}
+	// Attribute views are capacity-clipped: appending must not clobber the
+	// next row.
+	v := r.Attrs(0)
+	_ = append(v, 999)
+	if r.Attrs(1)[0] != 4 {
+		t.Error("append through a row view clobbered the next row")
+	}
+	rows := r.Rows()
+	if len(rows) != 3 || rows[2].Key != "A" || rows[2].Attrs[0] != 7 {
+		t.Errorf("Rows() = %v", rows)
+	}
+}
+
+func TestSymbolTable(t *testing.T) {
+	st := NewSymbolTable()
+	a := st.Intern("alpha")
+	b := st.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings interned to the same symbol")
+	}
+	if st.Intern("alpha") != a {
+		t.Error("re-interning is not idempotent")
+	}
+	if id, ok := st.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d,%v", id, ok)
+	}
+	if _, ok := st.Lookup("gamma"); ok {
+		t.Error("Lookup of an unknown string succeeded")
+	}
+	if st.String(a) != "alpha" || st.String(b) != "beta" {
+		t.Errorf("String round trip: %q %q", st.String(a), st.String(b))
+	}
+	if st.String(-1) != "" || st.String(99) != "" {
+		t.Error("out-of-range symbol should stringify to empty")
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", st.Len())
 	}
 }
 
@@ -53,8 +108,8 @@ func TestAppend(t *testing.T) {
 	if id != 3 {
 		t.Errorf("Append assigned ID %d, want 3", id)
 	}
-	if r.Len() != 4 || r.Tuples[3].ID != 3 {
-		t.Errorf("relation after Append: len=%d, last ID=%d", r.Len(), r.Tuples[r.Len()-1].ID)
+	if r.Len() != 4 || r.Tuple(3).ID != 3 {
+		t.Errorf("relation after Append: len=%d, last ID=%d", r.Len(), r.Tuple(r.Len()-1).ID)
 	}
 	if err := r.Validate(); err != nil {
 		t.Errorf("Validate after Append: %v", err)
@@ -68,6 +123,36 @@ func TestAppend(t *testing.T) {
 	if r.Len() != 4 {
 		t.Errorf("rejected Append mutated the relation: len=%d", r.Len())
 	}
+	// Re-using a key re-uses its symbol.
+	if r.KeyID(3) == r.KeyID(0) || r.KeyID(3) == r.KeyID(1) {
+		t.Error("appended key C collided with an existing symbol")
+	}
+	id2, err := r.Append(Tuple{Key: "A", Attrs: []float64{2, 2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KeyID(id2) != r.KeyID(0) {
+		t.Error("appended key A did not re-use the interned symbol")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := sample()
+	if err := r.Delete(5); err == nil {
+		t.Error("out-of-range delete succeeded")
+	}
+	if err := r.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len() after delete = %d, want 2", r.Len())
+	}
+	if r.Key(1) != "A" || r.Attrs(1)[0] != 7 {
+		t.Errorf("row 2 did not shift down: key=%q attrs=%v", r.Key(1), r.Attrs(1))
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate after Delete: %v", err)
+	}
 }
 
 func TestNaNBandRejected(t *testing.T) {
@@ -78,7 +163,7 @@ func TestNaNBandRejected(t *testing.T) {
 		t.Errorf("New with NaN band: err = %v, want ErrBadSchema", err)
 	}
 	r := sample()
-	r.Tuples[1].Band = math.NaN()
+	r.band[1] = math.NaN()
 	if err := r.Validate(); !errors.Is(err, ErrBadSchema) {
 		t.Errorf("Validate with NaN band: err = %v, want ErrBadSchema", err)
 	}
@@ -87,24 +172,58 @@ func TestNaNBandRejected(t *testing.T) {
 	}
 }
 
+func TestNonFiniteAttrsRejected(t *testing.T) {
+	// NaN skyline attributes make every domination comparison silently
+	// false; ±Inf breaks the attribute-sum probe ordering. Every entry
+	// point — constructor, Append, CSV load, Validate — must reject them.
+	for name, bad := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+		"-Inf": math.Inf(-1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := New("r", 2, 0, []Tuple{{Attrs: []float64{1, bad}}}); !errors.Is(err, ErrBadSchema) {
+				t.Errorf("New: err = %v, want ErrBadSchema", err)
+			}
+			r := MustNew("r", 2, 0, []Tuple{{Attrs: []float64{1, 2}}})
+			if _, err := r.Append(Tuple{Attrs: []float64{bad, 1}}); !errors.Is(err, ErrBadSchema) {
+				t.Errorf("Append: err = %v, want ErrBadSchema", err)
+			}
+			if r.Len() != 1 {
+				t.Errorf("rejected Append mutated the relation: len=%d", r.Len())
+			}
+			r.attrs[0] = bad
+			if err := r.Validate(); !errors.Is(err, ErrBadSchema) {
+				t.Errorf("Validate: err = %v, want ErrBadSchema", err)
+			}
+		})
+	}
+	if _, err := ReadCSV(strings.NewReader("key,a0\nA,NaN\n"), ReadOptions{Name: "r", Local: 1}); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("ReadCSV with NaN attribute: err = %v, want ErrBadSchema", err)
+	}
+	if _, err := ReadCSV(strings.NewReader("key,a0\nA,+Inf\n"), ReadOptions{Name: "r", Local: 1}); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("ReadCSV with Inf attribute: err = %v, want ErrBadSchema", err)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	r := sample()
 	if err := r.Validate(); err != nil {
 		t.Errorf("valid relation failed validation: %v", err)
 	}
-	empty := &Relation{Name: "e", Local: 1}
+	empty := &Relation{Name: "e", Local: 1, syms: NewSymbolTable()}
 	if err := empty.Validate(); !errors.Is(err, ErrEmptyRelation) {
 		t.Errorf("empty relation: err = %v, want ErrEmptyRelation", err)
 	}
 	bad := sample()
-	bad.Tuples[1].Attrs = bad.Tuples[1].Attrs[:2]
+	bad.attrs = bad.attrs[:len(bad.attrs)-1] // torn attribute column
 	if err := bad.Validate(); !errors.Is(err, ErrBadSchema) {
-		t.Errorf("width mismatch: err = %v, want ErrBadSchema", err)
+		t.Errorf("torn column: err = %v, want ErrBadSchema", err)
 	}
-	badID := sample()
-	badID.Tuples[2].ID = 99
-	if err := badID.Validate(); !errors.Is(err, ErrBadSchema) {
-		t.Errorf("bad ID: err = %v, want ErrBadSchema", err)
+	badSym := sample()
+	badSym.keys[2] = 99 // symbol outside the table
+	if err := badSym.Validate(); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("bad key symbol: err = %v, want ErrBadSchema", err)
 	}
 }
 
@@ -126,9 +245,18 @@ func TestKeysAndGroupIndex(t *testing.T) {
 func TestCloneIsDeep(t *testing.T) {
 	r := sample()
 	c := r.Clone()
-	c.Tuples[0].Attrs[0] = 999
-	if r.Tuples[0].Attrs[0] == 999 {
+	c.Attrs(0)[0] = 999
+	if r.Attrs(0)[0] == 999 {
 		t.Error("Clone shares attribute storage with original")
+	}
+	if _, err := c.Append(Tuple{Key: "Z", Attrs: []float64{0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Error("Append to clone grew the original")
+	}
+	if _, ok := r.Symbols().Lookup("Z"); ok {
+		t.Error("Clone shares the symbol table with original")
 	}
 }
 
@@ -165,13 +293,13 @@ func TestCSVRoundTrip(t *testing.T) {
 	if got.Len() != r.Len() || got.D() != r.D() {
 		t.Fatalf("round trip changed shape: got %dx%d, want %dx%d", got.Len(), got.D(), r.Len(), r.D())
 	}
-	for i := range r.Tuples {
-		if got.Tuples[i].Key != r.Tuples[i].Key {
-			t.Errorf("tuple %d key = %q, want %q", i, got.Tuples[i].Key, r.Tuples[i].Key)
+	for i := 0; i < r.Len(); i++ {
+		if got.Key(i) != r.Key(i) {
+			t.Errorf("tuple %d key = %q, want %q", i, got.Key(i), r.Key(i))
 		}
-		for j, v := range r.Tuples[i].Attrs {
-			if got.Tuples[i].Attrs[j] != v {
-				t.Errorf("tuple %d attr %d = %v, want %v", i, j, got.Tuples[i].Attrs[j], v)
+		for j, v := range r.Attrs(i) {
+			if got.Attrs(i)[j] != v {
+				t.Errorf("tuple %d attr %d = %v, want %v", i, j, got.Attrs(i)[j], v)
 			}
 		}
 	}
@@ -190,8 +318,8 @@ func TestCSVRoundTripWithBand(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadCSV: %v", err)
 	}
-	if got.Tuples[0].Band != 10.5 || got.Tuples[1].Band != -3 {
-		t.Errorf("band values lost: %v, %v", got.Tuples[0].Band, got.Tuples[1].Band)
+	if got.Band(0) != 10.5 || got.Band(1) != -3 {
+		t.Errorf("band values lost: %v, %v", got.Band(0), got.Band(1))
 	}
 }
 

@@ -38,13 +38,12 @@ func FuzzReadCSV(f *testing.F) {
 		if again.Len() != r.Len() {
 			t.Fatalf("round trip changed cardinality: %d -> %d", r.Len(), again.Len())
 		}
-		for i := range r.Tuples {
-			if again.Tuples[i].Key != r.Tuples[i].Key {
-				t.Fatalf("tuple %d key changed: %q -> %q", i, r.Tuples[i].Key, again.Tuples[i].Key)
+		for i := 0; i < r.Len(); i++ {
+			if again.Key(i) != r.Key(i) {
+				t.Fatalf("tuple %d key changed: %q -> %q", i, r.Key(i), again.Key(i))
 			}
-			for j, v := range r.Tuples[i].Attrs {
-				got := again.Tuples[i].Attrs[j]
-				if got != v && !(v != v && got != got) { // NaN-tolerant equality
+			for j, v := range r.Attrs(i) {
+				if got := again.Attrs(i)[j]; got != v {
 					t.Fatalf("tuple %d attr %d changed: %v -> %v", i, j, v, got)
 				}
 			}

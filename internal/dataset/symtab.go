@@ -1,0 +1,65 @@
+package dataset
+
+// SymbolTable interns join-key strings into dense int32 symbol IDs. Every
+// relation owns one table covering both of its key columns (Key and Key2),
+// so two tuples of the same relation share a key exactly when their symbol
+// IDs are equal — group membership, hash-bucket lookup and cascade key
+// chaining all become integer comparisons. IDs are assigned in first-intern
+// order, are stable for the life of the table, and are dense: 0..Len()-1.
+//
+// A SymbolTable is not safe for concurrent mutation; like the relation
+// columns it backs, it is grown only through the relation constructor and
+// Append, and read-only everywhere else.
+type SymbolTable struct {
+	ids  map[string]int32
+	strs []string
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]int32)}
+}
+
+// Intern returns the symbol ID for s, assigning the next dense ID on first
+// sight.
+func (st *SymbolTable) Intern(s string) int32 {
+	if id, ok := st.ids[s]; ok {
+		return id
+	}
+	id := int32(len(st.strs))
+	st.ids[s] = id
+	st.strs = append(st.strs, s)
+	return id
+}
+
+// Lookup returns the symbol ID for s without interning it.
+func (st *SymbolTable) Lookup(s string) (int32, bool) {
+	id, ok := st.ids[s]
+	return id, ok
+}
+
+// String returns the string a symbol ID stands for. IDs outside
+// [0, Len()) return the empty string rather than panicking: they can only
+// come from a column the table does not back, and callers treat the empty
+// answer as "no such key".
+func (st *SymbolTable) String(id int32) string {
+	if id < 0 || int(id) >= len(st.strs) {
+		return ""
+	}
+	return st.strs[id]
+}
+
+// Len returns the number of distinct interned strings.
+func (st *SymbolTable) Len() int { return len(st.strs) }
+
+// clone returns a deep copy sharing no storage.
+func (st *SymbolTable) clone() *SymbolTable {
+	c := &SymbolTable{
+		ids:  make(map[string]int32, len(st.ids)),
+		strs: append([]string(nil), st.strs...),
+	}
+	for s, id := range st.ids {
+		c.ids[s] = id
+	}
+	return c
+}

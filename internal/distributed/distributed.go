@@ -78,16 +78,18 @@ func Run(q core.Query, nodes int) (*Result, error) {
 	st := Stats{Nodes: nodes, CandidatesPerNode: make([]int, nodes)}
 
 	// Partition both relations by hashed join key. origin maps the
-	// partition-local tuple index back to the original index.
+	// partition-local tuple index back to the original index. The row
+	// views carry attribute-column aliases; dataset.New copies them into
+	// each partition's own columns.
 	parts := make([]partition, nodes)
-	for i := range q.R1.Tuples {
-		n := nodeOf(q.R1.Tuples[i].Key, nodes)
-		parts[n].left = append(parts[n].left, q.R1.Tuples[i])
+	for i := 0; i < q.R1.Len(); i++ {
+		n := nodeOf(q.R1.Key(i), nodes)
+		parts[n].left = append(parts[n].left, q.R1.Tuple(i))
 		parts[n].leftOrigin = append(parts[n].leftOrigin, i)
 	}
-	for i := range q.R2.Tuples {
-		n := nodeOf(q.R2.Tuples[i].Key, nodes)
-		parts[n].right = append(parts[n].right, q.R2.Tuples[i])
+	for i := 0; i < q.R2.Len(); i++ {
+		n := nodeOf(q.R2.Key(i), nodes)
+		parts[n].right = append(parts[n].right, q.R2.Tuple(i))
 		parts[n].rightOrigin = append(parts[n].rightOrigin, i)
 	}
 
@@ -181,24 +183,15 @@ type partition struct {
 
 // query builds the node-local core.Query over this partition.
 func (p *partition) query(q core.Query) (core.Query, error) {
-	r1, err := dataset.New(q.R1.Name, q.R1.Local, q.R1.Agg, cloneTuples(p.left))
+	r1, err := dataset.New(q.R1.Name, q.R1.Local, q.R1.Agg, p.left)
 	if err != nil {
 		return core.Query{}, err
 	}
-	r2, err := dataset.New(q.R2.Name, q.R2.Local, q.R2.Agg, cloneTuples(p.right))
+	r2, err := dataset.New(q.R2.Name, q.R2.Local, q.R2.Agg, p.right)
 	if err != nil {
 		return core.Query{}, err
 	}
 	return core.Query{R1: r1, R2: r2, Spec: q.Spec, K: q.K}, nil
-}
-
-func cloneTuples(ts []dataset.Tuple) []dataset.Tuple {
-	out := make([]dataset.Tuple, len(ts))
-	for i, t := range ts {
-		out[i] = t
-		out[i].Attrs = append([]float64(nil), t.Attrs...)
-	}
-	return out
 }
 
 func nodeOf(key string, nodes int) int {

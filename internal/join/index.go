@@ -10,11 +10,13 @@ import (
 // by convention the right side, R2. It replaces per-probe condition scans
 // with O(log n + matches) partner enumeration:
 //
-//   - Equality: hash buckets keyed on Tuple.Key; Partners is one map
-//     lookup returning the co-keyed bucket.
+//   - Equality: dense buckets keyed on the target relation's interned key
+//     symbols, plus a translation table mapping the probe relation's
+//     symbols onto the target's — built once at index construction, so a
+//     probe is two array lookups with no string hashing.
 //   - Band conditions: a permutation of the indexed subset sorted by
-//     ascending Tuple.Band; Partners binary-searches the boundary and
-//     returns the matching contiguous range of the permutation.
+//     ascending band; Partners binary-searches the boundary and returns
+//     the matching contiguous range of the permutation.
 //   - Cross: Partners returns the whole subset.
 //
 // An Index is built once and never mutated, so it is safe to share across
@@ -25,100 +27,207 @@ type Index struct {
 	// all is the indexed subset in build order (Cross fast path, and the
 	// universe every other representation permutes).
 	all []int
-	// byKey buckets the subset per join key (Equality only). Bucket order
-	// follows build order, so a probe-priority ordering of the subset is
-	// preserved within each bucket.
-	byKey map[string][]int
-	// perm is the subset sorted by ascending Band (band conditions only);
-	// bands[i] is the Band of tuple perm[i], kept separate so the binary
-	// search touches a flat float64 array instead of chasing tuple pointers.
+	// target is the indexed relation; its symbol table resolves probe
+	// symbols interned after the index was built.
+	target *dataset.Relation
+	// buckets holds the subset per target key symbol (Equality only),
+	// indexed densely by symbol ID — used when the subset is a meaningful
+	// fraction of the symbol space. Bucket order follows build order, so a
+	// probe-priority ordering of the subset is preserved within each
+	// bucket.
+	buckets [][]int
+	// bucketMap replaces buckets for small subsets over large symbol
+	// spaces, keeping index construction O(|subset|) instead of
+	// O(|symbols|) (the dominator algorithm builds one index per
+	// candidate's target set).
+	bucketMap map[int32][]int
+	// kt translates probe key symbols onto target symbols.
+	kt *KeyTrans
+	// perm is the subset sorted by ascending band (band conditions only);
+	// bands[i] is the band of tuple perm[i], kept separate so the binary
+	// search touches a flat float64 array instead of chasing row accessors.
 	perm  []int
 	bands []float64
 }
 
 // NewIndex builds the index for the given condition over subset, a list of
 // tuple indices into r — taken literally, so a nil or empty subset yields
-// an empty index (cell lists are often legitimately empty). Use
-// NewFullIndex to index the whole relation. The subset is copied; the
-// relation is only read.
-func NewIndex(r *dataset.Relation, subset []int, cond Condition) *Index {
+// an empty index (cell lists are often legitimately empty). probe is the
+// relation whose tuples will probe the index (it may be r itself); for
+// equality it fixes the symbol translation, for other conditions it is
+// ignored. Use NewFullIndex to index the whole relation. The subset is
+// copied; the relations are only read.
+func NewIndex(probe, r *dataset.Relation, subset []int, cond Condition) *Index {
+	return NewIndexTrans(probe, r, subset, cond, nil)
+}
+
+// NewIndexTrans is NewIndex with a caller-supplied key translation. The
+// translation depends only on the two relations' append-only symbol
+// tables, so callers that build many subset indexes over one relation
+// pair (the engine: one per cell, one per dominator-set checker) build a
+// KeyTrans once and amortize the per-symbol pass; kt == nil builds one.
+func NewIndexTrans(probe, r *dataset.Relation, subset []int, cond Condition, kt *KeyTrans) *Index {
 	subset = append([]int(nil), subset...)
-	ix := &Index{cond: cond, all: subset}
+	ix := &Index{cond: cond, all: subset, target: r}
 	switch cond {
 	case Equality:
-		ix.byKey = make(map[string][]int)
-		for _, j := range subset {
-			k := r.Tuples[j].Key
-			ix.byKey[k] = append(ix.byKey[k], j)
+		if kt == nil {
+			kt = NewKeyTrans(probe, r)
+		}
+		ix.kt = kt
+		// Dense buckets give O(1) array probes but cost O(|symbols|) to
+		// allocate; a map keeps construction O(|subset|) when the subset is
+		// tiny relative to the symbol space (near-unique keys).
+		if nsyms := r.Symbols().Len(); nsyms <= 64 || len(subset) >= nsyms/8 {
+			ix.buckets = make([][]int, nsyms)
+			for _, j := range subset {
+				k := r.KeyID(j)
+				ix.buckets[k] = append(ix.buckets[k], j)
+			}
+		} else {
+			ix.bucketMap = make(map[int32][]int, len(subset))
+			for _, j := range subset {
+				k := r.KeyID(j)
+				ix.bucketMap[k] = append(ix.bucketMap[k], j)
+			}
 		}
 	case Cross:
 		// all is the whole answer.
 	default:
 		ix.perm = append([]int(nil), subset...)
+		bands := r.Bands()
 		sort.SliceStable(ix.perm, func(a, b int) bool {
-			return r.Tuples[ix.perm[a]].Band < r.Tuples[ix.perm[b]].Band
+			return bands[ix.perm[a]] < bands[ix.perm[b]]
 		})
 		ix.bands = make([]float64, len(ix.perm))
 		for i, j := range ix.perm {
-			ix.bands[i] = r.Tuples[j].Band
+			ix.bands[i] = bands[j]
 		}
 	}
 	return ix
 }
 
-// NewFullIndex indexes every tuple of r in natural order.
-func NewFullIndex(r *dataset.Relation, cond Condition) *Index {
+// KeyTrans maps a probe relation's key symbols onto a target relation's:
+// one pass over the probe's symbol table at construction buys string-free
+// equality probes for every index built over the pair afterwards. A
+// KeyTrans is immutable and safe to share across indexes and goroutines.
+type KeyTrans struct {
+	// identity marks a shared symbol table (self-join): symbols translate
+	// to themselves.
+	identity bool
+	// trans[s] is the target symbol for probe symbol s, -1 where the
+	// target never interned the string.
+	trans []int32
+}
+
+// NewKeyTrans builds the probe→target key-symbol translation. A nil probe
+// or a shared symbol table yields the identity translation.
+func NewKeyTrans(probe, target *dataset.Relation) *KeyTrans {
+	if probe == nil || probe.Symbols() == target.Symbols() {
+		return &KeyTrans{identity: true}
+	}
+	ps, ts := probe.Symbols(), target.Symbols()
+	trans := make([]int32, ps.Len())
+	for s := range trans {
+		if id, ok := ts.Lookup(ps.String(int32(s))); ok {
+			trans[s] = id
+		} else {
+			trans[s] = -1
+		}
+	}
+	return &KeyTrans{trans: trans}
+}
+
+// NewFullIndex indexes every tuple of r in natural order, probed by probe.
+func NewFullIndex(probe, r *dataset.Relation, cond Condition) *Index {
 	subset := make([]int, r.Len())
 	for i := range subset {
 		subset[i] = i
 	}
-	return NewIndex(r, subset, cond)
+	return NewIndex(probe, r, subset, cond)
 }
 
 // Len returns the number of indexed tuples.
 func (ix *Index) Len() int { return len(ix.all) }
 
-// Partners returns the indexed tuples that join with left tuple u under
-// the index condition, as a read-only view. Equality costs one hash
-// lookup; band conditions cost one binary search; Cross is free.
-func (ix *Index) Partners(u *dataset.Tuple) []int {
+// Partners returns the indexed tuples that join with tuple i of the probe
+// relation r1 under the index condition, as a read-only view. r1 must be
+// the probe relation the index was built with. Equality costs two array
+// lookups; band conditions cost one binary search; Cross is free.
+func (ix *Index) Partners(r1 *dataset.Relation, i int) []int {
 	switch ix.cond {
 	case Equality:
-		return ix.byKey[u.Key]
+		return ix.bucketForSym(r1, r1.KeyID(i))
 	case Cross:
 		return ix.all
-	case BandLess: // v.Band > u.Band: suffix of the band-sorted permutation
-		lo := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] > u.Band })
+	case BandLess: // v.band > u.band: suffix of the band-sorted permutation
+		u := r1.Band(i)
+		lo := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] > u })
 		return ix.perm[lo:]
-	case BandLessEq: // v.Band >= u.Band
-		lo := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] >= u.Band })
+	case BandLessEq: // v.band >= u.band
+		u := r1.Band(i)
+		lo := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] >= u })
 		return ix.perm[lo:]
-	case BandGreater: // v.Band < u.Band: prefix of the permutation
-		hi := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] >= u.Band })
+	case BandGreater: // v.band < u.band: prefix of the permutation
+		u := r1.Band(i)
+		hi := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] >= u })
 		return ix.perm[:hi]
-	case BandGreaterEq: // v.Band <= u.Band
-		hi := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] > u.Band })
+	case BandGreaterEq: // v.band <= u.band
+		u := r1.Band(i)
+		hi := sort.Search(len(ix.bands), func(i int) bool { return ix.bands[i] > u })
 		return ix.perm[:hi]
 	default:
 		return nil
 	}
 }
 
-// PartnersKey returns the equality bucket for a raw key value, for probes
-// that carry a join key without a tuple (e.g. the accumulated out-key of a
-// cascaded chain join). Only valid on Equality indexes.
-func (ix *Index) PartnersKey(key string) []int {
-	return ix.byKey[key]
+// bucketForSym resolves a probe-side key symbol to its equality bucket.
+// Symbols interned into the probe relation after the index was built (an
+// appended tuple with a previously unseen key) fall back to one string
+// lookup in the target's table; everything else is array indexing.
+func (ix *Index) bucketForSym(r1 *dataset.Relation, sym int32) []int {
+	if !ix.kt.identity {
+		if int(sym) < len(ix.kt.trans) {
+			sym = ix.kt.trans[sym]
+		} else {
+			id, ok := ix.target.Symbols().Lookup(r1.Symbols().String(sym))
+			if !ok {
+				return nil
+			}
+			sym = id
+		}
+		if sym < 0 {
+			return nil
+		}
+	}
+	if ix.buckets != nil {
+		// Identity translation (shared table): a symbol at or beyond the
+		// bucket range was interned after the build, so no indexed tuple
+		// carries it.
+		if int(sym) >= len(ix.buckets) {
+			return nil
+		}
+		return ix.buckets[sym]
+	}
+	return ix.bucketMap[sym]
+}
+
+// PartnersSym returns the equality bucket for a probe-side key symbol of
+// probe relation r1, for probes that carry a key without a tuple (the
+// accumulated out-key of a cascaded chain join). Only valid on Equality
+// indexes.
+func (ix *Index) PartnersSym(r1 *dataset.Relation, sym int32) []int {
+	return ix.bucketForSym(r1, sym)
 }
 
 // ForEachPair calls fn for every join-compatible (i, j) with i drawn from
-// left and j a partner of r1.Tuples[i], stopping early when fn returns
+// left and j a partner of r1's tuple i, stopping early when fn returns
 // true; it reports whether fn stopped the iteration. Total cost is
 // O(|left| log n + matches) for band conditions and O(|left| + matches)
 // for equality, versus the O(|left|·n) of a condition scan.
 func (ix *Index) ForEachPair(r1 *dataset.Relation, left []int, fn func(i, j int) bool) bool {
 	for _, i := range left {
-		for _, j := range ix.Partners(&r1.Tuples[i]) {
+		for _, j := range ix.Partners(r1, i) {
 			if fn(i, j) {
 				return true
 			}
@@ -134,7 +243,7 @@ func (ix *Index) ForEachPair(r1 *dataset.Relation, left []int, fn func(i, j int)
 func (ix *Index) CountPairs(r1 *dataset.Relation, left []int) int {
 	n := 0
 	for _, i := range left {
-		n += len(ix.Partners(&r1.Tuples[i]))
+		n += len(ix.Partners(r1, i))
 	}
 	return n
 }
@@ -154,7 +263,7 @@ func Materialize(r1, r2 *dataset.Relation, left []int, ix *Index, agg Aggregator
 	out := make([]Pair, 0, n)
 	pos := 0
 	ix.ForEachPair(r1, left, func(i, j int) bool {
-		attrs := Combine(r1, r2, &r1.Tuples[i], &r2.Tuples[j], agg, arena[pos:pos:pos+w])
+		attrs := CombineAt(r1, r2, i, j, agg, arena[pos:pos:pos+w])
 		out = append(out, Pair{Left: i, Right: j, Attrs: attrs[:w:w]})
 		pos += w
 		return false

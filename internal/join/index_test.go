@@ -97,19 +97,20 @@ func TestPropertyIndexSubsetPartners(t *testing.T) {
 			}
 		}
 		for _, cond := range allConditions {
-			ix := NewIndex(r2, subset, cond)
+			ix := NewIndex(r1, r2, subset, cond)
 			if ix.Len() != len(subset) {
 				t.Fatalf("trial %d cond %v: Len=%d, want %d", trial, cond, ix.Len(), len(subset))
 			}
-			for i := range r1.Tuples {
-				u := &r1.Tuples[i]
+			for i := 0; i < r1.Len(); i++ {
+				u := r1.Tuple(i)
 				var want []int
 				for _, j := range subset {
-					if cond.Matches(u, &r2.Tuples[j]) {
+					v := r2.Tuple(j)
+					if cond.Matches(&u, &v) {
 						want = append(want, j)
 					}
 				}
-				got := append([]int(nil), ix.Partners(u)...)
+				got := append([]int(nil), ix.Partners(r1, i)...)
 				sort.Ints(got)
 				sort.Ints(want)
 				if !reflect.DeepEqual(got, want) {
@@ -140,7 +141,7 @@ func TestPropertyForEachPairMatchesOracle(t *testing.T) {
 			}
 		}
 		for _, cond := range allConditions {
-			ix := NewIndex(r2, right, cond)
+			ix := NewIndex(r1, r2, right, cond)
 			got := map[[2]int]bool{}
 			ix.ForEachPair(r1, left, func(i, j int) bool {
 				if got[[2]int{i, j}] {
@@ -151,8 +152,10 @@ func TestPropertyForEachPairMatchesOracle(t *testing.T) {
 			})
 			want := map[[2]int]bool{}
 			for _, i := range left {
+				u := r1.Tuple(i)
 				for _, j := range right {
-					if cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
+					v := r2.Tuple(j)
+					if cond.Matches(&u, &v) {
 						want[[2]int{i, j}] = true
 					}
 				}
@@ -188,13 +191,14 @@ func TestMaterializeArena(t *testing.T) {
 		for i := range left {
 			left[i] = i
 		}
-		pairs := Materialize(r1, r2, left, NewFullIndex(r2, cond), Sum)
+		pairs := Materialize(r1, r2, left, NewFullIndex(r1, r2, cond), Sum)
 		w := Width(r1, r2)
 		for n, p := range pairs {
 			if len(p.Attrs) != w || cap(p.Attrs) != w {
 				t.Fatalf("cond %v pair %d: len/cap = %d/%d, want %d/%d", cond, n, len(p.Attrs), cap(p.Attrs), w, w)
 			}
-			want := Combine(r1, r2, &r1.Tuples[p.Left], &r2.Tuples[p.Right], Sum, nil)
+			u, v := r1.Tuple(p.Left), r2.Tuple(p.Right)
+			want := Combine(r1, r2, &u, &v, Sum, nil)
 			if !reflect.DeepEqual(p.Attrs, want) {
 				t.Fatalf("cond %v pair %d: attrs %v, want %v", cond, n, p.Attrs, want)
 			}
@@ -219,7 +223,7 @@ func TestEmptyIndex(t *testing.T) {
 	r2 := randIndexedRelation(rng, "r2", 5)
 	for _, cond := range allConditions {
 		for _, subset := range [][]int{nil, {}} {
-			ix := NewIndex(r2, subset, cond)
+			ix := NewIndex(r1, r2, subset, cond)
 			if ix.Len() != 0 {
 				t.Fatalf("cond %v: empty subset has Len %d", cond, ix.Len())
 			}
@@ -227,5 +231,49 @@ func TestEmptyIndex(t *testing.T) {
 				t.Fatalf("cond %v: empty index counted %d pairs", cond, n)
 			}
 		}
+	}
+}
+
+// TestPartnersAfterProbeAppend: a probe tuple appended (with a previously
+// unseen key symbol) after the index was built must still resolve its
+// equality bucket — the symbol translation falls back to one string lookup
+// for symbols beyond the table size captured at build time.
+func TestPartnersAfterProbeAppend(t *testing.T) {
+	r1 := dataset.MustNew("r1", 1, 0, []dataset.Tuple{
+		{Key: "A", Attrs: []float64{1}},
+	})
+	r2 := dataset.MustNew("r2", 1, 0, []dataset.Tuple{
+		{Key: "A", Attrs: []float64{1}},
+		{Key: "B", Attrs: []float64{2}},
+		{Key: "B", Attrs: []float64{3}},
+	})
+	ix := NewFullIndex(r1, r2, Equality)
+	// "B" exists in r2 but was unknown to r1 when the index (and its
+	// translation table) was built.
+	id, err := r1.Append(dataset.Tuple{Key: "B", Attrs: []float64{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Partners(r1, id)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Partners for late-appended key B = %v, want [1 2]", got)
+	}
+	// A key unknown to both sides must stay partnerless.
+	id, err = r1.Append(dataset.Tuple{Key: "C", Attrs: []float64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Partners(r1, id); len(got) != 0 {
+		t.Fatalf("Partners for unknown key C = %v, want none", got)
+	}
+	// Self-join identity path: a fresh symbol appended to the indexed
+	// relation itself has no bucket (no indexed tuple carries it).
+	selfIx := NewFullIndex(r2, r2, Equality)
+	id, err = r2.Append(dataset.Tuple{Key: "Z", Attrs: []float64{6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := selfIx.Partners(r2, id); len(got) != 0 {
+		t.Fatalf("identity Partners for late key Z = %v, want none", got)
 	}
 }

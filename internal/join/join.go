@@ -7,6 +7,7 @@ package join
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"strings"
 
 	"repro/internal/dataset"
@@ -94,7 +95,8 @@ func ParseCondition(s string) (Condition, error) {
 	}
 }
 
-// Matches reports whether tuples u and v satisfy the condition.
+// Matches reports whether tuples u and v satisfy the condition. It reads
+// row-shaped tuple values; hot paths use MatchesAt on the columns instead.
 func (c Condition) Matches(u, v *dataset.Tuple) bool {
 	switch c {
 	case Equality:
@@ -114,6 +116,32 @@ func (c Condition) Matches(u, v *dataset.Tuple) bool {
 	}
 }
 
+// MatchesAt reports whether tuple i of r1 and tuple j of r2 satisfy the
+// condition, reading the relations' columns directly. Equality compares
+// symbols when the relations share a table (self-join) and strings
+// otherwise.
+func (c Condition) MatchesAt(r1 *dataset.Relation, i int, r2 *dataset.Relation, j int) bool {
+	switch c {
+	case Equality:
+		if r1.Symbols() == r2.Symbols() {
+			return r1.KeyID(i) == r2.KeyID(j)
+		}
+		return r1.Key(i) == r2.Key(j)
+	case Cross:
+		return true
+	case BandLess:
+		return r1.Band(i) < r2.Band(j)
+	case BandLessEq:
+		return r1.Band(i) <= r2.Band(j)
+	case BandGreater:
+		return r1.Band(i) > r2.Band(j)
+	case BandGreaterEq:
+		return r1.Band(i) >= r2.Band(j)
+	default:
+		return false
+	}
+}
+
 // Aggregator combines one aggregate attribute from each side of the join.
 // Every provided aggregator is monotonic (Assumption 2): x1 <= x2 and
 // y1 <= y2 imply Fn(x1,y1) <= Fn(x2,y2), which is what makes the SS/SN/NN
@@ -126,6 +154,15 @@ type Aggregator struct {
 	// non-strict aggregator can erase the strict attribute the pruning
 	// theorems rely on.
 	Strict bool
+}
+
+// IsSum reports whether agg is the built-in Sum aggregator, by function
+// identity — a user-built aggregator that happens to be named "sum" does
+// not qualify. Hot loops use it to inline the addition instead of calling
+// through the function value on every aggregate attribute.
+func IsSum(agg Aggregator) bool {
+	return agg.Fn != nil &&
+		reflect.ValueOf(agg.Fn).Pointer() == reflect.ValueOf(Sum.Fn).Pointer()
 }
 
 // Built-in monotonic aggregators.
@@ -196,13 +233,28 @@ func Width(r1, r2 *dataset.Relation) int {
 
 // Combine materializes the joined attribute vector for u ∈ r1, v ∈ r2 into
 // dst (allocating if dst lacks capacity) and returns it. Layout:
-// [u.local..., v.local..., agg(u.agg_i, v.agg_i)...].
+// [u.local..., v.local..., agg(u.agg_i, v.agg_i)...]. It reads row-shaped
+// tuple values; hot paths use CombineAt on the columns instead.
 func Combine(r1, r2 *dataset.Relation, u, v *dataset.Tuple, agg Aggregator, dst []float64) []float64 {
 	dst = dst[:0]
 	dst = append(dst, u.Attrs[:r1.Local]...)
 	dst = append(dst, v.Attrs[:r2.Local]...)
 	for i := 0; i < r1.Agg; i++ {
 		dst = append(dst, agg.Fn(u.Attrs[r1.Local+i], v.Attrs[r2.Local+i]))
+	}
+	return dst
+}
+
+// CombineAt is Combine over row indices, reading the relations' attribute
+// columns directly: contiguous stride-D() copies with no row
+// materialization.
+func CombineAt(r1, r2 *dataset.Relation, i, j int, agg Aggregator, dst []float64) []float64 {
+	x, y := r1.Attrs(i), r2.Attrs(j)
+	dst = dst[:0]
+	dst = append(dst, x[:r1.Local]...)
+	dst = append(dst, y[:r2.Local]...)
+	for t := 0; t < r1.Agg; t++ {
+		dst = append(dst, agg.Fn(x[r1.Local+t], y[r2.Local+t]))
 	}
 	return dst
 }
@@ -227,7 +279,7 @@ func Pairs(r1, r2 *dataset.Relation, spec Spec) ([]Pair, error) {
 	for i := range left {
 		left[i] = i
 	}
-	return Materialize(r1, r2, left, NewFullIndex(r2, spec.Cond), spec.aggregator()), nil
+	return Materialize(r1, r2, left, NewFullIndex(r1, r2, spec.Cond), spec.aggregator()), nil
 }
 
 // CountPairs returns |r1 ⋈ r2| without materializing attribute vectors.
@@ -240,10 +292,10 @@ func CountPairs(r1, r2 *dataset.Relation, spec Spec) (int, error) {
 	if spec.Cond == Cross {
 		return r1.Len() * r2.Len(), nil
 	}
-	ix := NewFullIndex(r2, spec.Cond)
+	ix := NewFullIndex(r1, r2, spec.Cond)
 	n := 0
-	for i := range r1.Tuples {
-		n += len(ix.Partners(&r1.Tuples[i]))
+	for i := 0; i < r1.Len(); i++ {
+		n += len(ix.Partners(r1, i))
 	}
 	return n, nil
 }
@@ -258,10 +310,12 @@ func ScanPairs(r1, r2 *dataset.Relation, spec Spec) ([]Pair, error) {
 	}
 	agg := spec.aggregator()
 	var out []Pair
-	for i := range r1.Tuples {
-		for j := range r2.Tuples {
-			if spec.Cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
-				attrs := Combine(r1, r2, &r1.Tuples[i], &r2.Tuples[j], agg, make([]float64, 0, Width(r1, r2)))
+	for i := 0; i < r1.Len(); i++ {
+		u := r1.Tuple(i)
+		for j := 0; j < r2.Len(); j++ {
+			v := r2.Tuple(j)
+			if spec.Cond.Matches(&u, &v) {
+				attrs := Combine(r1, r2, &u, &v, agg, make([]float64, 0, Width(r1, r2)))
 				out = append(out, Pair{Left: i, Right: j, Attrs: attrs})
 			}
 		}
@@ -276,9 +330,11 @@ func ScanCountPairs(r1, r2 *dataset.Relation, spec Spec) (int, error) {
 		return 0, err
 	}
 	n := 0
-	for i := range r1.Tuples {
-		for j := range r2.Tuples {
-			if spec.Cond.Matches(&r1.Tuples[i], &r2.Tuples[j]) {
+	for i := 0; i < r1.Len(); i++ {
+		u := r1.Tuple(i)
+		for j := 0; j < r2.Len(); j++ {
+			v := r2.Tuple(j)
+			if spec.Cond.Matches(&u, &v) {
 				n++
 			}
 		}

@@ -72,7 +72,11 @@ func TestPropertyAggregatorsMonotone(t *testing.T) {
 func TestCombineLayout(t *testing.T) {
 	r1 := rel("r1", 2, 1, []dataset.Tuple{{Attrs: []float64{1, 2, 10}}})
 	r2 := rel("r2", 1, 1, []dataset.Tuple{{Attrs: []float64{3, 20}}})
-	got := Combine(r1, r2, &r1.Tuples[0], &r2.Tuples[0], Sum, nil)
+	u, v := r1.Tuple(0), r2.Tuple(0)
+	got := Combine(r1, r2, &u, &v, Sum, nil)
+	if got2 := CombineAt(r1, r2, 0, 0, Sum, nil); !reflect.DeepEqual(got, got2) {
+		t.Errorf("CombineAt = %v, Combine = %v", got2, got)
+	}
 	want := []float64{1, 2, 3, 30}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Combine = %v, want %v", got, want)
@@ -86,7 +90,8 @@ func TestCombineReusesBuffer(t *testing.T) {
 	r1 := rel("r1", 1, 0, []dataset.Tuple{{Attrs: []float64{1}}})
 	r2 := rel("r2", 1, 0, []dataset.Tuple{{Attrs: []float64{2}}})
 	buf := make([]float64, 0, 8)
-	got := Combine(r1, r2, &r1.Tuples[0], &r2.Tuples[0], Sum, buf)
+	u, v := r1.Tuple(0), r2.Tuple(0)
+	got := Combine(r1, r2, &u, &v, Sum, buf)
 	if &got[:1][0] != &buf[:1][0] {
 		t.Error("Combine did not reuse the provided buffer")
 	}

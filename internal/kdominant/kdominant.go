@@ -87,25 +87,36 @@ func TwoScanSubset(points [][]float64, subset []int, k int) []int {
 		}
 	}
 
-	// Scan 2: verify candidates against non-candidates. Window membership
-	// is a binary search over a sorted copy — cost bounded by the window,
-	// never by the full point array (this runs once per join group).
+	// Scan 2: verify candidates against non-candidates, non-candidate-outer
+	// so window membership is decided once per point instead of once per
+	// (candidate, point) pair. The visited (candidate, point) comparisons
+	// are exactly the candidate-outer loop's — a candidate stops being
+	// scanned past its first dominator either way — so the surviving set is
+	// identical. Membership stays a binary search over a sorted copy: cost
+	// bounded by the window, never by the full point array (this runs once
+	// per join group).
 	sorted := append([]int(nil), window...)
 	sort.Ints(sorted)
-	inWindow := func(j int) bool {
-		p := sort.SearchInts(sorted, j)
-		return p < len(sorted) && sorted[p] == j
-	}
-	var result []int
-	for _, c := range window {
-		dominated := false
-		for _, j := range subset {
-			if !inWindow(j) && dom.KDominates(points[j], points[c], k) {
-				dominated = true
-				break
+	dominated := make([]bool, len(window))
+	alive := len(window)
+	for _, j := range subset {
+		if p := sort.SearchInts(sorted, j); p < len(sorted) && sorted[p] == j {
+			continue // candidates are verified against non-candidates only
+		}
+		pj := points[j]
+		for wi, c := range window {
+			if !dominated[wi] && dom.KDominates(pj, points[c], k) {
+				dominated[wi] = true
+				alive--
 			}
 		}
-		if !dominated {
+		if alive == 0 {
+			break
+		}
+	}
+	var result []int
+	for wi, c := range window {
+		if !dominated[wi] {
 			result = append(result, c)
 		}
 	}

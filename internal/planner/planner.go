@@ -104,10 +104,10 @@ func EstimateCardinality(ctx context.Context, q core.Query, opts Options) (*Esti
 // materialization and no O(n₁·n₂) scan — and prefix[n₁] is the exact
 // join size, so one pass serves both counting and sampling.
 func rankSpace(q core.Query) (*join.Index, []int) {
-	ix := join.NewFullIndex(q.R2, q.Spec.Cond)
+	ix := join.NewFullIndex(q.R1, q.R2, q.Spec.Cond)
 	prefix := make([]int, q.R1.Len()+1)
-	for i := range q.R1.Tuples {
-		prefix[i+1] = prefix[i] + len(ix.Partners(&q.R1.Tuples[i]))
+	for i := 0; i < q.R1.Len(); i++ {
+		prefix[i+1] = prefix[i] + len(ix.Partners(q.R1, i))
 	}
 	return ix, prefix
 }
@@ -125,7 +125,7 @@ func samplePairs(q core.Query, ix *join.Index, prefix []int, opts Options) [][2]
 	out := make([][2]int, 0, m)
 	for _, r := range sampleRanks(rng, total, m) {
 		i := sort.SearchInts(prefix, r+1) - 1
-		out = append(out, [2]int{i, ix.Partners(&q.R1.Tuples[i])[r-prefix[i]]})
+		out = append(out, [2]int{i, ix.Partners(q.R1, i)[r-prefix[i]]})
 	}
 	return out
 }

@@ -37,8 +37,8 @@ func TestMembershipMatchesRun(t *testing.T) {
 		}
 		var pairs [][2]int
 		g2 := r2.GroupIndex()
-		for i := range r1.Tuples {
-			for _, j := range g2[r1.Tuples[i].Key] {
+		for i := 0; i < r1.Len(); i++ {
+			for _, j := range g2[r1.Key(i)] {
 				pairs = append(pairs, [2]int{i, j})
 			}
 		}
@@ -62,8 +62,8 @@ func TestMembershipErrors(t *testing.T) {
 		t.Error("out-of-range pair accepted")
 	}
 	// Find a non-compatible pair (different keys).
-	for j := range r2.Tuples {
-		if r2.Tuples[j].Key != r1.Tuples[0].Key {
+	for j := 0; j < r2.Len(); j++ {
+		if r2.Key(j) != r1.Key(0) {
 			if _, err := core.Membership(q, [][2]int{{0, j}}); err == nil {
 				t.Error("join-incompatible pair accepted")
 			}
@@ -256,7 +256,7 @@ func TestSamplePairsJoinCompatibleAndDistinct(t *testing.T) {
 				t.Fatalf("trial %d: duplicate pair %v", trial, pr)
 			}
 			seen[pr] = true
-			if cond != join.Cross && !cond.Matches(&r1.Tuples[pr[0]], &r2.Tuples[pr[1]]) {
+			if cond != join.Cross && !cond.MatchesAt(r1, pr[0], r2, pr[1]) {
 				t.Fatalf("trial %d: sampled pair %v not join-compatible under %v", trial, pr, cond)
 			}
 		}

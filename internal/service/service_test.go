@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"sync"
@@ -348,6 +349,18 @@ func TestBadRequests(t *testing.T) {
 	}
 	if _, err := s.Insert("r1", dataset.Tuple{Attrs: []float64{1}}); !errors.Is(err, ErrBadRequest) {
 		t.Errorf("insert bad schema: err = %v", err)
+	}
+	// Non-finite skyline attributes and NaN bands are rejected at the
+	// insert door (dataset.ErrBadSchema surfaced as a bad request), so no
+	// unjoinable or domination-opaque tuple ever enters a served relation.
+	for name, tup := range map[string]dataset.Tuple{
+		"NaN attr":  {Key: "g0001", Attrs: []float64{math.NaN(), 1, 1, 1}},
+		"+Inf attr": {Key: "g0001", Attrs: []float64{math.Inf(1), 1, 1, 1}},
+		"NaN band":  {Key: "g0001", Band: math.NaN(), Attrs: []float64{1, 1, 1, 1}},
+	} {
+		if _, err := s.Insert("r1", tup); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("insert %s: err = %v, want ErrBadRequest", name, err)
+		}
 	}
 	if _, err := s.Register("r1", testRelation("dup", 5, 3, 1, 2, 9)); !errors.Is(err, ErrDuplicateRelation) {
 		t.Errorf("duplicate register: err = %v", err)

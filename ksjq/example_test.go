@@ -37,7 +37,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	for _, p := range res.Skyline {
-		fmt.Printf("%s ⋈ %s %v\n", leg1.Tuples[p.Left].Key, leg2.Tuples[p.Right].Key, p.Attrs)
+		fmt.Printf("%s ⋈ %s %v\n", leg1.Key(p.Left), leg2.Key(p.Right), p.Attrs)
 	}
 	// Output:
 	// JAI ⋈ JAI [60 80 75 90]

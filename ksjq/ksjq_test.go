@@ -265,10 +265,14 @@ func TestCascadeViaFacade(t *testing.T) {
 		randRelation(rng, "l2", 15, 2, 1, 3, 5),
 		randRelation(rng, "l3", 15, 2, 1, 3, 5),
 	}
-	// Middle relations of a chain need the second key; reuse the first.
-	for i := range legs[1].Tuples {
-		legs[1].Tuples[i].Key2 = legs[1].Tuples[i].Key
+	// Middle relations of a chain need the second key; rebuild the middle
+	// leg with Key2 mirroring Key (relations are immutable once built).
+	mid := make([]Tuple, legs[1].Len())
+	for i := range mid {
+		mid[i] = legs[1].Tuple(i)
+		mid[i].Key2 = mid[i].Key
 	}
+	legs[1] = MustNewRelation("l2", legs[1].Local, legs[1].Agg, mid)
 	q := CascadeQuery{Relations: legs, K: 6}
 	naive, err := RunCascade(q, CascadeNaive)
 	if err != nil {

@@ -4,9 +4,9 @@
 # CHANGES.md). Run from the repo root; `make bench` wraps this.
 set -eu
 
-out=${1:-BENCH_pr3.json}
+out=${1:-BENCH_pr4.json}
 benchtime=${BENCHTIME:-3x}
-pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert)$'
+pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend)$'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
