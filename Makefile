@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench docs-check examples staticcheck ci
+.PHONY: build test race bench docs-check examples staticcheck apicheck shuffle ci
 
 build:
 	$(GO) build ./...
@@ -15,13 +15,24 @@ race:
 examples:
 	$(GO) test -run Example -v ./ksjq/
 
-# Snapshot the tracked benchmarks into BENCH_pr4.json.
+# Snapshot the tracked benchmarks into BENCH_pr5.json.
 bench:
-	./scripts/bench_snapshot.sh BENCH_pr4.json
+	./scripts/bench_snapshot.sh BENCH_pr5.json
 
 # Fail if README.md references commands, flags, or files that are gone.
 docs-check:
 	./scripts/check_docs.sh
+
+# Public-API golden check: fails fast, with a readable diff, when the
+# exported ksjq surface changed without regenerating testdata/api.txt
+# (`go test ./ksjq -run TestAPISurface -update` records intentional
+# changes).
+apicheck:
+	$(GO) test ./ksjq -run TestAPISurface
+
+# Shuffled test order: catches inter-test coupling the fixed order hides.
+shuffle:
+	$(GO) test -shuffle=on ./...
 
 # Static analysis. CI installs staticcheck; locally this uses whatever is
 # on PATH and explains itself if nothing is.
@@ -30,4 +41,4 @@ staticcheck:
 		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
 	staticcheck ./...
 
-ci: build test race examples docs-check
+ci: build test race shuffle apicheck examples docs-check

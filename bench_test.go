@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/join"
 	"repro/internal/service"
+	"repro/ksjq"
 )
 
 func benchFigure(b *testing.B, scale experiments.Scale, pick func(*experiments.Suite) func() []experiments.Row) {
@@ -397,5 +398,128 @@ func BenchmarkColumnarAppend(b *testing.B) {
 		if _, err := r.Append(tup); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// preparedQuery is the repeated-same-pair workload of the prepared-query
+// acceptance gate: the Table 7 default shape at n=2000.
+func preparedQuery(b *testing.B) ksjq.Query {
+	b.Helper()
+	q := defaultQuery(2000)
+	return ksjq.Query{R1: q.R1, R2: q.R2, Spec: q.Spec, K: q.K}
+}
+
+// BenchmarkPreparedCold is the baseline Prepared amortizes away: a full
+// ksjq.Run — planner-free, resident-free — per repeated query.
+func BenchmarkPreparedCold(b *testing.B) {
+	q := preparedQuery(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ksjq.Run(ctx, q, ksjq.Options{Algorithm: ksjq.Grouping}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedRun is the repeated-same-pair path through Prepared:
+// the first run computes, every later identical run is served from the
+// prepared answer memo. The acceptance criterion is >=5x over
+// BenchmarkPreparedCold at n>=2000; the memo makes the gap orders of
+// magnitude.
+func BenchmarkPreparedRun(b *testing.B) {
+	q := preparedQuery(b)
+	ctx := context.Background()
+	p, err := ksjq.Prepare(ctx, q, ksjq.PrepareOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Run(ctx, ksjq.Options{Algorithm: ksjq.Grouping}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(ctx, ksjq.Options{Algorithm: ksjq.Grouping}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedResident isolates the honest engine-rerun savings:
+// NoCache skips the answer memo, so every iteration re-verifies over the
+// prepared join index and probe orders instead of rebuilding them.
+func BenchmarkPreparedResident(b *testing.B) {
+	q := preparedQuery(b)
+	ctx := context.Background()
+	p, err := ksjq.Prepare(ctx, q, ksjq.PrepareOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(ctx, ksjq.Options{Algorithm: ksjq.Grouping, NoCache: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamFirstResult measures time-to-first-tuple through the
+// pull iterator with an immediate break — the progressive-consumption
+// latency a full run hides.
+func BenchmarkStreamFirstResult(b *testing.B) {
+	q := preparedQuery(b)
+	ctx := context.Background()
+	p, err := ksjq.Prepare(ctx, q, ksjq.PrepareOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := 0
+		for _, err := range p.Stream(ctx, ksjq.Options{}) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			got++
+			break
+		}
+		if got == 0 {
+			b.Fatal("stream yielded nothing")
+		}
+	}
+}
+
+// BenchmarkWatchInsert measures one maintained insert fanned out to a
+// standing watch subscription, delta delivery included.
+func BenchmarkWatchInsert(b *testing.B) {
+	q := defaultQuery(300)
+	svc := service.New(service.Config{})
+	b.Cleanup(func() { svc.Close() })
+	if _, err := svc.Register("r1", q.R1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.Register("r2", q.R2); err != nil {
+		b.Fatal(err)
+	}
+	w, err := svc.Watch(context.Background(), service.QueryRequest{R1: "r1", R2: "r2", K: q.K})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { w.Close() })
+	<-w.Events() // snapshot
+	rng := rand.New(rand.NewSource(2019))
+	tuple := func() dataset.Tuple {
+		attrs := make([]float64, 7)
+		for i := range attrs {
+			attrs[i] = rng.Float64() * 100
+		}
+		return dataset.Tuple{Key: fmt.Sprintf("g%d", rng.Intn(10)), Attrs: attrs}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Insert("r1", tuple()); err != nil {
+			b.Fatal(err)
+		}
+		<-w.Events()
 	}
 }

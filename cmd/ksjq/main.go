@@ -13,7 +13,8 @@
 // whose skyline has at least delta tuples (or, with -atmost, the largest k
 // with at most delta tuples). -alg auto lets the sampling planner choose
 // the algorithm; -workers parallelizes the grouping algorithm (it
-// conflicts with any other -alg); -timeout bounds the whole query.
+// conflicts with an explicit -alg other than grouping, and constrains
+// auto's choice to grouping); -timeout bounds the whole query.
 package main
 
 import (
@@ -59,7 +60,7 @@ func main() {
 	flag.IntVar(&o.delta, "delta", 0, "find k: smallest k with at least delta skylines (Problem 3)")
 	flag.BoolVar(&o.atMost, "atmost", false, "with -delta: largest k with at most delta skylines (Problem 4)")
 	flag.StringVar(&o.findAlg, "findalg", "binary", "find-k algorithm: naive, range or binary")
-	flag.IntVar(&o.workers, "workers", 0, "parallelize the grouping algorithm with this many workers (<= 1 = serial; conflicts with -alg other than grouping)")
+	flag.IntVar(&o.workers, "workers", 0, "parallelize the grouping algorithm with this many workers (<= 1 = serial; conflicts with an explicit -alg other than grouping)")
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the query after this duration (e.g. 500ms, 30s; 0 = no deadline)")
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary, not the skyline tuples")
 	flag.Parse()
@@ -78,11 +79,13 @@ func run(out io.Writer, o options) error {
 		return err
 	}
 	// -workers parallelizes the grouping algorithm; combining a parallel
-	// degree with any other -alg is a contradiction, not a preference, so
-	// it is an error rather than a silent override. workers <= 1 is the
-	// serial path and conflicts with nothing.
-	if o.workers > 1 && alg != ksjq.Grouping {
-		return fmt.Errorf("-workers requires -alg grouping (got -alg %s)", alg)
+	// degree with another explicit -alg is a contradiction, not a
+	// preference, so it is an error rather than a silent override. -alg
+	// auto is not a contradiction: a parallel degree constrains the
+	// planner's choice to the one algorithm that can honor it. workers
+	// <= 1 is the serial path and conflicts with nothing.
+	if o.workers > 1 && alg != ksjq.Grouping && alg != ksjq.Auto {
+		return fmt.Errorf("-workers requires -alg grouping or auto (got -alg %s)", alg)
 	}
 	if o.workers > 1 && o.delta > 0 {
 		return fmt.Errorf("-workers cannot be combined with -delta (find-k probes are serial)")
@@ -115,10 +118,17 @@ func run(out io.Writer, o options) error {
 	var res *ksjq.Result
 	var chosen string
 	if alg == ksjq.Auto {
-		var plan *ksjq.Plan
-		res, plan, err = ksjq.RunAuto(ctx, q, ksjq.PlannerOptions{})
-		if err == nil {
-			chosen = fmt.Sprintf("auto→%s (%s)", plan.Algorithm, plan.Reason)
+		if o.workers > 1 {
+			// The parallel degree leaves the planner exactly one viable
+			// choice, so the facade runs grouping without sampling.
+			res, err = ksjq.Run(ctx, q, ksjq.Options{Workers: o.workers})
+			chosen = fmt.Sprintf("auto→parallel-grouping(workers=%s)", ksjq.Workers(o.workers))
+		} else {
+			var plan *ksjq.Plan
+			res, plan, err = ksjq.RunAuto(ctx, q, ksjq.PlannerOptions{})
+			if err == nil {
+				chosen = fmt.Sprintf("auto→%s (%s)", plan.Algorithm, plan.Reason)
+			}
 		}
 	} else {
 		res, err = ksjq.Run(ctx, q, ksjq.Options{Algorithm: alg, Workers: o.workers})

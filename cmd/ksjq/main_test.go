@@ -168,8 +168,9 @@ func TestParseSpec(t *testing.T) {
 }
 
 func TestRunConflictingFlags(t *testing.T) {
-	// -workers silently overriding -alg was a bug; it must now be an error.
-	for _, alg := range []string{"naive", "dominator", "auto"} {
+	// -workers silently overriding an explicit -alg was a bug; it must now
+	// be an error.
+	for _, alg := range []string{"naive", "dominator"} {
 		o := baseOptions(t)
 		o.algName = alg
 		o.workers = 3
@@ -180,6 +181,20 @@ func TestRunConflictingFlags(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "-workers") {
 			t.Errorf("-alg %s conflict error does not name the flag: %v", alg, err)
+		}
+	}
+	// -alg auto with -workers is not a contradiction: the degree constrains
+	// the planner to grouping.
+	{
+		o := baseOptions(t)
+		o.algName = "auto"
+		o.workers = 3
+		var buf bytes.Buffer
+		if err := run(&buf, o); err != nil {
+			t.Fatalf("-workers with -alg auto rejected: %v", err)
+		}
+		if !strings.Contains(buf.String(), "auto→parallel-grouping") {
+			t.Errorf("auto+workers summary does not report the constrained choice:\n%s", buf.String())
 		}
 	}
 	o := baseOptions(t)

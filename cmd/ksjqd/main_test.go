@@ -268,3 +268,108 @@ func TestTupleJSONRoundTrip(t *testing.T) {
 		t.Errorf("tuple() = %+v", tup)
 	}
 }
+
+// TestServerWatch drives the NDJSON watch stream end to end: subscribe,
+// read the snapshot line, insert a dominating tuple, read the delta line,
+// then disconnect.
+func TestServerWatch(t *testing.T) {
+	srv := newTestServer(t)
+	for _, name := range []string{"r1", "r2"} {
+		resp, _ := postJSON(t, srv.URL+"/v1/relations", relationBody(name))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("loading %s: status %d", name, resp.StatusCode)
+		}
+	}
+
+	body, err := json.Marshal(map[string]any{"r1": "r1", "r2": "r2", "k": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/watch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("watch content type %q", ct)
+	}
+
+	type eventJSON struct {
+		Seq      uint64     `json:"seq"`
+		Added    []pairJSON `json:"added"`
+		Removed  []pairJSON `json:"removed"`
+		Versions [2]uint64  `json:"versions"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	lines := make(chan eventJSON, 8)
+	go func() {
+		defer close(lines)
+		for {
+			var ev eventJSON
+			if err := dec.Decode(&ev); err != nil {
+				return
+			}
+			lines <- ev
+		}
+	}()
+	readEvent := func(label string) eventJSON {
+		t.Helper()
+		select {
+		case ev, ok := <-lines:
+			if !ok {
+				t.Fatalf("%s: watch stream ended early", label)
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: timed out waiting for watch event", label)
+		}
+		panic("unreachable")
+	}
+
+	snapshot := readEvent("snapshot")
+	if snapshot.Seq != 0 || len(snapshot.Added) != 4 || len(snapshot.Removed) != 0 {
+		t.Fatalf("snapshot = seq %d, %d added, %d removed; want 0, 4, 0",
+			snapshot.Seq, len(snapshot.Added), len(snapshot.Removed))
+	}
+
+	// A dominating insert displaces the old answer: the delta removes the
+	// four old pairs and adds the new tuple's two.
+	insResp, _ := postJSON(t, srv.URL+"/v1/insert", map[string]any{
+		"relation": "r1", "tuple": map[string]any{"key": "h", "attrs": []float64{0, 0}},
+	})
+	if insResp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", insResp.StatusCode)
+	}
+	delta := readEvent("delta")
+	if delta.Seq != 1 || len(delta.Added) != 2 || len(delta.Removed) != 4 {
+		t.Fatalf("delta = seq %d, %d added, %d removed; want 1, 2, 4",
+			delta.Seq, len(delta.Added), len(delta.Removed))
+	}
+	if delta.Versions != [2]uint64{2, 1} {
+		t.Fatalf("delta versions %v, want [2 1]", delta.Versions)
+	}
+}
+
+// TestServerWatchRejectsBadRequest pins the error mapping on the watch
+// endpoint: an unmaintainable aggregator is a 400, an unknown relation a
+// 404 — before any streaming starts.
+func TestServerWatchRejectsBadRequest(t *testing.T) {
+	srv := newTestServer(t)
+	resp, _ := postJSON(t, srv.URL+"/v1/relations", relationBody("r1"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loading r1: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/watch", map[string]any{"r1": "r1", "r2": "nope", "k": 4})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown relation: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/watch", map[string]any{
+		"r1": "r1", "r2": "r1", "k": 4, "agg": "max", "algorithm": "naive",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("max aggregator: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -20,6 +20,7 @@ import (
 //	POST /v1/relations?format=csv&name=r1&local=3&agg=1[&band=1]   (CSV body)
 //	GET  /v1/relations
 //	POST /v1/query      {"r1","r2","k","join","agg","algorithm","workers","timeout_ms","no_cache"}
+//	POST /v1/watch      same body as /v1/query; responds with NDJSON answer deltas
 //	POST /v1/insert     {"relation","tuple":{"key","band","attrs"}}
 //	GET  /v1/stats
 //	GET  /healthz
@@ -107,6 +108,13 @@ func newServer(svc *ksjq.Service, maxTimeout time.Duration) http.Handler {
 			return
 		}
 		srv.handleQuery(w, r)
+	})
+	mux.HandleFunc("/v1/watch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		srv.handleWatch(w, r)
 	})
 	mux.HandleFunc("/v1/insert", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -225,6 +233,60 @@ func (srv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// watchEventJSON is the wire form of one answer delta on the NDJSON
+// stream: the initial snapshot (seq 0, all added), then one line per
+// insert that touched the watched relations.
+type watchEventJSON struct {
+	Seq      uint64     `json:"seq"`
+	Added    []pairJSON `json:"added,omitempty"`
+	Removed  []pairJSON `json:"removed,omitempty"`
+	Versions [2]uint64  `json:"versions"`
+}
+
+// handleWatch upgrades a query into a standing subscription: the response
+// is an unbounded application/x-ndjson stream of answer deltas, one JSON
+// object per line, flushed as they happen. The stream ends when the
+// client disconnects (the request context cancels the watch) or the
+// service shuts down. The timeout clamp is deliberately not applied —
+// a watch is long-lived by design; its lifetime is the connection's.
+func (srv *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	var req queryJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	watch, err := srv.svc.Watch(r.Context(), ksjq.QueryRequest{
+		R1: req.R1, R2: req.R2, K: req.K,
+		Join: req.Join, Agg: req.Agg, Algorithm: req.Algorithm,
+		Workers: req.Workers,
+	})
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	defer watch.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for ev := range watch.Events() {
+		out := watchEventJSON{Seq: ev.Seq, Versions: ev.Versions}
+		for _, p := range ev.Added {
+			out.Added = append(out.Added, pairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs})
+		}
+		for _, p := range ev.Removed {
+			out.Removed = append(out.Removed, pairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs})
+		}
+		if err := enc.Encode(out); err != nil {
+			return // client went away; the deferred Close tears down
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 func handleInsert(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro/ksjq"
 )
@@ -52,11 +54,15 @@ func main() {
 	fmt.Printf("three-leg journeys, %d joined attributes, k in [%d, %d]\n\n",
 		q.Width(), q.KMin(), q.Width())
 
-	naive, err := ksjq.RunCascade(q, ksjq.CascadeNaive)
+	// Chain joins can blow up multiplicatively, so cascaded evaluation is
+	// deadline-bounded like every other entry point.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	naive, err := ksjq.RunCascade(ctx, q, ksjq.CascadeNaive)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pruned, err := ksjq.RunCascade(q, ksjq.CascadePruned)
+	pruned, err := ksjq.RunCascade(ctx, q, ksjq.CascadePruned)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -58,4 +58,34 @@ func main() {
 	}
 	fmt.Printf("categorized R1 as SS/SN/NN = %d/%d/%d in %v total\n",
 		res.Stats.SS1, res.Stats.SN1, res.Stats.NN1, res.Stats.Total)
+
+	// Prepared queries amortize the expensive per-pair state (join index,
+	// probe orders): build it once, then evaluate at any k — repeating an
+	// identical query is answered from the prepared memo.
+	prepared, err := ksjq.Prepare(context.Background(), q, ksjq.PrepareOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := q.K; k <= q.Width(); k++ {
+		res, err := prepared.Run(context.Background(), ksjq.Options{K: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%d → %d combinations survive\n", k, len(res.Skyline))
+	}
+
+	// Streams pull results one at a time; breaking out of the loop stops
+	// the engine early instead of computing the rest of the answer.
+	fmt.Println("first two results, streamed:")
+	n := 0
+	for p, err := range prepared.Stream(context.Background(), ksjq.Options{}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		n++
+		fmt.Printf("  via %s: %v\n", f1.Tuple(p.Left).Key, p.Attrs)
+		if n == 2 {
+			break
+		}
+	}
 }

@@ -24,6 +24,7 @@
 package cascade
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -153,9 +154,24 @@ func (q Query) Validate(strategy Strategy) error {
 	return nil
 }
 
-// Run evaluates the cascaded query.
-func Run(q Query, strategy Strategy) (*Result, error) {
+// cancelEvery is the batch size between context checks inside the fold
+// and verification loops, mirroring the two-relation engine's bound: a
+// cancelled context is noticed after at most this many combinations.
+const cancelEvery = 256
+
+// Run evaluates the cascaded query. The context bounds the whole
+// evaluation — it is polled between chain steps and every cancelEvery
+// combinations inside join folding and skyline verification, so a
+// cancelled deadline aborts promptly with ctx.Err() (the same contract as
+// core.Exec, closing the last public entry point that lacked one).
+func Run(ctx context.Context, q Query, strategy Strategy) (*Result, error) {
 	if err := q.Validate(strategy); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -176,8 +192,14 @@ func Run(q Query, strategy Strategy) (*Result, error) {
 		st.PruneTime = time.Since(t0)
 
 		t0 = time.Now()
-		pool := fold(q, poolKeep)
-		candidates := fold(q, candKeep)
+		pool, err := fold(ctx, q, poolKeep)
+		if err != nil {
+			return nil, err
+		}
+		candidates, err := fold(ctx, q, candKeep)
+		if err != nil {
+			return nil, err
+		}
 		st.JoinTime = time.Since(t0)
 		st.JoinedSize = len(pool)
 
@@ -190,7 +212,10 @@ func Run(q Query, strategy Strategy) (*Result, error) {
 			points[i] = pool[i].Attrs
 		}
 		sky := skyline2.SFS(points)
-		for _, c := range candidates {
+		for n, c := range candidates {
+			if n%cancelEvery == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			dominated := false
 			for _, s := range sky {
 				if sameIndices(pool[s].Indices, c.Indices) {
@@ -212,7 +237,10 @@ func Run(q Query, strategy Strategy) (*Result, error) {
 			keep[i] = all(r.Len())
 		}
 		t0 := time.Now()
-		combos := fold(q, keep)
+		combos, err := fold(ctx, q, keep)
+		if err != nil {
+			return nil, err
+		}
 		st.JoinTime = time.Since(t0)
 		st.JoinedSize = len(combos)
 
@@ -220,6 +248,9 @@ func Run(q Query, strategy Strategy) (*Result, error) {
 		points := make([][]float64, len(combos))
 		for i := range combos {
 			points[i] = combos[i].Attrs
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		for _, idx := range kdominant.TwoScan(points, q.K) {
 			skyline = append(skyline, combos[idx])
@@ -293,8 +324,10 @@ func groupKey(q Query, i int, r *dataset.Relation, t int) [2]int32 {
 // fold materializes the chain join over the surviving tuples left to
 // right. R1 joins R2 on R1.Key = R2.Key; thereafter the accumulated
 // combination's out-key is the latest relation's Key2 (middle) and joins
-// the next relation's Key.
-func fold(q Query, keep [][]int) []Combo {
+// the next relation's Key. The context is polled every cancelEvery
+// accumulated combinations — chain joins can blow up multiplicatively, so
+// the fold itself must be cancellable, not just the phases around it.
+func fold(ctx context.Context, q Query, keep [][]int) ([]Combo, error) {
 	agg := q.aggregator()
 	a := q.Relations[0].Agg
 	r0 := q.Relations[0]
@@ -325,8 +358,20 @@ func fold(q Query, keep [][]int) []Combo {
 		last := ri == len(q.Relations)-1
 		ix := join.NewIndex(prev, r, keep[ri], join.Equality)
 		next := make([]partial, 0, len(cur))
+		// sincePoll counts work units (outer tuples probed + combinations
+		// appended) since the last context check, so the poll interval
+		// holds whether outer tuples fan out to many partners or to none.
+		sincePoll := 0
 		for _, p := range cur {
+			sincePoll++
+			if sincePoll >= cancelEvery {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				sincePoll = 0
+			}
 			for _, t := range ix.PartnersSym(prev, p.outKey) {
+				sincePoll++
 				attrs := r.Attrs(t)
 				np := partial{
 					indices: append(append([]int(nil), p.indices...), t),
@@ -348,7 +393,7 @@ func fold(q Query, keep [][]int) []Combo {
 	for i, p := range cur {
 		combos[i] = Combo{Indices: p.indices, Attrs: append(p.locals, p.aggs...)}
 	}
-	return combos
+	return combos, nil
 }
 
 // sameIndices reports whether two combos reference the same base tuples.

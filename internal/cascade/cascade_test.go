@@ -1,6 +1,7 @@
 package cascade
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -57,7 +58,7 @@ func TestCascadeTwoRelationsMatchesCore(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, strategy := range []Strategy{Naive, Pruned} {
-				got, err := Run(cq, strategy)
+				got, err := Run(context.Background(), cq, strategy)
 				if err != nil {
 					t.Fatalf("trial %d k=%d strategy %d: %v", trial, k, strategy, err)
 				}
@@ -88,11 +89,11 @@ func TestCascadePrunedMatchesNaiveThreeRelations(t *testing.T) {
 		}
 		for k := q.KMin(); k <= q.Width(); k++ {
 			q.K = k
-			naive, err := Run(q, Naive)
+			naive, err := Run(context.Background(), q, Naive)
 			if err != nil {
 				t.Fatal(err)
 			}
-			pruned, err := Run(q, Pruned)
+			pruned, err := Run(context.Background(), q, Pruned)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +118,7 @@ func TestCascadePruningActuallyPrunes(t *testing.T) {
 		{Key: "b", Attrs: []float64{1, 1}},
 	})
 	q := Query{Relations: []*dataset.Relation{r1, r2, r3}, K: 5}
-	res, err := Run(q, Pruned)
+	res, err := Run(context.Background(), q, Pruned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestCascadeKey2Routing(t *testing.T) {
 		{Key: "r", Attrs: []float64{5}},
 	})
 	q := Query{Relations: []*dataset.Relation{r1, r2, r3}, K: 3}
-	res, err := Run(q, Naive)
+	res, err := Run(context.Background(), q, Naive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestCascadeAggregateFold(t *testing.T) {
 		},
 		K: 4,
 	}
-	res, err := Run(q, Naive)
+	res, err := Run(context.Background(), q, Naive)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,24 +185,24 @@ func TestCascadeAggregateFold(t *testing.T) {
 
 func TestCascadeValidation(t *testing.T) {
 	r := dataset.MustNew("r", 2, 0, []dataset.Tuple{{Attrs: []float64{1, 2}}})
-	if _, err := Run(Query{Relations: []*dataset.Relation{r}, K: 2}, Naive); !errors.Is(err, ErrTooFewRelations) {
+	if _, err := Run(context.Background(), Query{Relations: []*dataset.Relation{r}, K: 2}, Naive); !errors.Is(err, ErrTooFewRelations) {
 		t.Errorf("single relation: %v, want ErrTooFewRelations", err)
 	}
 	q := Query{Relations: []*dataset.Relation{r, r.Clone()}, K: 1}
-	if _, err := Run(q, Naive); !errors.Is(err, ErrBadK) {
+	if _, err := Run(context.Background(), q, Naive); !errors.Is(err, ErrBadK) {
 		t.Errorf("low k: %v, want ErrBadK", err)
 	}
 	q.K = 99
-	if _, err := Run(q, Naive); !errors.Is(err, ErrBadK) {
+	if _, err := Run(context.Background(), q, Naive); !errors.Is(err, ErrBadK) {
 		t.Errorf("high k: %v, want ErrBadK", err)
 	}
 	rAgg := dataset.MustNew("ra", 1, 1, []dataset.Tuple{{Attrs: []float64{1, 2}}})
 	q = Query{Relations: []*dataset.Relation{r, rAgg}, K: 3}
-	if _, err := Run(q, Naive); !errors.Is(err, join.ErrSchemaMismatch) {
+	if _, err := Run(context.Background(), q, Naive); !errors.Is(err, join.ErrSchemaMismatch) {
 		t.Errorf("schema mismatch: %v, want ErrSchemaMismatch", err)
 	}
 	q = Query{Relations: []*dataset.Relation{rAgg, rAgg.Clone()}, K: 2, Agg: join.Max}
-	if _, err := Run(q, Pruned); err == nil {
+	if _, err := Run(context.Background(), q, Pruned); err == nil {
 		t.Error("pruned strategy with non-strict aggregator accepted")
 	}
 }
@@ -218,5 +219,32 @@ func TestCascadeKMinForcesEveryRelation(t *testing.T) {
 	}
 	if q.Width() != 6 {
 		t.Errorf("Width = %d, want 6", q.Width())
+	}
+}
+
+// TestRunCancelled pins the context contract the PR 2 unified path
+// established for every other entry point: an expired deadline aborts the
+// cascaded evaluation with ctx.Err() instead of returning an answer.
+func TestRunCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	q := Query{
+		Relations: []*dataset.Relation{
+			randChainRelation(rng, "r1", 40, 2, 1, 3, 0, 3),
+			randChainRelation(rng, "r2", 40, 2, 1, 3, 1, 3),
+			randChainRelation(rng, "r3", 40, 2, 1, 3, 2, 3),
+		},
+		K: 6,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, strategy := range []Strategy{Naive, Pruned} {
+		if _, err := Run(ctx, q, strategy); !errors.Is(err, context.Canceled) {
+			t.Errorf("strategy %v: err = %v, want context.Canceled", strategy, err)
+		}
+	}
+	// A nil context behaves as Background: the call still succeeds.
+	var nilCtx context.Context
+	if _, err := Run(nilCtx, q, Naive); err != nil {
+		t.Errorf("nil context rejected: %v", err)
 	}
 }

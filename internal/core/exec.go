@@ -36,6 +36,14 @@ type ExecOptions struct {
 	// otherwise Exec returns ErrStaleResident. The naive algorithm
 	// materializes the full join instead of probing and ignores it.
 	Resident *Resident
+	// Limit > 0 caps the answer at that many tuples. The grouping
+	// algorithm stops the run the moment the cap is reached (strictly
+	// less verification work; with Workers > 1 the stop is cell-granular,
+	// as with Emit); the other algorithms compute the full answer and
+	// truncate it after the canonical sort. Which members survive a
+	// grouping-path cap is unspecified beyond "a subset of the skyline" —
+	// tuples are confirmed in cell order, not (Left, Right) order.
+	Limit int
 }
 
 // ErrOptionConflict is returned when exec options are combined with an
@@ -77,7 +85,7 @@ func Exec(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
 	case Naive:
 		res, err = runNaive(ctx, q)
 	case Grouping:
-		res, err = runGrouping(ctx, q, o.Workers, o.Emit, o.Resident)
+		res, err = runGrouping(ctx, q, o.Workers, o.Emit, o.Resident, o.Limit)
 	case DominatorBased:
 		res, err = runDominator(ctx, q, o.Resident)
 	}
@@ -86,6 +94,9 @@ func Exec(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
 	}
 	if o.Emit == nil {
 		sortPairs(res.Skyline)
+		if o.Limit > 0 && len(res.Skyline) > o.Limit {
+			res.Skyline = res.Skyline[:o.Limit]
+		}
 		compactAttrs(res.Skyline)
 	}
 	res.Stats.Total = time.Since(start)

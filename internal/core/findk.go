@@ -73,6 +73,13 @@ func FindK(q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
 // default). The context flows into every skyline computation, so a
 // cancelled deadline aborts mid-probe with ctx.Err().
 func FindKContext(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
+	return findKContext(ctx, q, delta, alg, nil)
+}
+
+// findKContext is the shared implementation behind FindKContext and
+// Resident.FindK: res, when non-nil, seeds every probe's engine with the
+// prebuilt join index and probe orders.
+func findKContext(ctx context.Context, q Query, delta int, alg FindKAlgorithm, res *Resident) (*FindKResult, error) {
 	if q.R1 == nil || q.R2 == nil {
 		return nil, fmt.Errorf("core: nil relation")
 	}
@@ -85,23 +92,23 @@ func FindKContext(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (
 		return nil, fmt.Errorf("core: negative delta %d", delta)
 	}
 	start := time.Now()
-	var res *FindKResult
+	var out *FindKResult
 	var err error
 	switch alg {
 	case FindKNaive:
-		res, err = findKNaive(ctx, q, delta)
+		out, err = findKNaive(ctx, q, delta, res)
 	case FindKRange:
-		res, err = findKRange(ctx, q, delta)
+		out, err = findKRange(ctx, q, delta, res)
 	case FindKBinary:
-		res, err = findKBinary(ctx, q, delta)
+		out, err = findKBinary(ctx, q, delta, res)
 	default:
 		return nil, fmt.Errorf("%w: find-k %d", ErrUnknownAlgorithm, int(alg))
 	}
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.Total = time.Since(start)
-	return res, nil
+	out.Stats.Total = time.Since(start)
+	return out, nil
 }
 
 // prober evaluates skyline cardinalities and bounds for one query template,
@@ -110,13 +117,17 @@ type prober struct {
 	ctx context.Context
 	q   Query
 	st  *FindKStats
+	// res optionally seeds every probe with prebuilt resident structures
+	// (k-independent, so one snapshot serves the whole search); nil means
+	// each probe builds its own.
+	res *Resident
 }
 
-func newProber(ctx context.Context, q Query, st *FindKStats) *prober {
+func newProber(ctx context.Context, q Query, st *FindKStats, res *Resident) *prober {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &prober{ctx: ctx, q: q, st: st}
+	return &prober{ctx: ctx, q: q, st: st, res: res}
 }
 
 // bounds returns Δ_lb and Δ_ub for the given k without computing any
@@ -131,7 +142,7 @@ func (p *prober) bounds(k int) (lb, ub int, err error) {
 	q := p.q
 	q.K = k
 	st := Stats{}
-	e := newEngine(q, &st)
+	e := newEngineResident(q, &st, p.res)
 	t0 := time.Now()
 	k1p, k2p := q.KPrimes()
 	c1 := Categorize(q.R1, k1p, e.cond, Left)
@@ -156,7 +167,7 @@ func (p *prober) bounds(k int) (lb, ub int, err error) {
 func (p *prober) count(k int) (int, error) {
 	q := p.q
 	q.K = k
-	res, err := Exec(p.ctx, q, ExecOptions{Algorithm: Grouping})
+	res, err := Exec(p.ctx, q, ExecOptions{Algorithm: Grouping, Resident: p.res})
 	if err != nil {
 		return 0, err
 	}
@@ -169,9 +180,9 @@ func (p *prober) count(k int) (int, error) {
 
 func (p *prober) probed(k int) { p.st.Probed = append(p.st.Probed, k) }
 
-func findKNaive(ctx context.Context, q Query, delta int) (*FindKResult, error) {
+func findKNaive(ctx context.Context, q Query, delta int, resident *Resident) (*FindKResult, error) {
 	res := &FindKResult{}
-	p := newProber(ctx, q, &res.Stats)
+	p := newProber(ctx, q, &res.Stats, resident)
 	kMin, kMax := q.KMin(), q.Width()
 	for k := kMin; k < kMax; k++ {
 		p.probed(k)
@@ -188,9 +199,9 @@ func findKNaive(ctx context.Context, q Query, delta int) (*FindKResult, error) {
 	return res, nil
 }
 
-func findKRange(ctx context.Context, q Query, delta int) (*FindKResult, error) {
+func findKRange(ctx context.Context, q Query, delta int, resident *Resident) (*FindKResult, error) {
 	res := &FindKResult{}
-	p := newProber(ctx, q, &res.Stats)
+	p := newProber(ctx, q, &res.Stats, resident)
 	kMin, kMax := q.KMin(), q.Width()
 	for k := kMin; k < kMax; k++ {
 		p.probed(k)
@@ -219,9 +230,9 @@ func findKRange(ctx context.Context, q Query, delta int) (*FindKResult, error) {
 	return res, nil
 }
 
-func findKBinary(ctx context.Context, q Query, delta int) (*FindKResult, error) {
+func findKBinary(ctx context.Context, q Query, delta int, resident *Resident) (*FindKResult, error) {
 	res := &FindKResult{}
-	p := newProber(ctx, q, &res.Stats)
+	p := newProber(ctx, q, &res.Stats, resident)
 	kMin, kMax := q.KMin(), q.Width()
 	lo, hi, cur := kMin, kMax, kMax
 	for lo <= hi {
@@ -267,7 +278,13 @@ func FindKAtMost(q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
 // (the paper's trivial corner case), and if no k exceeds delta the maximum
 // k is the answer.
 func FindKAtMostContext(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
-	res, err := FindKContext(ctx, q, delta+1, alg)
+	return findKAtMostContext(ctx, q, delta, alg, nil)
+}
+
+// findKAtMostContext is the shared implementation behind FindKAtMostContext
+// and Resident.FindKAtMost.
+func findKAtMostContext(ctx context.Context, q Query, delta int, alg FindKAlgorithm, resident *Resident) (*FindKResult, error) {
+	res, err := findKContext(ctx, q, delta+1, alg, resident)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +292,7 @@ func FindKAtMostContext(ctx context.Context, q Query, delta int, alg FindKAlgori
 	if res.K == kMax {
 		// Either kMax is the first k exceeding delta, or none does. Only a
 		// real count distinguishes the two.
-		p := newProber(ctx, q, &res.Stats)
+		p := newProber(ctx, q, &res.Stats, resident)
 		n, err := p.count(kMax)
 		if err != nil {
 			return nil, err

@@ -88,7 +88,7 @@ func TestFindKBoundsValid(t *testing.T) {
 		r2 := randRelation(rng, "r2", 5+rng.Intn(25), 3, agg, 1+rng.Intn(3), 5)
 		q := Query{R1: r1, R2: r2, Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}}
 		st := FindKStats{}
-		p := newProber(nil, q, &st)
+		p := newProber(nil, q, &st, nil)
 		for k := q.KMin(); k <= q.Width(); k++ {
 			lb, ub, err := p.bounds(k)
 			if err != nil {

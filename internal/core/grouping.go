@@ -27,7 +27,7 @@ import (
 // goroutines; a non-nil emit streams each tuple the moment its cell
 // confirms it (the "yes" cell right after categorization — the
 // progressiveness argument of Sec. 6.1) instead of collecting the answer.
-func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Resident) (*Result, error) {
+func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Resident, limit int) (*Result, error) {
 	st := Stats{}
 	e := newEngineResident(q, &st, res)
 
@@ -69,6 +69,19 @@ func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Re
 	if emitFn != nil {
 		out = func(p join.Pair) bool { return emitFn(detach(p)) }
 	}
+	if limit > 0 {
+		// A reached cap reads as an early stop: the run ends with exactly
+		// limit confirmed tuples and skips all remaining verification.
+		inner := out
+		emitted := 0
+		out = func(p join.Pair) bool {
+			if !inner(p) {
+				return false
+			}
+			emitted++
+			return emitted < limit
+		}
+	}
 
 	// Phases 2+3: materialize and verify the surviving cells in streaming
 	// order. The "yes" cell is unchecked when a ≤ 1; with a ≥ 2 the
@@ -109,7 +122,11 @@ func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Re
 			st.Candidates += len(candidates)
 		}
 		t0 = time.Now()
-		more, err := verifyCell(ctx, e, workers, emitFn != nil, candidates, cell.chkLeft, cell.chkRight, out)
+		// A limit behaves like a stream on the serial path: verify tuple
+		// by tuple so the cap stops mid-cell, not after the whole cell's
+		// batched sweep (with Workers > 1 the cap stays cell-granular,
+		// like Emit).
+		more, err := verifyCell(ctx, e, workers, emitFn != nil || limit > 0, candidates, cell.chkLeft, cell.chkRight, out)
 		st.RemainingTime += time.Since(t0)
 		if err != nil {
 			return nil, err

@@ -31,11 +31,18 @@ func Membership(q Query, pairs [][2]int) ([]bool, error) {
 // result slice is parallel to it. The context is checked between probe
 // batches, so a cancelled deadline aborts the scan with ctx.Err().
 func MembershipContext(ctx context.Context, q Query, pairs [][2]int) ([]bool, error) {
+	return membershipContext(ctx, q, pairs, nil)
+}
+
+// membershipContext is the shared implementation behind MembershipContext
+// and Resident.Membership: res, when non-nil, seeds the probing engine
+// with the prebuilt join index and base-point tables.
+func membershipContext(ctx context.Context, q Query, pairs [][2]int, res *Resident) ([]bool, error) {
 	if err := q.Validate(Grouping); err != nil {
 		return nil, err
 	}
 	st := Stats{}
-	e := newEngine(q, &st)
+	e := newEngineResident(q, &st, res)
 	for _, pr := range pairs {
 		i, j := pr[0], pr[1]
 		if i < 0 || i >= q.R1.Len() || j < 0 || j >= q.R2.Len() {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -88,6 +89,52 @@ func (r *Resident) check(q Query) error {
 	return fmt.Errorf("%w: built for (%s[%d], %s[%d], %v), query is (%s[%d], %s[%d], %v)",
 		ErrStaleResident, r.r1.Name, r.n1, r.r2.Name, r.n2, r.cond,
 		q.R1.Name, q.R1.Len(), q.R2.Name, q.R2.Len(), q.Spec.Cond)
+}
+
+// Check reports whether the snapshot still serves q: same relations, same
+// join condition, unchanged lengths. It returns ErrStaleResident (with the
+// mismatch spelled out) otherwise — the test a prepared-query layer runs
+// before serving any reused state. Note the limit shared with Exec's
+// internal check: a mutation that leaves a relation at its build-time
+// length (delete + reinsert) is invisible here; writers that mutate
+// through such paths must rebuild.
+func (r *Resident) Check(q Query) error { return r.check(q) }
+
+// Exec runs q over the resident snapshot: it is Exec with
+// ExecOptions.Resident set to r. This is the one evaluation entry point
+// the prepared-query facade and the query service share — both layers own
+// a Resident and drive every run through it.
+func (r *Resident) Exec(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
+	o.Resident = r
+	return Exec(ctx, q, o)
+}
+
+// FindK solves Problem 3 over the resident snapshot: every probe's
+// grouping run and every pair-count bound reuses r's join index and probe
+// orders instead of rebuilding them per probed k. The snapshot is
+// k-independent, so one Resident serves the whole search.
+func (r *Resident) FindK(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
+	if err := r.check(q); err != nil {
+		return nil, err
+	}
+	return findKContext(ctx, q, delta, alg, r)
+}
+
+// FindKAtMost solves Problem 4 over the resident snapshot; see FindK.
+func (r *Resident) FindKAtMost(ctx context.Context, q Query, delta int, alg FindKAlgorithm) (*FindKResult, error) {
+	if err := r.check(q); err != nil {
+		return nil, err
+	}
+	return findKAtMostContext(ctx, q, delta, alg, r)
+}
+
+// Membership tests many joined pairs over the resident snapshot, sharing
+// r's structures across probes; see MembershipContext.
+func (r *Resident) Membership(ctx context.Context, q Query, pairs [][2]int) ([]bool, error) {
+	if err := r.check(q); err != nil {
+		return nil, err
+	}
+	return membershipContext(ctx, q, pairs, r)
 }
 
 // seed pre-loads an engine with the resident structures, skipping the

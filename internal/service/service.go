@@ -23,7 +23,10 @@
 //     version are promoted, for free, to core.Maintainer-backed live
 //     entries (core.NewMaintainerFrom) and the new tuple is absorbed
 //     incrementally, so dashboard-style repeated queries keep hitting
-//     warm answers across updates.
+//     warm answers across updates;
+//   - the same maintainer machinery points outward through Watch
+//     (watch.go): a query becomes a standing subscription whose
+//     Added/Removed deltas are published on every insert.
 //
 // Concurrency model: queries hold the service's read lock while they
 // execute (relations are read-only during evaluation), inserts hold the
@@ -178,6 +181,7 @@ type Stats struct {
 	CacheEntries      int   `json:"cache_entries"`
 	MaintainedEntries int   `json:"maintained_entries"`
 	Residents         int   `json:"residents"`
+	Watches           int   `json:"watches"`
 	Busy              int   `json:"busy"`
 	Queued            int64 `json:"queued"`
 
@@ -195,9 +199,10 @@ type Service struct {
 	// mu guards the registry and — via read-locking for the whole of
 	// query execution — the relations' contents. Inserts take it
 	// exclusively: single writer, serialized against every reader.
-	mu     sync.RWMutex
-	rels   map[string]*regRelation
-	closed atomic.Bool
+	mu      sync.RWMutex
+	rels    map[string]*regRelation
+	watches map[watchKey]*watchSet
+	closed  atomic.Bool
 
 	queries, cacheHits, maintainedHits atomic.Uint64
 	computed, inserts, rejected        atomic.Uint64
@@ -212,6 +217,7 @@ func New(cfg Config) *Service {
 		cache:     newAnswerCache(cfg.CacheEntries),
 		residents: newResidentCache(),
 		rels:      make(map[string]*regRelation),
+		watches:   make(map[watchKey]*watchSet),
 	}
 }
 
@@ -507,7 +513,15 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		}
 		alg = plan.Algorithm
 	}
-	out, err := core.Exec(ctx, q, core.ExecOptions{Algorithm: alg, Workers: req.Workers, Resident: res})
+	// The service's query path is built on the same prepared-state surface
+	// the ksjq.Prepared facade exposes: every run over resident relations
+	// goes through the snapshot's own Exec.
+	var out *core.Result
+	if res != nil {
+		out, err = res.Exec(ctx, q, core.ExecOptions{Algorithm: alg, Workers: req.Workers})
+	} else {
+		out, err = core.Exec(ctx, q, core.ExecOptions{Algorithm: alg, Workers: req.Workers})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -608,6 +622,10 @@ func (s *Service) Insert(name string, t dataset.Tuple) (*InsertResult, error) {
 		s.cache.restore(e)
 		out.Maintained++
 	}
+	// Watched answers ride the same insert: absorb into each affected
+	// watch set's maintainer and fan the delta out to its subscribers,
+	// sharing the per-combo residents built above.
+	s.notifyWatchesLocked(name, id, combos)
 	for key, res := range combos {
 		if res != nil {
 			s.residents.put(key, res)
@@ -663,6 +681,10 @@ func (s *Service) Stats() Stats {
 	entries, maintained, evictions := s.cache.stats()
 	s.mu.RLock()
 	rels := relationInfos(s.rels)
+	watches := 0
+	for _, ws := range s.watches {
+		watches += len(ws.subs)
+	}
 	s.mu.RUnlock()
 	return Stats{
 		Queries:           s.queries.Load(),
@@ -675,6 +697,7 @@ func (s *Service) Stats() Stats {
 		CacheEntries:      entries,
 		MaintainedEntries: maintained,
 		Residents:         s.residents.len(),
+		Watches:           watches,
 		Busy:              s.sched.busy(),
 		Queued:            s.sched.queued(),
 		Relations:         rels,
@@ -693,7 +716,8 @@ func (s *Service) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cache.closeAll()
-	s.residents.clear() // resident indexes pin O(n) per pair — release them
+	s.closeWatchesLocked() // every subscription ends with ErrClosed
+	s.residents.clear()    // resident indexes pin O(n) per pair — release them
 	s.rels = make(map[string]*regRelation)
 	return nil
 }

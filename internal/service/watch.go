@@ -1,0 +1,374 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/join"
+)
+
+// Watchable answers: Service.Watch turns a query into a subscription. The
+// service computes the answer once, parks a live core.Maintainer on it,
+// and from then on every Insert that touches the watched relations is
+// absorbed incrementally and published as a delta — the Added/Removed
+// pairs — instead of the subscriber re-polling and re-diffing snapshots.
+// This is the same maintainer promotion machinery the answer cache uses,
+// pointed outward: cache entries keep answers warm for the next query,
+// watch sets push answer changes to standing subscribers.
+//
+// Concurrency model: watch sets live in the service registry map, guarded
+// by the service lock. The insert path (write lock held) absorbs the new
+// tuple into each affected watch set's maintainer, diffs the served
+// snapshot, and enqueues the delta on every subscriber — enqueueing only
+// appends to a per-subscriber buffer and never blocks, so a slow consumer
+// cannot stall Insert (its deltas queue in memory until it drains them).
+// A per-subscription goroutine forwards queued events to the Events
+// channel, honoring the subscriber's context.
+
+// WatchEvent is one change to a watched answer. The first event of every
+// subscription (Seq 0) is the full current answer as Added; each later
+// event is the delta one insert caused — possibly empty, since an insert
+// can leave the skyline unchanged while still advancing Versions. Added
+// and Removed slices are shared between subscribers of the same query and
+// must be treated as read-only.
+type WatchEvent struct {
+	// Seq numbers this subscription's events from 0 (the snapshot).
+	Seq uint64 `json:"seq"`
+	// Added lists pairs that entered the answer; Removed pairs that were
+	// displaced. Both sorted by (Left, Right).
+	Added   []join.Pair `json:"added"`
+	Removed []join.Pair `json:"removed"`
+	// Versions are the (R1, R2) registry versions the answer moved to.
+	Versions [2]uint64 `json:"versions"`
+}
+
+// Watch is one live subscription to a query's answer. Receive from
+// Events until it closes, then consult Err; Close releases the
+// subscription (and, when it is the last one on its query, the query's
+// maintainer).
+type Watch struct {
+	svc *Service
+	set *watchSet
+
+	events chan WatchEvent
+	wake   chan struct{} // cap 1: "pending is non-empty"
+	done   chan struct{} // closed by Close/service shutdown
+	once   sync.Once
+
+	mu      sync.Mutex
+	pending []WatchEvent
+	seq     uint64
+	err     error
+}
+
+// watchKey is the normalized identity of a watched query: like cacheKey
+// but version-free — a watch follows the answer across versions, it is
+// not pinned to one.
+type watchKey struct {
+	r1, r2 string
+	cond   join.Condition
+	agg    string
+	k      int
+}
+
+// watchSet is the shared state of all subscriptions to one watched query:
+// a live maintainer, the served snapshot its deltas are diffed against,
+// and the subscriber list. Mutated only under the service lock.
+type watchSet struct {
+	key      watchKey
+	q        core.Query
+	m        *core.Maintainer
+	last     []join.Pair // sorted; the snapshot the next delta diffs against
+	versions [2]uint64
+	subs     map[*Watch]struct{}
+}
+
+// Watch subscribes to a query's answer. The first event is the current
+// answer (computed through the normal admitted query path, so cache hits
+// apply); every later event is the delta caused by one Insert touching
+// either relation. Watch requires a query the incremental maintainer can
+// take — a strictly monotonic aggregator — and rejects others with
+// ErrBadRequest. The context governs the subscription's lifetime: when it
+// is cancelled the Events channel closes and Err reports the cause.
+func (s *Service) Watch(ctx context.Context, req QueryRequest) (*Watch, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	p, err := parseRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	// Fail the unmaintainable shape up front, not on the first insert:
+	// only strict aggregators support incremental absorption.
+	if !p.agg.Strict {
+		return nil, fmt.Errorf("%w: watch requires a strictly monotonic aggregator (got %q)", ErrBadRequest, p.agg.Name)
+	}
+
+	// Establishing a watch must not miss or double-count an insert: the
+	// snapshot event and the subscription have to be atomic against the
+	// insert path. Queries execute under the read lock, so compute first,
+	// then take the write lock and verify no insert moved the versions in
+	// between; retry on the (rare) race.
+	const maxAttempts = 8
+	for attempt := 0; ; attempt++ {
+		if w, ok, err := s.tryAttach(ctx, req, p, nil, [2]uint64{}); err != nil || ok {
+			return w, err
+		}
+		resp, err := s.Query(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		w, ok, err := s.tryAttach(ctx, req, p, resp.Skyline, resp.Versions)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return w, nil
+		}
+		if attempt+1 >= maxAttempts {
+			return nil, fmt.Errorf("%w: relations kept changing while establishing the watch", ErrOverloaded)
+		}
+	}
+}
+
+// tryAttach subscribes under the write lock. With a nil snapshot it only
+// succeeds when a live watch set for the key already exists (its
+// maintainer is current by construction); with a snapshot it creates the
+// set, provided the registry versions still match the snapshot's. The
+// third return reports whether attachment happened.
+func (s *Service) tryAttach(ctx context.Context, req QueryRequest, p parsed, snapshot []join.Pair, versions [2]uint64) (*Watch, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	q, key, err := s.resolveLocked(req, p)
+	if err != nil {
+		return nil, false, err
+	}
+	wkey := watchKey{r1: key.r1, r2: key.r2, cond: key.cond, agg: key.agg, k: key.k}
+	ws, live := s.watches[wkey]
+	if !live {
+		if snapshot == nil {
+			return nil, false, nil
+		}
+		if key.v1 != versions[0] || key.v2 != versions[1] {
+			return nil, false, nil // an insert interleaved; recompute
+		}
+		m, err := core.NewMaintainerFrom(q, snapshot)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		ws = &watchSet{
+			key: wkey, q: q, m: m,
+			last:     snapshot,
+			versions: versions,
+			subs:     make(map[*Watch]struct{}),
+		}
+		s.watches[wkey] = ws
+	}
+	w := &Watch{
+		svc:    s,
+		set:    ws,
+		events: make(chan WatchEvent, 16),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	ws.subs[w] = struct{}{}
+	w.enqueue(WatchEvent{Added: ws.last, Versions: ws.versions})
+	go w.pump(ctx)
+	return w, true, nil
+}
+
+// notifyWatchesLocked runs on the insert path (write lock held): absorb
+// the appended tuple into every watch set over the named relation, diff
+// the served snapshot, and fan the delta out. combos shares one Resident
+// per (pair, versions, condition) with the cache-entry absorbs.
+func (s *Service) notifyWatchesLocked(name string, id int, combos map[residentKey]*core.Resident) {
+	for wkey, ws := range s.watches {
+		if wkey.r1 != name && wkey.r2 != name {
+			continue
+		}
+		v1, v2 := s.rels[wkey.r1].version, s.rels[wkey.r2].version
+		combo := residentKey{r1: wkey.r1, r2: wkey.r2, v1: v1, v2: v2, cond: wkey.cond}
+		res, ok := combos[combo]
+		if !ok {
+			res, _ = core.NewResident(ws.q) // best effort, as for cache entries
+			combos[combo] = res
+		}
+		ws.m.UseResident(res)
+		if err := s.absorbWatch(ws, name, id); err != nil {
+			// Unreachable for registry-owned relations; fail loudly rather
+			// than silently drift: every subscriber ends with the error.
+			delete(s.watches, wkey)
+			ws.m.Close()
+			for sub := range ws.subs {
+				sub.terminate(err)
+			}
+			continue
+		}
+		cur := ws.m.Skyline()
+		added, removed := diffPairs(ws.last, cur)
+		ws.last = cur
+		ws.versions = [2]uint64{v1, v2}
+		for sub := range ws.subs {
+			sub.enqueue(WatchEvent{Added: added, Removed: removed, Versions: ws.versions})
+		}
+	}
+}
+
+// absorbWatch folds the appended tuple into the watch set's maintainer on
+// every side the relation occupies (both, for a self-join).
+func (s *Service) absorbWatch(ws *watchSet, name string, id int) error {
+	if ws.key.r1 == name {
+		if _, _, err := ws.m.AbsorbLeft(id); err != nil {
+			return err
+		}
+	}
+	if ws.key.r2 == name {
+		if _, _, err := ws.m.AbsorbRight(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffPairs computes the delta between two (Left, Right)-sorted answers.
+// Pair identity is the index pair — a pair's joined attributes are fixed
+// by the relations, so only membership can change.
+func diffPairs(old, cur []join.Pair) (added, removed []join.Pair) {
+	i, j := 0, 0
+	for i < len(old) && j < len(cur) {
+		a, b := old[i], cur[j]
+		switch {
+		case a.Left == b.Left && a.Right == b.Right:
+			i++
+			j++
+		case a.Left < b.Left || (a.Left == b.Left && a.Right < b.Right):
+			removed = append(removed, a)
+			i++
+		default:
+			added = append(added, b)
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, cur[j:]...)
+	return added, removed
+}
+
+// Events is the subscription's delivery channel. It closes when the watch
+// ends — Close, context cancellation, or service shutdown; Err reports
+// which.
+func (w *Watch) Events() <-chan WatchEvent { return w.events }
+
+// Err reports why the Events channel closed: nil after a clean Close, the
+// context's error after cancellation, ErrClosed after service shutdown.
+// Only meaningful once Events is closed.
+func (w *Watch) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close ends the subscription and releases it from the service; the last
+// subscriber of a query releases its maintainer too. Close is idempotent
+// and safe to call concurrently with event delivery.
+func (w *Watch) Close() error {
+	w.svc.removeWatch(w)
+	w.once.Do(func() { close(w.done) })
+	return nil
+}
+
+// terminate ends the subscription with an error, without touching the
+// service registry — the caller (insert path or service Close) already
+// holds the service lock and has unregistered the set.
+func (w *Watch) terminate(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	w.once.Do(func() { close(w.done) })
+}
+
+// enqueue appends an event to the pending buffer and nudges the pump. It
+// never blocks: the insert path calls it under the service's write lock.
+func (w *Watch) enqueue(ev WatchEvent) {
+	w.mu.Lock()
+	ev.Seq = w.seq
+	w.seq++
+	w.pending = append(w.pending, ev)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump forwards pending events to the subscriber, one goroutine per
+// subscription. It exits — closing Events — when the watch is closed,
+// terminated, or its context is cancelled.
+func (w *Watch) pump(ctx context.Context) {
+	defer close(w.events)
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ctx.Done():
+			w.svc.removeWatch(w)
+			w.terminate(ctx.Err())
+			return
+		case <-w.wake:
+		}
+		for {
+			w.mu.Lock()
+			if len(w.pending) == 0 {
+				w.mu.Unlock()
+				break
+			}
+			ev := w.pending[0]
+			w.pending = w.pending[1:]
+			w.mu.Unlock()
+			select {
+			case w.events <- ev:
+			case <-w.done:
+				return
+			case <-ctx.Done():
+				w.svc.removeWatch(w)
+				w.terminate(ctx.Err())
+				return
+			}
+		}
+	}
+}
+
+// removeWatch unsubscribes w, closing its set's maintainer when it was
+// the last subscriber.
+func (s *Service) removeWatch(w *Watch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws := w.set
+	if current, ok := s.watches[ws.key]; !ok || current != ws {
+		return // already detached (service closed, or set torn down)
+	}
+	delete(ws.subs, w)
+	if len(ws.subs) == 0 {
+		ws.m.Close()
+		delete(s.watches, ws.key)
+	}
+}
+
+// closeWatchesLocked tears down every subscription; the caller holds the
+// write lock (service Close).
+func (s *Service) closeWatchesLocked() {
+	for key, ws := range s.watches {
+		ws.m.Close()
+		for sub := range ws.subs {
+			sub.terminate(ErrClosed)
+		}
+		delete(s.watches, key)
+	}
+}

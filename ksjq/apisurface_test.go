@@ -1,0 +1,130 @@
+package ksjq
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite testdata/api.txt from the current ksjq surface")
+
+// apiSurface parses the package source (non-test files) and returns one
+// line per exported symbol: "func Name", "method (Recv) Name",
+// "type Name", "const Name", "var Name" — sorted, so the golden file
+// diffs cleanly.
+func apiSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["ksjq"]
+	if !ok {
+		t.Fatalf("package ksjq not found in %v", pkgs)
+	}
+	var out []string
+	add := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					add("func %s", d.Name.Name)
+					continue
+				}
+				recv := d.Recv.List[0].Type
+				name := ""
+				switch rt := recv.(type) {
+				case *ast.StarExpr:
+					name = rt.X.(*ast.Ident).Name
+				case *ast.Ident:
+					name = rt.Name
+				}
+				if ast.IsExported(name) {
+					add("method (%s) %s", name, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							add("type %s", sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								add("%s %s", strings.ToLower(d.Tok.String()), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAPISurface is the public-API golden test: the exported symbols of
+// the ksjq package must match testdata/api.txt exactly, so accidental
+// removals or renames fail fast with a readable diff. Intentional surface
+// changes regenerate the golden file:
+//
+//	go test ./ksjq -run TestAPISurface -update
+func TestAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	golden := filepath.Join("testdata", "api.txt")
+	if *updateAPI {
+		if err := os.WriteFile(golden, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d symbols", golden, len(got))
+		return
+	}
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	want := strings.Split(strings.TrimSpace(string(raw)), "\n")
+
+	wantSet := make(map[string]bool, len(want))
+	for _, s := range want {
+		wantSet[s] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, s := range got {
+		gotSet[s] = true
+	}
+	var missing, extra []string
+	for _, s := range want {
+		if !gotSet[s] {
+			missing = append(missing, s)
+		}
+	}
+	for _, s := range got {
+		if !wantSet[s] {
+			extra = append(extra, s)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("exported symbols REMOVED from the ksjq surface (breaking change):\n  - %s",
+			strings.Join(missing, "\n  - "))
+	}
+	if len(extra) > 0 {
+		t.Errorf("exported symbols added but not in testdata/api.txt (run `go test ./ksjq -run TestAPISurface -update` if intentional):\n  + %s",
+			strings.Join(extra, "\n  + "))
+	}
+}

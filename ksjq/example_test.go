@@ -148,3 +148,77 @@ func ExampleNewService() {
 	// cached: 1 tuples (versions [1 1])
 	// maintained: 1 tuples (versions [1 2])
 }
+
+// ExamplePrepare builds a query's expensive state once and reuses it:
+// repeated runs hit the prepared answer memo, Options.K re-evaluates at
+// another dominance level on the same snapshot, and the stream yields
+// results one at a time with early termination.
+func ExamplePrepare() {
+	leg1, leg2 := flightLegs()
+	q := ksjq.Query{R1: leg1, R2: leg2, K: 3}
+	ctx := context.Background()
+
+	p, err := ksjq.Prepare(ctx, q, ksjq.PrepareOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(ctx, ksjq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k=3: %d itinerary\n", len(res.Skyline))
+
+	// Same snapshot, classic skyline (k = all 4 attributes).
+	res, err = p.Run(ctx, ksjq.Options{K: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k=4: %d itineraries\n", len(res.Skyline))
+
+	// Pull-based stream: break stops the engine early.
+	for pair, err := range p.Stream(ctx, ksjq.Options{K: 4}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("first streamed: %s ⋈ %s\n", leg1.Key(pair.Left), leg2.Key(pair.Right))
+		break
+	}
+	// Output:
+	// k=3: 1 itinerary
+	// k=4: 3 itineraries
+	// first streamed: JAI ⋈ JAI
+}
+
+// ExampleService_Watch subscribes to a query's answer: the first event is
+// the current skyline, then every insert that touches the watched
+// relations arrives as an Added/Removed delta — no polling, no
+// recomputation.
+func ExampleService_Watch() {
+	svc := ksjq.NewService(ksjq.ServiceConfig{})
+	defer svc.Close()
+	leg1, leg2 := flightLegs()
+	if _, err := svc.Register("leg1", leg1); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := svc.Register("leg2", leg2); err != nil {
+		log.Fatal(err)
+	}
+
+	watch, err := svc.Watch(context.Background(), ksjq.QueryRequest{R1: "leg1", R2: "leg2", K: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer watch.Close()
+	snapshot := <-watch.Events()
+	fmt.Printf("snapshot: %d itineraries\n", len(snapshot.Added))
+
+	// A leg that dominates everything: the old answer is displaced.
+	if _, err := svc.Insert("leg2", ksjq.Tuple{Key: "JAI", Attrs: []float64{50, 60}}); err != nil {
+		log.Fatal(err)
+	}
+	delta := <-watch.Events()
+	fmt.Printf("delta: +%d -%d (versions %v)\n", len(delta.Added), len(delta.Removed), delta.Versions)
+	// Output:
+	// snapshot: 1 itineraries
+	// delta: +1 -1 (versions [1 2])
+}

@@ -118,51 +118,130 @@ func (a Algorithm) coreAlgorithm() (core.Algorithm, error) {
 	}
 }
 
-// Options configures one Run on the unified execution path.
+// Options configures one Run or Stream on the unified execution path.
 type Options struct {
 	// Algorithm selects the strategy; Auto (the zero value) consults the
-	// sampling planner.
+	// sampling planner. When Auto is combined with options only the
+	// grouping algorithm can honor (Workers > 1, a non-nil Emit, or a
+	// Stream), the planner's choice is constrained to Grouping instead of
+	// consulted.
 	Algorithm Algorithm
-	// Workers > 1 verifies candidates in parallel. Requires Grouping.
+	// Workers > 1 verifies candidates in parallel. Requires Grouping (or
+	// Auto, which it constrains to Grouping).
 	Workers int
 	// Emit, when non-nil, streams each confirmed tuple instead of
 	// collecting Result.Skyline; returning false stops the query early.
-	// Requires Grouping. Emitted pairs are detached from internal arenas
+	// Emit is a thin adapter over Stream — new code should range over
+	// Stream directly. Emitted pairs are detached from internal arenas
 	// and arrive cell by cell, not in (Left, Right) order. With
 	// Workers <= 1 tuples stream the moment they are verified; with
 	// Workers > 1 streaming is cell-granular (survivors are emitted in
 	// candidate order once each cell's parallel verification completes).
 	Emit Emit
+	// K, when > 0, overrides the query's K for this run — the knob that
+	// lets one Prepared snapshot (which is k-independent) serve queries
+	// across dominance levels without rebuilding.
+	K int
+	// Limit > 0 caps the answer at that many tuples. The grouping
+	// algorithm stops the run the moment the cap is reached (strictly
+	// less verification work; with Workers > 1 the stop is cell-granular,
+	// as with Emit); the other algorithms compute the full answer and
+	// truncate after the canonical sort. Which members survive a
+	// grouping-path cap is unspecified beyond "a subset of the skyline".
+	Limit int
+	// Stats, when non-nil, receives the run's phase timings and work
+	// counters once a Stream ends (normally, by early break, or by
+	// cancellation mid-run). Run ignores it — the Result already carries
+	// Stats — it exists because an iterator has no other result channel.
+	Stats *Stats
+	// NoCache makes Prepared.Run skip the prepared answer memo (the
+	// result still refreshes it) — for callers that need a recompute, not
+	// a warm answer. Run and Stream ignore it.
+	NoCache bool
 	// Planner tunes Auto's sampling (ignored for explicit algorithms).
 	Planner PlannerOptions
 }
 
 // ErrOptionConflict is returned when Workers or Emit are combined with an
-// algorithm other than Grouping — including Auto, whose planner may pick a
-// strategy that cannot honor them.
+// explicit algorithm other than Grouping. Auto never conflicts: options
+// only Grouping can honor constrain the planner's choice to Grouping.
 var ErrOptionConflict = errors.New("ksjq: workers and emit require Algorithm == Grouping")
 
+// ErrStaleResident is returned by Prepared methods (and by the engine
+// underneath the query service) when the prepared snapshot no longer
+// matches the relations — they grew or shrank since Prepare. Rebind
+// rebuilds the snapshot against the relations' current state.
+var ErrStaleResident = core.ErrStaleResident
+
 // Run evaluates one query. With Algorithm == Auto the sampling planner
-// chooses the strategy first (use RunAuto to also receive the plan). The
-// context bounds the whole call, planning included.
+// chooses the strategy first (use RunAuto to also receive the plan),
+// unless Workers or Emit constrain the choice to Grouping. The context
+// bounds the whole call, planning included.
 func Run(ctx context.Context, q Query, opts Options) (*Result, error) {
-	alg := opts.Algorithm
-	if alg == Auto {
-		if opts.Workers > 1 || opts.Emit != nil {
-			return nil, ErrOptionConflict
-		}
-		res, _, err := RunAuto(ctx, q, opts.Planner)
-		return res, err
+	return run(ctx, q, opts, nil)
+}
+
+// run is the shared execution path behind Run and Prepared.Run: resolve
+// the algorithm (consulting or constraining the planner for Auto), then
+// drive the engine — over the resident snapshot when one is supplied.
+// A non-nil Emit is routed through the stream implementation, making the
+// push callback a thin adapter over the pull iterator.
+func run(ctx context.Context, q Query, opts Options, res *core.Resident) (*Result, error) {
+	if opts.K > 0 {
+		q.K = opts.K
 	}
-	calg, err := alg.coreAlgorithm()
+	if opts.Emit != nil {
+		// The legacy push surface keeps the explicit-algorithm conflict:
+		// only Grouping (or Auto, constrained to it) can stream. The pull
+		// iterator is the one surface that serves every algorithm, falling
+		// back to compute-then-yield.
+		if opts.Algorithm != Auto && opts.Algorithm != Grouping {
+			return nil, fmt.Errorf("%w (got %v)", ErrOptionConflict, opts.Algorithm)
+		}
+		emit := opts.Emit
+		sopts := opts
+		sopts.Emit = nil
+		var st Stats
+		sopts.Stats = &st
+		for p, err := range streamSeq(ctx, q, sopts, res) {
+			if err != nil {
+				return nil, err
+			}
+			if !emit(p) {
+				break
+			}
+		}
+		return &Result{Stats: st}, nil
+	}
+	calg, err := resolveAlgorithm(ctx, q, opts, false)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Exec(ctx, q, core.ExecOptions{Algorithm: calg, Workers: opts.Workers, Emit: opts.Emit})
+	out, err := core.Exec(ctx, q, core.ExecOptions{
+		Algorithm: calg, Workers: opts.Workers, Limit: opts.Limit, Resident: res,
+	})
 	if err != nil && errors.Is(err, core.ErrOptionConflict) {
-		return nil, fmt.Errorf("%w (got %v)", ErrOptionConflict, alg)
+		return nil, fmt.Errorf("%w (got %v)", ErrOptionConflict, opts.Algorithm)
 	}
-	return res, err
+	return out, err
+}
+
+// resolveAlgorithm maps Options to the concrete engine strategy. Auto
+// consults the sampling planner — except when Workers, Emit or a Stream
+// narrow the viable set to Grouping, in which case the planner has no
+// choice left to make and is skipped.
+func resolveAlgorithm(ctx context.Context, q Query, opts Options, stream bool) (core.Algorithm, error) {
+	if opts.Algorithm == Auto {
+		if opts.Workers > 1 || opts.Emit != nil || stream {
+			return core.Grouping, nil
+		}
+		plan, err := planner.Choose(ctx, q, opts.Planner)
+		if err != nil {
+			return 0, err
+		}
+		return plan.Algorithm, nil
+	}
+	return opts.Algorithm.coreAlgorithm()
 }
 
 // RunAuto plans and executes in one call, returning the planner's decision
@@ -217,9 +296,11 @@ func NewMaintainer(q Query) (*Maintainer, error) {
 }
 
 // RunCascade evaluates a cascaded KSJQ over three or more relations
-// (Sec. 2.3's chain-join extension).
-func RunCascade(q CascadeQuery, strategy CascadeStrategy) (*CascadeResult, error) {
-	return runCascade(q, strategy)
+// (Sec. 2.3's chain-join extension). Like every other entry point, the
+// context bounds the whole evaluation: cancellation is noticed between
+// chain steps and periodically inside join folding and verification.
+func RunCascade(ctx context.Context, q CascadeQuery, strategy CascadeStrategy) (*CascadeResult, error) {
+	return runCascade(ctx, q, strategy)
 }
 
 // Workers renders a parallel degree for CLI output ("auto (8)" for <= 0).

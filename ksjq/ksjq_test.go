@@ -130,17 +130,40 @@ func TestOptionConflicts(t *testing.T) {
 	cases := []Options{
 		{Algorithm: Naive, Workers: 4},
 		{Algorithm: DominatorBased, Emit: emit},
-		{Algorithm: Auto, Workers: 4},
-		{Algorithm: Auto, Emit: emit},
 	}
 	for _, opts := range cases {
 		if _, err := Run(context.Background(), q, opts); !errors.Is(err, ErrOptionConflict) {
 			t.Errorf("opts %+v: err = %v, want ErrOptionConflict", opts, err)
 		}
 	}
-	// Workers on Grouping is not a conflict.
-	if _, err := Run(context.Background(), q, Options{Algorithm: Grouping, Workers: 4}); err != nil {
-		t.Errorf("grouping with workers rejected: %v", err)
+	// Workers on Grouping is not a conflict, and Auto is never one: options
+	// only Grouping can honor constrain the planner's choice to Grouping
+	// instead of erroring.
+	want, err := Run(context.Background(), q, Options{Algorithm: Grouping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Algorithm: Grouping, Workers: 4},
+		{Algorithm: Auto, Workers: 4},
+	} {
+		res, err := Run(context.Background(), q, opts)
+		if err != nil {
+			t.Fatalf("opts %+v rejected: %v", opts, err)
+		}
+		if !reflect.DeepEqual(res.Skyline, want.Skyline) {
+			t.Errorf("opts %+v diverged from the grouping answer", opts)
+		}
+	}
+	var streamed []Pair
+	if _, err := Run(context.Background(), q, Options{Algorithm: Auto, Emit: func(p Pair) bool {
+		streamed = append(streamed, p)
+		return true
+	}}); err != nil {
+		t.Fatalf("auto with emit rejected: %v", err)
+	}
+	if len(streamed) != len(want.Skyline) {
+		t.Errorf("auto emit streamed %d tuples, want %d", len(streamed), len(want.Skyline))
 	}
 }
 
@@ -274,11 +297,11 @@ func TestCascadeViaFacade(t *testing.T) {
 	}
 	legs[1] = MustNewRelation("l2", legs[1].Local, legs[1].Agg, mid)
 	q := CascadeQuery{Relations: legs, K: 6}
-	naive, err := RunCascade(q, CascadeNaive)
+	naive, err := RunCascade(context.Background(), q, CascadeNaive)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := RunCascade(q, CascadePruned)
+	pruned, err := RunCascade(context.Background(), q, CascadePruned)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,15 @@ type (
 	RelationInfo = service.RelationInfo
 	// Source says where an answer came from.
 	Source = service.Source
+	// Watch is one live subscription to a query's answer: Service.Watch
+	// computes the answer once, then delivers Added/Removed deltas over
+	// Watch.Events as inserts arrive, driven by the same incremental
+	// maintainer machinery the answer cache promotes entries with.
+	Watch = service.Watch
+	// WatchEvent is one change to a watched answer: the initial snapshot
+	// (Seq 0, all Added) or the delta one insert caused, stamped with the
+	// registry versions it moved the answer to.
+	WatchEvent = service.WatchEvent
 )
 
 // Answer provenance values.
@@ -67,7 +76,9 @@ var (
 //	resp, err := svc.Query(ctx, ksjq.QueryRequest{R1: "flights1", R2: "flights2", K: 6})
 //
 // Repeated queries hit the answer cache; inserts through svc.Insert keep
-// cached answers current incrementally instead of invalidating them.
+// cached answers current incrementally instead of invalidating them; and
+// svc.Watch turns a query into a standing subscription whose answer
+// deltas arrive as inserts do.
 func NewService(cfg ServiceConfig) *Service {
 	return service.New(cfg)
 }

@@ -1,6 +1,7 @@
 package ksjq
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cascade"
@@ -116,6 +117,6 @@ func CountPairs(r1, r2 *Relation, spec Spec) (int, error) {
 	return join.CountPairs(r1, r2, spec)
 }
 
-func runCascade(q CascadeQuery, strategy CascadeStrategy) (*CascadeResult, error) {
-	return cascade.Run(q, strategy)
+func runCascade(ctx context.Context, q CascadeQuery, strategy CascadeStrategy) (*CascadeResult, error) {
+	return cascade.Run(ctx, q, strategy)
 }

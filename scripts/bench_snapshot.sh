@@ -4,9 +4,9 @@
 # CHANGES.md). Run from the repo root; `make bench` wraps this.
 set -eu
 
-out=${1:-BENCH_pr4.json}
+out=${1:-BENCH_pr5.json}
 benchtime=${BENCHTIME:-3x}
-pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend)$'
+pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert)$'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
