@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench docs-check examples staticcheck apicheck shuffle ci
+.PHONY: build test race bench bench-compare docs-check examples staticcheck apicheck shuffle ci
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,16 @@ race:
 examples:
 	$(GO) test -run Example -v ./ksjq/
 
-# Snapshot the tracked benchmarks into BENCH_pr5.json.
+# Snapshot the tracked benchmarks (best-of-COUNT, default 5) into the
+# current PR's trajectory record.
 bench:
-	./scripts/bench_snapshot.sh BENCH_pr5.json
+	./scripts/bench_snapshot.sh BENCH_pr6.json
+
+# Noise-robust regression gate: fresh best-of-N snapshot vs the newest
+# checked-in BENCH_pr*.json; fails on >25% ns/op regression (THRESHOLD to
+# tune, WARN_ONLY=1 to report without failing).
+bench-compare:
+	./scripts/bench_compare.sh
 
 # Fail if README.md references commands, flags, or files that are gone.
 docs-check:

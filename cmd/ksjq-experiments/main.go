@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "experiment scale: smoke, small or full (full = paper's Table 7; hours)")
-		figList   = flag.String("fig", "", "comma-separated figure names (e.g. 1a,3b,11); empty = all")
-		seed      = flag.Int64("seed", 2017, "random seed for the synthetic workloads")
-		chart     = flag.Bool("chart", false, "render stacked bars (like the paper's plots) after the rows")
-		timeout   = flag.Duration("timeout", 0, "stop starting new figures after this duration (0 = no deadline)")
+		scaleName  = flag.String("scale", "small", "experiment scale: smoke, small or full (full = paper's Table 7; hours)")
+		figList    = flag.String("fig", "", "comma-separated figure names (e.g. 1a,3b,11); empty = all")
+		seed       = flag.Int64("seed", 2017, "random seed for the synthetic workloads")
+		chart      = flag.Bool("chart", false, "render stacked bars (like the paper's plots) after the rows")
+		timeout    = flag.Duration("timeout", 0, "stop starting new figures after this duration (0 = no deadline)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file (go tool pprof)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -36,7 +38,25 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksjq-experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ksjq-experiments:", err)
+			os.Exit(1)
+		}
+		// The profile must survive the error path too — perf PRs profile
+		// failing sweeps as often as clean ones.
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	if err := run(ctx, os.Stdout, *scaleName, *figList, *seed, *chart); err != nil {
+		pprof.StopCPUProfile()
 		fmt.Fprintln(os.Stderr, "ksjq-experiments:", err)
 		os.Exit(1)
 	}

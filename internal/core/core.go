@@ -209,6 +209,15 @@ type Stats struct {
 	// Candidates counts "likely"/"may be" joined tuples that needed a check.
 	Candidates int
 	// DominationTests counts k-dominance tests on joined attribute vectors.
+	// The count is deterministic per query and algorithm: a candidate is
+	// tested against its checker's (left, partner) pairs in probe order
+	// until its first dominator, and that per-candidate sequence is the
+	// same on the streaming, blocked-kernel, and worker-pool paths —
+	// Workers and the blocked sweep change only the interleaving across
+	// candidates, never which tests run (target-set-pruned lefts are
+	// skipped uncounted on every path). Early stops (Emit returning false,
+	// Limit) end the run at path-dependent points and are the one source of
+	// count differences.
 	DominationTests int64
 }
 

@@ -60,16 +60,36 @@ func runDominator(ctx context.Context, q Query, res *Resident) (*Result, error) 
 	st.Candidates = len(candidates)
 
 	// Phase 4: verify each candidate against the join of its components'
-	// dominator sets.
+	// dominator sets. Many candidates share a component — u ⋈ v and u ⋈ v'
+	// reuse τ(u) — so the checker inputs are cached per tuple: each τ(u) is
+	// sum-sorted once and each τ(v) indexed once instead of once per
+	// candidate, and one checker struct is rebound instead of allocated per
+	// pair. The probe order and test sequence per candidate are unchanged.
 	t0 = time.Now()
+	sorted1 := make(map[int][]int, len(dom1))
+	ix2 := make(map[int]*join.Index, len(dom2))
+	chk := &checker{e: e}
+	dominated := func(p join.Pair) bool {
+		left, ok := sorted1[p.Left]
+		if !ok {
+			left = e.leftProbeOrder(dom1[p.Left])
+			sorted1[p.Left] = left
+		}
+		ix, ok := ix2[p.Right]
+		if !ok {
+			ix = e.checkerRightIndex(dom2[p.Right])
+			ix2[p.Right] = ix
+		}
+		chk.left, chk.ix = left, ix
+		return chk.dominates(p.Attrs)
+	}
 	skyline := make([]join.Pair, 0, len(yes))
 	if e.a >= 2 {
 		for n, p := range yes {
 			if n%cancelEvery == 0 && ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			chk := e.newChecker(dom1[p.Left], dom2[p.Right])
-			if !chk.dominates(p.Attrs) {
+			if !dominated(p) {
 				skyline = append(skyline, p)
 			}
 		}
@@ -81,8 +101,7 @@ func runDominator(ctx context.Context, q Query, res *Resident) (*Result, error) 
 		if n%cancelEvery == 0 && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		chk := e.newChecker(dom1[p.Left], dom2[p.Right])
-		if !chk.dominates(p.Attrs) {
+		if !dominated(p) {
 			skyline = append(skyline, p)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math/bits"
 	"sort"
 
 	"repro/internal/dataset"
@@ -43,6 +44,58 @@ type engine struct {
 	// noTargetPrune disables the checker's target-set skip; used only by
 	// the ablation benchmarks to quantify the optimization.
 	noTargetPrune bool
+	// scalarVerify forces cell verification through the per-candidate
+	// path (checker.dominates) instead of the blocked kernel — the
+	// ablation/oracle arm the kernel-equivalence tests compare against.
+	scalarVerify bool
+	// memoLeft/memoLeftSorted and memoRight/memoRightIx remember the last
+	// subset probe order and subset checker index built, keyed by slice
+	// identity. The grouping cells reuse the augmented target lists across
+	// cells (A1 appears in two cells' checkers, as does A2), so each is
+	// sorted/indexed once per run instead of once per cell.
+	memoLeft, memoLeftSorted []int
+	memoRight                []int
+	memoRightIx              *join.Index
+	// scratch holds the per-run verification buffers (keep bitset, the
+	// checker's per-left partner cache) reused across cells, so repeated
+	// cells allocate nothing.
+	scratch verifyScratch
+	// pool is the persistent work-stealing worker pool, spawned once per
+	// Exec run when Workers > 1 and shared by every cell's verification.
+	pool *workerPool
+}
+
+// verifyScratch is the engine-owned scratch reused by every cell's batched
+// verification: the keep bitset and the backing arrays of the checker's
+// compacted per-left partner cache.
+type verifyScratch struct {
+	keep     []uint64
+	plefts   []int32
+	partners [][]int
+}
+
+// keepBits returns the scratch keep bitset sized for n candidates with
+// every bit set (all candidates alive).
+func (e *engine) keepBits(n int) []uint64 {
+	words := (n + 63) / 64
+	if cap(e.scratch.keep) < words {
+		e.scratch.keep = make([]uint64, words, words+words/2)
+	}
+	keep := e.scratch.keep[:words]
+	for i := range keep {
+		keep[i] = ^uint64(0)
+	}
+	if rem := n % 64; rem != 0 {
+		keep[words-1] = uint64(1)<<rem - 1
+	}
+	return keep
+}
+
+// sameIDs reports whether a and b are the same index list by slice
+// identity (same backing array start and length) — the memo key for
+// per-run subset reuse.
+func sameIDs(a, b []int) bool {
+	return len(a) != 0 && len(a) == len(b) && &a[0] == &b[0]
 }
 
 // keyTrans returns the engine's shared R1→R2 key translation (equality
@@ -158,10 +211,20 @@ type checker struct {
 	e    *engine
 	left []int       // sum-sorted candidate dominator components from R1
 	ix   *join.Index // their join partners within the right list
+	// plefts/ppartners are the blocked kernel's compacted per-left probe
+	// cache: left tuples with at least one join partner, in left order,
+	// with their partner lists resolved once per cell instead of once per
+	// (left, candidate-block) visit. Built by ensurePartners before the
+	// blocked sweep (and before workers are handed the checker); read-only
+	// afterwards, so binds share it.
+	plefts    []int32
+	ppartners [][]int
 }
 
 // leftProbeOrder returns the left list sorted by ascending attribute sum,
-// reusing the cached ordering when the list is all of R1.
+// reusing the cached ordering when the list is all of R1 and the last
+// subset ordering when the list is the one most recently sorted (the
+// augmented target list A1 feeds two of the grouping cells).
 func (e *engine) leftProbeOrder(left []int) []int {
 	if len(left) == e.q.R1.Len() {
 		if e.allLeftSorted == nil {
@@ -169,25 +232,66 @@ func (e *engine) leftProbeOrder(left []int) []int {
 		}
 		return e.allLeftSorted
 	}
-	return sortBySum(e.points1(), left)
+	if sameIDs(left, e.memoLeft) {
+		return e.memoLeftSorted
+	}
+	sorted := sortBySum(e.points1(), left)
+	e.memoLeft, e.memoLeftSorted = left, sorted
+	return sorted
+}
+
+// checkerRightIndex returns the probe-ordered checker index over the given
+// R2 subset, reusing the cached full-relation index when the subset is all
+// of R2 and the last subset index otherwise (A2 feeds two of the grouping
+// cells' checkers).
+func (e *engine) checkerRightIndex(right []int) *join.Index {
+	if len(right) == e.q.R2.Len() {
+		return e.rightAllIndex()
+	}
+	if sameIDs(right, e.memoRight) {
+		return e.memoRightIx
+	}
+	ix := join.NewIndexTrans(e.q.R1, e.q.R2, e.rightProbeOrder(right), e.cond, e.keyTrans())
+	e.memoRight, e.memoRightIx = right, ix
+	return ix
 }
 
 func (e *engine) newChecker(left, right []int) *checker {
-	c := &checker{e: e, left: e.leftProbeOrder(left)}
-	if len(right) == e.q.R2.Len() {
-		c.ix = e.rightAllIndex()
-	} else {
-		c.ix = join.NewIndexTrans(e.q.R1, e.q.R2, e.rightProbeOrder(right), e.cond, e.keyTrans())
-	}
-	return c
+	return &checker{e: e, left: e.leftProbeOrder(left), ix: e.checkerRightIndex(right)}
 }
 
 // bind returns a view of the checker that charges domination-test counts
-// to we's stats. The index and probe ordering are shared read-only, so
-// parallel workers bind one prebuilt checker instead of rebuilding the
-// index per worker.
+// to we's stats. The index, probe ordering, and partner cache are shared
+// read-only, so parallel workers bind one prebuilt checker instead of
+// rebuilding the index per worker.
 func (c *checker) bind(we *engine) *checker {
-	return &checker{e: we, left: c.left, ix: c.ix}
+	return &checker{e: we, left: c.left, ix: c.ix, plefts: c.plefts, ppartners: c.ppartners}
+}
+
+// ensurePartners builds the blocked kernel's per-left probe cache: every
+// left tuple's partner list resolved once (one equality lookup or band
+// binary search each), compacted to the lefts that have any partner. The
+// backing arrays live in the engine scratch, so repeated cells allocate
+// nothing. Must be called on the cell's owning checker before verifyRange
+// (the coordinator does this before publishing work to the pool).
+func (c *checker) ensurePartners() {
+	if c.plefts != nil || len(c.left) == 0 {
+		return
+	}
+	e := c.e
+	r1 := e.q.R1
+	plefts := e.scratch.plefts[:0]
+	partners := e.scratch.partners[:0]
+	for _, i := range c.left {
+		p := c.ix.Partners(r1, i)
+		if len(p) == 0 {
+			continue
+		}
+		plefts = append(plefts, int32(i))
+		partners = append(partners, p)
+	}
+	e.scratch.plefts, e.scratch.partners = plefts, partners
+	c.plefts, c.ppartners = plefts, partners
 }
 
 // dominates reports whether some join-compatible pair from the checker's
@@ -236,63 +340,86 @@ func (c *checker) dominates(cand []float64) bool {
 	return false
 }
 
-// dominatesBatch filters many candidates through the checker at once,
-// setting keep[ci] = false for every k-dominated candidates[ci]. It visits
-// exactly the (left, partner) pairs the per-candidate dominates would — in
-// the same per-candidate order, so results and domination-test counts are
-// identical — but runs left-outer: the x-section slice, the partner list
-// and empty-bucket skips are hoisted out of the candidate loop, and the
-// candidate attribute vectors (contiguous in their cell arena) are swept
-// sequentially. The context is polled every cancelEvery candidates, the
-// same latency bound as the per-candidate loop.
-func (c *checker) dominatesBatch(ctx context.Context, candidates []join.Pair, keep []bool) error {
+// blockCands is the blocked kernel's candidate block width: one 16-bit
+// lane of a keep word, small enough that a block's attribute vectors stay
+// cache-hot across the whole left sweep.
+const blockCands = 16
+
+// verifyRange filters candidates[lo:hi) through the checker's blocked
+// kernel, clearing keep's bit for every k-dominated candidate. It visits
+// exactly the (left, partner) pairs the per-candidate dominates would —
+// for each candidate, lefts in probe order until the first dominator — so
+// results and domination-test counts are identical; only the sweep order
+// changes. Candidates are processed in blocks of blockCands: each block's
+// live set is one bit lane, the per-left x-section slice and partner list
+// come from the cache ensurePartners hoisted out of the sweep, and a block
+// whose lane empties stops scanning lefts immediately. Dead candidates
+// cost one mask test per block, not a per-candidate branch.
+//
+// lo must be block-aligned (the pool's chunks are multiples of 64, so
+// concurrent workers never share a keep word or a block). The context is
+// polled once per block — the same worst-case latency as cancelEvery
+// sequential per-candidate checks.
+func (c *checker) verifyRange(ctx context.Context, candidates []join.Pair, lo, hi int, keep []uint64) error {
 	e := c.e
-	r1 := e.q.R1
-	if len(candidates) == 0 {
-		return nil
-	}
-	for ci := range keep {
-		keep[ci] = true
-	}
-	if e.noTargetPrune {
-		// Ablation control arm: per-candidate, per-pair full tests.
-		for ci := range candidates {
-			if ci%cancelEvery == 0 && ctx.Err() != nil {
-				return ctx.Err()
-			}
-			keep[ci] = !c.dominates(candidates[ci].Attrs)
+	for b0 := lo; b0 < hi; b0 += blockCands {
+		if ctx.Err() != nil {
+			return ctx.Err()
 		}
-		return nil
-	}
-	alive := len(candidates)
-	for _, i := range c.left {
-		partners := c.ix.Partners(r1, i)
-		if len(partners) == 0 {
+		b1 := b0 + blockCands
+		if b1 > hi {
+			b1 = hi
+		}
+		word, shift := b0>>6, uint(b0&63)
+		m := uint16(keep[word] >> shift)
+		if n := b1 - b0; n < blockCands {
+			m &= uint16(1)<<n - 1
+		}
+		if m == 0 {
 			continue
 		}
-		x := e.at1[i*e.d1 : i*e.d1+e.d1]
-		for ci := range candidates {
-			if ci%cancelEvery == 0 && ctx.Err() != nil {
-				return ctx.Err()
-			}
-			if !keep[ci] {
-				continue
-			}
-			cand := candidates[ci].Attrs
-			leq, strict, ok := localPrefix(x, cand, e.l1, e.k1pp)
-			if !ok {
-				continue
-			}
-			for _, j := range partners {
-				if e.pairKDominatesTail(x, j, leq, strict, cand) {
-					keep[ci] = false
-					alive--
-					break
+		orig := m
+		for pi, i := range c.plefts {
+			x := e.at1[int(i)*e.d1 : int(i)*e.d1+e.d1]
+			partners := c.ppartners[pi]
+			rem := m
+			for rem != 0 {
+				t := rem & (-rem)
+				rem ^= t
+				cand := candidates[b0+bits.TrailingZeros16(t)].Attrs
+				leq, strict, ok := localPrefix(x, cand, e.l1, e.k1pp)
+				if !ok {
+					continue
+				}
+				for _, j := range partners {
+					if e.pairKDominatesTail(x, j, leq, strict, cand) {
+						m ^= t
+						break
+					}
 				}
 			}
+			if m == 0 {
+				break
+			}
 		}
-		if alive == 0 {
-			return nil
+		if dead := orig ^ m; dead != 0 {
+			keep[word] &^= uint64(dead) << shift
+		}
+	}
+	return nil
+}
+
+// verifyRangeScalar is the retained per-candidate ablation/oracle arm of
+// verifyRange: every candidate goes through checker.dominates exactly as
+// the streaming path would. It also serves the noTargetPrune ablation,
+// whose un-pruned test sequence lives inside dominates.
+func (c *checker) verifyRangeScalar(ctx context.Context, candidates []join.Pair, lo, hi int, keep []uint64) error {
+	for ci := lo; ci < hi; ci++ {
+		if ci%cancelEvery == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if c.dominates(candidates[ci].Attrs) {
+			keep[ci>>6] &^= uint64(1) << uint(ci&63)
 		}
 	}
 	return nil

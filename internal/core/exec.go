@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/join"
@@ -44,6 +43,11 @@ type ExecOptions struct {
 	// grouping-path cap is unspecified beyond "a subset of the skyline" —
 	// tuples are confirmed in cell order, not (Left, Right) order.
 	Limit int
+	// scalarVerify (unexported: the kernel-equivalence tests' knob) forces
+	// cell verification through the per-candidate dominates arm instead of
+	// the blocked kernel. Answers and Stats.DominationTests are identical
+	// either way — that equivalence is what the oracle pins.
+	scalarVerify bool
 }
 
 // ErrOptionConflict is returned when exec options are combined with an
@@ -85,7 +89,7 @@ func Exec(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
 	case Naive:
 		res, err = runNaive(ctx, q)
 	case Grouping:
-		res, err = runGrouping(ctx, q, o.Workers, o.Emit, o.Resident, o.Limit)
+		res, err = runGrouping(ctx, q, o)
 	case DominatorBased:
 		res, err = runDominator(ctx, q, o.Resident)
 	}
@@ -110,76 +114,53 @@ type sink func(p join.Pair) bool
 // verifyCell filters candidates through a checker over chkLeft × chkRight,
 // feeding the survivors to emit in candidate order. It returns false when
 // emit stopped the run, and ctx.Err() when the context was cancelled
-// mid-verification. stream marks a user-visible Emit sink: the serial
-// streaming path verifies candidate by candidate so each tuple is emitted
-// the moment it is confirmed; the collecting path verifies the whole cell
-// with the batched checker (left-outer sweep over the cell arena) before
-// appending survivors, which is cheaper and observationally identical.
-// With workers > 1 the candidates are sharded across goroutines probing
-// one shared read-only checker; every worker exits within one cancelEvery
-// batch of a cancellation, so verifyCell never leaks goroutines.
-func verifyCell(ctx context.Context, e *engine, workers int, stream bool, candidates []join.Pair, chkLeft, chkRight []int, emit sink) (bool, error) {
+// mid-verification. stream marks a user-visible Emit sink (or a Limit):
+// the serial streaming path verifies candidate by candidate so each tuple
+// is emitted the moment it is confirmed; every other path verifies the
+// whole cell through the blocked kernel into the engine's keep bitset
+// before emitting, which is cheaper and observationally identical. With an
+// active pool (Workers > 1) a large cell's chunks are pulled by the
+// persistent workers from a shared cursor; small cells stay on the
+// coordinator — a broadcast costs more than poolChunk candidates. Every
+// path notices a cancellation within one chunk/block, so verifyCell never
+// leaves work running.
+func verifyCell(ctx context.Context, e *engine, stream bool, candidates []join.Pair, chkLeft, chkRight []int, emit sink) (bool, error) {
 	if len(candidates) == 0 {
 		return true, nil
 	}
 	chk := e.newChecker(chkLeft, chkRight)
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
-	if workers <= 1 {
-		if stream {
-			for i := range candidates {
-				if i%cancelEvery == 0 && ctx.Err() != nil {
-					return false, ctx.Err()
-				}
-				if !chk.dominates(candidates[i].Attrs) && !emit(candidates[i]) {
-					return false, nil
-				}
-			}
-			return true, nil
-		}
-		keep := make([]bool, len(candidates))
-		if err := chk.dominatesBatch(ctx, candidates, keep); err != nil {
-			return false, err
-		}
+	// scalarVerify is the tests' per-candidate oracle arm; noTargetPrune's
+	// un-pruned test sequence also lives only in checker.dominates.
+	scalar := e.scalarVerify || e.noTargetPrune
+	if stream && e.pool == nil {
 		for i := range candidates {
-			if keep[i] && !emit(candidates[i]) {
+			if i%cancelEvery == 0 && ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+			if !chk.dominates(candidates[i].Attrs) && !emit(candidates[i]) {
 				return false, nil
 			}
 		}
 		return true, nil
 	}
-
-	// Parallel verification: workers record keep-flags; survivors are
-	// emitted afterwards in candidate order, so the parallel path streams
-	// and collects in exactly the serial order.
-	keep := make([]bool, len(candidates))
-	tests := make([]int64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			localStats := Stats{}
-			wchk := chk.bind(newEngine(e.q, &localStats))
-			for n, i := 0, w; i < len(candidates); n, i = n+1, i+workers {
-				if n%cancelEvery == 0 && ctx.Err() != nil {
-					break
-				}
-				keep[i] = !wchk.dominates(candidates[i].Attrs)
-			}
-			tests[w] = localStats.DominationTests
-		}(w)
+	keep := e.keepBits(len(candidates))
+	if !scalar {
+		chk.ensurePartners()
 	}
-	wg.Wait()
-	for _, t := range tests {
-		e.stats.DominationTests += t
+	var err error
+	switch {
+	case e.pool != nil && len(candidates) > poolChunk:
+		err = e.pool.verify(ctx, chk, candidates, keep, scalar)
+	case scalar:
+		err = chk.verifyRangeScalar(ctx, candidates, 0, len(candidates), keep)
+	default:
+		err = chk.verifyRange(ctx, candidates, 0, len(candidates), keep)
 	}
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return false, err
 	}
 	for i := range candidates {
-		if keep[i] && !emit(candidates[i]) {
+		if keep[i>>6]&(uint64(1)<<uint(i&63)) != 0 && !emit(candidates[i]) {
 			return false, nil
 		}
 	}

@@ -23,13 +23,20 @@ import (
 // degenerates to emitting SS1 × SS2 — exactly the paper's fast path.
 //
 // The one loop serves every execution mode: workers > 1 categorizes the
-// relations concurrently and shards each cell's verification across
-// goroutines; a non-nil emit streams each tuple the moment its cell
-// confirms it (the "yes" cell right after categorization — the
-// progressiveness argument of Sec. 6.1) instead of collecting the answer.
-func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Resident, limit int) (*Result, error) {
+// relations concurrently and runs one persistent work-stealing pool that
+// every large cell's verification is chunked onto; a non-nil emit streams
+// each tuple the moment its cell confirms it (the "yes" cell right after
+// categorization — the progressiveness argument of Sec. 6.1) instead of
+// collecting the answer.
+func runGrouping(ctx context.Context, q Query, o ExecOptions) (*Result, error) {
+	workers, emitFn, limit := o.Workers, o.Emit, o.Limit
 	st := Stats{}
-	e := newEngineResident(q, &st, res)
+	e := newEngineResident(q, &st, o.Resident)
+	e.scalarVerify = o.scalarVerify
+	if workers > 1 {
+		e.pool = newWorkerPool(e, workers)
+		defer e.pool.close()
+	}
 
 	// Phase 1: categorization and target-set augmentation. The two
 	// relations are independent, so the parallel mode runs them
@@ -126,7 +133,7 @@ func runGrouping(ctx context.Context, q Query, workers int, emitFn Emit, res *Re
 		// by tuple so the cap stops mid-cell, not after the whole cell's
 		// batched sweep (with Workers > 1 the cap stays cell-granular,
 		// like Emit).
-		more, err := verifyCell(ctx, e, workers, emitFn != nil || limit > 0, candidates, cell.chkLeft, cell.chkRight, out)
+		more, err := verifyCell(ctx, e, emitFn != nil || limit > 0, candidates, cell.chkLeft, cell.chkRight, out)
 		st.RemainingTime += time.Since(t0)
 		if err != nil {
 			return nil, err

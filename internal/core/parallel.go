@@ -4,7 +4,139 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/join"
 )
+
+// poolChunk is the candidate-range unit workers claim from a job's shared
+// cursor. A multiple of 64, so two workers never touch the same keep-bitset
+// word (each word belongs to exactly one chunk) and every chunk start is
+// block-aligned for verifyRange. Small enough that a single skewed cell
+// splits into many claims — the work-stealing that lets extra workers help
+// on one giant cell — and large enough that the atomic Add amortizes to
+// noise.
+const poolChunk = 256
+
+// poolJob is one cell's verification published to the pool: every worker
+// receives the same job and pulls chunks [cursor, cursor+poolChunk) until
+// the candidate list is exhausted. tests[w] receives worker w's
+// domination-test count for this job before its Done — the coordinator's
+// wg.Wait orders those writes before the flush into the engine stats.
+type poolJob struct {
+	ctx        context.Context
+	chk        *checker
+	candidates []join.Pair
+	keep       []uint64
+	scalar     bool
+	cursor     atomic.Int64
+	tests      []int64
+	wg         sync.WaitGroup
+}
+
+// workerPool is the persistent verification pool: one per Exec run with
+// Workers > 1, spawned before the first cell and shut down when the run
+// returns. Workers are long-lived goroutines, each owning a private engine
+// (its own Stats, scratch, and checker binds) reused across every cell of
+// the run — the per-cell goroutine spawn and its per-worker allocations
+// are gone. Cells are split by chunk, not by cell: all workers pull from
+// the active cell's cursor, so a single skewed cell is shared instead of
+// serializing the run behind one goroutine.
+type workerPool struct {
+	e       *engine
+	workers int
+	jobs    chan *poolJob
+	wg      sync.WaitGroup
+	job     poolJob // the in-flight job, reused across cells (one at a time)
+	// chunks[w] counts the chunks worker w claimed over the pool's
+	// lifetime — the scheduling tests' observation point (via
+	// poolStatsHook); reads are ordered by each job's wg.
+	chunks []int64
+}
+
+// poolStatsHook, when non-nil, receives the per-worker claimed-chunk counts
+// of each pool as it shuts down. Test instrumentation only.
+var poolStatsHook func(chunksPerWorker []int64)
+
+func newWorkerPool(e *engine, workers int) *workerPool {
+	p := &workerPool{
+		e:       e,
+		workers: workers,
+		jobs:    make(chan *poolJob),
+		chunks:  make([]int64, workers),
+	}
+	p.job.tests = make([]int64, workers)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.run(w)
+	}
+	return p
+}
+
+// run is one worker's loop: bind the job's checker to the private engine,
+// drain chunks from the shared cursor, report the job's test count, next
+// job. A cancelled context stops chunk claims within one chunk.
+func (p *workerPool) run(w int) {
+	defer p.wg.Done()
+	local := Stats{}
+	we := newEngine(p.e.q, &local)
+	for job := range p.jobs {
+		start := local.DominationTests
+		chk := job.chk.bind(we)
+		n := int64(len(job.candidates))
+		for job.ctx.Err() == nil {
+			lo := job.cursor.Add(poolChunk) - poolChunk
+			if lo >= n {
+				break
+			}
+			hi := lo + poolChunk
+			if hi > n {
+				hi = n
+			}
+			p.chunks[w]++
+			if job.scalar {
+				_ = chk.verifyRangeScalar(job.ctx, job.candidates, int(lo), int(hi), job.keep)
+			} else {
+				_ = chk.verifyRange(job.ctx, job.candidates, int(lo), int(hi), job.keep)
+			}
+		}
+		job.tests[w] = local.DominationTests - start
+		job.wg.Done()
+	}
+}
+
+// verify runs one cell's candidate filtering on the pool and blocks until
+// every worker has drained the cursor. The checker must already have its
+// partner cache built (ensurePartners) unless scalar. Domination-test
+// counts are flushed into the coordinating engine's stats before
+// returning, so Stats stay deterministic: each candidate's tests depend
+// only on the candidate, never on which worker claimed it.
+func (p *workerPool) verify(ctx context.Context, chk *checker, candidates []join.Pair, keep []uint64, scalar bool) error {
+	job := &p.job
+	job.ctx, job.chk, job.candidates, job.keep, job.scalar = ctx, chk, candidates, keep, scalar
+	job.cursor.Store(0)
+	job.wg.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.jobs <- job
+	}
+	job.wg.Wait()
+	for _, t := range job.tests {
+		p.e.stats.DominationTests += t
+	}
+	return ctx.Err()
+}
+
+// close shuts the pool down: workers drain the channel close and exit.
+// Idempotent via the nil check at the call sites (runGrouping defers it
+// exactly once per run).
+func (p *workerPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+	if poolStatsHook != nil {
+		poolStatsHook(p.chunks)
+	}
+}
 
 // RunParallel evaluates the query with the parallelized grouping algorithm —
 // the paper's future-work item ("extend the algorithms to work in

@@ -12,6 +12,7 @@
 package kdominant
 
 import (
+	bits64 "math/bits"
 	"sort"
 
 	"repro/internal/dom"
@@ -57,33 +58,58 @@ func TwoScan(points [][]float64, k int) []int {
 }
 
 // TwoScanSubset is TwoScan restricted to a subset of point indices.
+//
+// Both scans run over a flat copy of the window's attribute vectors (one
+// d-strided []float64), so the hot sweeps are contiguous passes instead of
+// per-point pointer chases, and window eviction is in-place compaction.
+// Scan 2 tracks surviving candidates in a bitset and skips dead candidates
+// a word (64) at a time.
 func TwoScanSubset(points [][]float64, subset []int, k int) []int {
-	// Scan 1: candidate filtering.
-	window := make([]int, 0, 16)
+	if len(subset) == 0 {
+		return nil
+	}
+	d := len(points[subset[0]])
+
+	// Scan 1: candidate filtering. winIDs[w] is the window's w-th point;
+	// its attributes live in winAttrs[w*d : (w+1)*d].
+	winIDs := make([]int, 0, 16)
+	winAttrs := make([]float64, 0, 16*d)
 	for _, i := range subset {
 		p := points[i]
 		dominated := false
-		keep := window[:0]
-		for _, w := range window {
-			if dominated {
-				keep = append(keep, w)
-				continue
-			}
-			wDomP, pDomW := dom.KDomCompare(points[w], p, k)
-			if wDomP {
+		nw := len(winIDs)
+		keep := 0
+		for w := 0; w < nw; w++ {
+			wa := winAttrs[w*d : w*d+d]
+			leq, less := dom.LeqLess(wa, p)
+			if leq >= k && less > 0 { // w k-dominates p
 				dominated = true
 				// w stays even if p also k-dominates w: p is out, so w's
-				// fate is decided by scan 2 like every other candidate.
-				keep = append(keep, w)
+				// fate is decided by scan 2 like every other candidate —
+				// and so does everything after w, uncompared.
+				for ; w < nw; w++ {
+					if keep != w {
+						winIDs[keep] = winIDs[w]
+						copy(winAttrs[keep*d:keep*d+d], winAttrs[w*d:w*d+d])
+					}
+					keep++
+				}
+				break
+			}
+			if d-less >= k && d-leq > 0 { // p k-dominates w: evict w
 				continue
 			}
-			if !pDomW {
-				keep = append(keep, w)
+			if keep != w {
+				winIDs[keep] = winIDs[w]
+				copy(winAttrs[keep*d:keep*d+d], winAttrs[w*d:w*d+d])
 			}
+			keep++
 		}
-		window = keep
+		winIDs = winIDs[:keep]
+		winAttrs = winAttrs[:keep*d]
 		if !dominated {
-			window = append(window, i)
+			winIDs = append(winIDs, i)
+			winAttrs = append(winAttrs, p...)
 		}
 	}
 
@@ -92,22 +118,35 @@ func TwoScanSubset(points [][]float64, subset []int, k int) []int {
 	// (candidate, point) pair. The visited (candidate, point) comparisons
 	// are exactly the candidate-outer loop's — a candidate stops being
 	// scanned past its first dominator either way — so the surviving set is
-	// identical. Membership stays a binary search over a sorted copy: cost
-	// bounded by the window, never by the full point array (this runs once
-	// per join group).
-	sorted := append([]int(nil), window...)
-	sort.Ints(sorted)
-	dominated := make([]bool, len(window))
-	alive := len(window)
+	// identical. live is a bitset over window positions: dead candidates
+	// cost one word load per 64, and the sweep touches only the flat window
+	// copy.
+	isCand := make([]bool, len(points))
+	for _, c := range winIDs {
+		isCand[c] = true
+	}
+	live := make([]uint64, (len(winIDs)+63)/64)
+	for w := range live {
+		live[w] = ^uint64(0)
+	}
+	if rem := len(winIDs) % 64; rem != 0 {
+		live[len(live)-1] = uint64(1)<<rem - 1
+	}
+	alive := len(winIDs)
 	for _, j := range subset {
-		if p := sort.SearchInts(sorted, j); p < len(sorted) && sorted[p] == j {
+		if isCand[j] {
 			continue // candidates are verified against non-candidates only
 		}
 		pj := points[j]
-		for wi, c := range window {
-			if !dominated[wi] && dom.KDominates(pj, points[c], k) {
-				dominated[wi] = true
-				alive--
+		for w, bits := range live {
+			for bits != 0 {
+				t := bits & (-bits)
+				bits ^= t
+				wi := w*64 + bits64.TrailingZeros64(t)
+				if dom.KDominates(pj, winAttrs[wi*d:wi*d+d], k) {
+					live[w] ^= t
+					alive--
+				}
 			}
 		}
 		if alive == 0 {
@@ -115,8 +154,8 @@ func TwoScanSubset(points [][]float64, subset []int, k int) []int {
 		}
 	}
 	var result []int
-	for wi, c := range window {
-		if !dominated[wi] {
+	for wi, c := range winIDs {
+		if live[wi>>6]&(1<<(wi&63)) != 0 {
 			result = append(result, c)
 		}
 	}

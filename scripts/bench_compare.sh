@@ -1,0 +1,83 @@
+#!/usr/bin/env sh
+# bench_compare.sh [baseline.json] [fresh.json] — diff a fresh best-of-N
+# benchmark snapshot against a checked-in baseline and fail on ns/op
+# regressions beyond THRESHOLD percent (default 25) in any tracked
+# benchmark. This is the noise-robust bench gate: both sides are best-of-N
+# minima taken on the same machine, so a >25% delta is a real regression,
+# not container weather.
+#
+#   baseline.json  defaults to the newest BENCH_pr*.json in the repo root
+#   fresh.json     defaults to a snapshot taken now (bench_snapshot.sh)
+#
+# Flags (env):
+#   THRESHOLD=<pct>   regression tolerance, default 25
+#   WARN_ONLY=1       report regressions but exit 0 (fork CI, noisy hosts)
+set -eu
+
+threshold=${THRESHOLD:-25}
+warn_only=${WARN_ONLY:-0}
+
+baseline=${1:-}
+if [ -z "$baseline" ]; then
+    baseline=$(ls BENCH_pr*.json 2>/dev/null | sort -t r -k 2 -n | tail -1)
+    if [ -z "$baseline" ]; then
+        echo "bench_compare: no baseline snapshot (BENCH_pr*.json) found" >&2
+        exit 2
+    fi
+fi
+if [ ! -f "$baseline" ]; then
+    echo "bench_compare: baseline $baseline not found" >&2
+    exit 2
+fi
+
+fresh=${2:-}
+tmpfresh=
+if [ -z "$fresh" ]; then
+    fresh=$(mktemp -t bench_fresh.XXXXXX)
+    tmpfresh=$fresh
+    echo "bench_compare: taking fresh snapshot (baseline: $baseline)"
+    sh scripts/bench_snapshot.sh "$fresh" >/dev/null
+fi
+if [ ! -f "$fresh" ]; then
+    echo "bench_compare: fresh snapshot $fresh not found" >&2
+    exit 2
+fi
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_fresh.$$ $tmpfresh' EXIT
+
+# Extract "name ns_per_op" rows from a snapshot. The JSON is the fixed
+# one-benchmark-per-line shape bench_snapshot.sh writes.
+rows() {
+    sed -n 's/.*"name": "\([^"]*\)".*"ns_per_op": \([0-9.]*\).*/\1 \2/p' "$1"
+}
+
+rows "$baseline" > /tmp/bench_base.$$
+rows "$fresh" > /tmp/bench_fresh.$$
+
+status=0
+printf "%-24s %14s %14s %8s\n" benchmark "base ns/op" "fresh ns/op" delta
+while read -r name base; do
+    freshns=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_fresh.$$)
+    if [ -z "$freshns" ]; then
+        printf "%-24s %14s %14s %8s\n" "$name" "$base" "(missing)" "-"
+        echo "bench_compare: $name missing from fresh snapshot" >&2
+        status=1
+        continue
+    fi
+    delta=$(awk -v b="$base" -v f="$freshns" 'BEGIN { printf "%+.1f", (f - b) / b * 100 }')
+    flag=$(awk -v b="$base" -v f="$freshns" -v t="$threshold" \
+        'BEGIN { print (f > b * (1 + t / 100)) ? "REGRESSED" : "" }')
+    printf "%-24s %14s %14s %7s%% %s\n" "$name" "$base" "$freshns" "$delta" "$flag"
+    if [ -n "$flag" ]; then
+        status=1
+    fi
+done < /tmp/bench_base.$$
+
+if [ "$status" -ne 0 ]; then
+    if [ "$warn_only" = 1 ]; then
+        echo "bench_compare: regressions beyond ${threshold}% (warn-only mode, not failing)"
+        exit 0
+    fi
+    echo "bench_compare: FAIL — regression beyond ${threshold}% vs $baseline" >&2
+    exit 1
+fi
+echo "bench_compare: OK — no benchmark regressed more than ${threshold}% vs $baseline"
