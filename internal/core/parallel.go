@@ -19,11 +19,15 @@ import (
 // noise.
 const poolChunk = 256
 
-// poolJob is one cell's verification published to the pool: every worker
-// receives the same job and pulls chunks [cursor, cursor+poolChunk) until
-// the candidate list is exhausted. tests[w] receives worker w's
-// domination-test count for this job before its Done — the coordinator's
-// wg.Wait orders those writes before the flush into the engine stats.
+// poolJob is one cell's verification published to the pool: the job is
+// sent once per worker and each receipt pulls chunks
+// [cursor, cursor+poolChunk) until the candidate list is exhausted. tests
+// accumulates every receipt's domination-test count atomically — a fast
+// worker may receive the job more than once (and another not at all), so
+// the count cannot live in per-worker slots; the atomic sum is
+// distribution-independent because each candidate's tests depend only on
+// the candidate. The coordinator's wg.Wait orders all Adds before the
+// flush into the engine stats.
 type poolJob struct {
 	ctx        context.Context
 	chk        *checker
@@ -31,7 +35,7 @@ type poolJob struct {
 	keep       []uint64
 	scalar     bool
 	cursor     atomic.Int64
-	tests      []int64
+	tests      atomic.Int64
 	wg         sync.WaitGroup
 }
 
@@ -66,7 +70,6 @@ func newWorkerPool(e *engine, workers int) *workerPool {
 		jobs:    make(chan *poolJob),
 		chunks:  make([]int64, workers),
 	}
-	p.job.tests = make([]int64, workers)
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.run(w)
@@ -101,7 +104,7 @@ func (p *workerPool) run(w int) {
 				_ = chk.verifyRange(job.ctx, job.candidates, int(lo), int(hi), job.keep)
 			}
 		}
-		job.tests[w] = local.DominationTests - start
+		job.tests.Add(local.DominationTests - start)
 		job.wg.Done()
 	}
 }
@@ -116,14 +119,13 @@ func (p *workerPool) verify(ctx context.Context, chk *checker, candidates []join
 	job := &p.job
 	job.ctx, job.chk, job.candidates, job.keep, job.scalar = ctx, chk, candidates, keep, scalar
 	job.cursor.Store(0)
+	job.tests.Store(0)
 	job.wg.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
 		p.jobs <- job
 	}
 	job.wg.Wait()
-	for _, t := range job.tests {
-		p.e.stats.DominationTests += t
-	}
+	p.e.stats.DominationTests += job.tests.Load()
 	return ctx.Err()
 }
 

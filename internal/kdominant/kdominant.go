@@ -118,13 +118,13 @@ func TwoScanSubset(points [][]float64, subset []int, k int) []int {
 	// (candidate, point) pair. The visited (candidate, point) comparisons
 	// are exactly the candidate-outer loop's — a candidate stops being
 	// scanned past its first dominator either way — so the surviving set is
-	// identical. live is a bitset over window positions: dead candidates
-	// cost one word load per 64, and the sweep touches only the flat window
-	// copy.
-	isCand := make([]bool, len(points))
-	for _, c := range winIDs {
-		isCand[c] = true
-	}
+	// identical. Membership stays a binary search over a sorted copy of the
+	// window: cost bounded by the window, never by the full point array
+	// (this runs once per join group). live is a bitset over window
+	// positions: dead candidates cost one word load per 64, and the sweep
+	// touches only the flat window copy.
+	sorted := append([]int(nil), winIDs...)
+	sort.Ints(sorted)
 	live := make([]uint64, (len(winIDs)+63)/64)
 	for w := range live {
 		live[w] = ^uint64(0)
@@ -134,7 +134,7 @@ func TwoScanSubset(points [][]float64, subset []int, k int) []int {
 	}
 	alive := len(winIDs)
 	for _, j := range subset {
-		if isCand[j] {
+		if p := sort.SearchInts(sorted, j); p < len(sorted) && sorted[p] == j {
 			continue // candidates are verified against non-candidates only
 		}
 		pj := points[j]
