@@ -18,7 +18,7 @@ examples:
 # Snapshot the tracked benchmarks (best-of-COUNT, default 5) into the
 # current PR's trajectory record.
 bench:
-	./scripts/bench_snapshot.sh BENCH_pr6.json
+	./scripts/bench_snapshot.sh BENCH_pr7.json
 
 # Noise-robust regression gate: fresh best-of-N snapshot vs the newest
 # checked-in BENCH_pr*.json; fails on >25% ns/op regression (THRESHOLD to

@@ -316,6 +316,144 @@ func BenchmarkServiceInsert(b *testing.B) {
 	}
 }
 
+// ingestTuples pregenerates n tuples that land in the default workload's
+// real groups (datagen keys are "g%04d"), so every insert exercises the
+// join rather than the zero-partner early exit.
+func ingestTuples(rng *rand.Rand, d, n int) []dataset.Tuple {
+	ts := make([]dataset.Tuple, n)
+	for i := range ts {
+		attrs := make([]float64, d)
+		for j := range attrs {
+			attrs[j] = rng.Float64()
+		}
+		ts[i] = dataset.Tuple{Key: fmt.Sprintf("g%04d", rng.Intn(10)), Attrs: attrs}
+	}
+	return ts
+}
+
+// BenchmarkInsertLoop is the per-tuple baseline the batched ingest path
+// is measured against: 1000 tuples through 1000 Insert calls at n=2000,
+// each paying its own version bump, cache take/restore, resident
+// reclamation, and absorb.
+func BenchmarkInsertLoop(b *testing.B) { benchIngest(b, false) }
+
+// BenchmarkInsertBatch is the group-commit path: the same 1000 tuples as
+// one InsertBatch — one version bump, one resident extension, one absorb
+// pass, one cache restore. The PR 7 acceptance target is >=5x tuples/sec
+// over BenchmarkInsertLoop (compare ns/op directly: both spend one
+// iteration per 1000 tuples).
+func BenchmarkInsertBatch(b *testing.B) { benchIngest(b, true) }
+
+func benchIngest(b *testing.B, batched bool) {
+	const batchSize = 1000
+	rng := rand.New(rand.NewSource(23))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh service per iteration (untimed), so every iteration
+		// ingests into exactly the n=2000 workload rather than into
+		// relations earlier iterations already grew.
+		b.StopTimer()
+		q := defaultQuery(2000)
+		// K = 10 keeps the maintained answer at a realistic size (~60
+		// pairs): the default K = 11 sits at this workload's skyline
+		// blow-up point (thousands of members), where the verification
+		// kernel — identical on both paths — drowns the ingest pipeline
+		// costs this benchmark compares.
+		q.K = 10
+		svc := service.New(service.Config{})
+		if _, err := svc.Register("r1", q.R1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Register("r2", q.R2); err != nil {
+			b.Fatal(err)
+		}
+		req := service.QueryRequest{R1: "r1", R2: "r2", K: q.K, Algorithm: "grouping"}
+		if _, err := svc.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		d := q.R1.D()
+		// Promote the cached entry so the iteration measures
+		// maintenance, not promotion.
+		if _, err := svc.Insert("r1", ingestTuples(rng, d, 1)[0]); err != nil {
+			b.Fatal(err)
+		}
+		ts := ingestTuples(rng, d, batchSize)
+		b.StartTimer()
+		if batched {
+			if _, err := svc.InsertBatch("r1", ts); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			for _, tup := range ts {
+				if _, err := svc.Insert("r1", tup); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		resp, err := svc.Query(ctx, req)
+		if err != nil {
+			b.Fatalf("maintained query after ingest: %v", err)
+		}
+		if resp.Source != service.SourceMaintained {
+			b.Fatalf("maintained query after ingest: source=%v", resp.Source)
+		}
+		svc.Close()
+	}
+	b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkResidentExtend isolates the appendable-resident effect: per
+// iteration, absorb a 1000-row appended tail into a resident built over
+// the n=2000 workload (setup — clone, build, append — is untimed).
+func BenchmarkResidentExtend(b *testing.B) {
+	const tail = 1000
+	base := defaultQuery(2000)
+	rng := rand.New(rand.NewSource(29))
+	d := base.R1.D()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := base
+		q.R1 = base.R1.Clone()
+		q.R2 = base.R2.Clone()
+		res, err := core.NewResident(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, err := q.R1.AppendBatch(ingestTuples(rng, d, tail))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]int, tail)
+		for j := range ids {
+			ids[j] = first + j
+		}
+		b.StartTimer()
+		if err := res.Absorb(core.Left, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResidentRebuild is what Absorb replaces: a from-scratch
+// NewResident over the same grown relations.
+func BenchmarkResidentRebuild(b *testing.B) {
+	const tail = 1000
+	q := defaultQuery(2000)
+	rng := rand.New(rand.NewSource(29))
+	if _, err := q.R1.AppendBatch(ingestTuples(rng, q.R1.D(), tail)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewResident(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCheckerAlloc tracks allocations of the full grouping run —
 // dominated by cell materialization and checker construction. The arena
 // join and flat index orderings keep allocs/op independent of pair count.

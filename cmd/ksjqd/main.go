@@ -14,7 +14,8 @@
 //	                     with ?format=csv&name=..&local=..&agg=..&band=1)
 //	GET  /v1/relations   list registered relations and versions
 //	POST /v1/query       answer one KSJQ query
-//	POST /v1/insert      insert one tuple, maintaining cached answers
+//	POST /v1/insert      insert one tuple or a batch ("tuples"), maintaining
+//	                     cached answers through one group commit
 //	GET  /v1/stats       service counters
 //	GET  /healthz        liveness
 //
@@ -33,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux; served only via -debug-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -88,6 +90,7 @@ func main() {
 		cache   = flag.Int("cache", 0, "answer-cache capacity in entries (0 = 256)")
 		timeout = flag.Duration("timeout", 0, "default per-request deadline (0 = 30s, negative = none)")
 		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		loads   loadFlags
 	)
 	flag.Var(&loads, "load", "preload a relation: name,path,local[,agg[,band]] (repeatable)")
@@ -122,6 +125,18 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("ksjqd listening on %s (%d relations preloaded)", *addr, len(loads))
+
+	// The API mux is ours, so the pprof handlers net/http/pprof hangs on
+	// the default mux stay unreachable unless the operator opts in with a
+	// separate (typically loopback) debug listener.
+	if *debug != "" {
+		go func() {
+			log.Printf("ksjqd debug (pprof) listening on %s", *debug)
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				log.Printf("ksjqd: debug server: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:

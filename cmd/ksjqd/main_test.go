@@ -177,6 +177,63 @@ func TestServerCSVLoad(t *testing.T) {
 	}
 }
 
+// TestServerBatchInsert covers the batch wire form of /v1/insert: one
+// group commit for a tuple list, responses carrying the batch shape, and
+// the maintained answer staying identical to a forced recompute.
+func TestServerBatchInsert(t *testing.T) {
+	srv := newTestServer(t)
+	for _, name := range []string{"r1", "r2"} {
+		postJSON(t, srv.URL+"/v1/relations", relationBody(name))
+	}
+	query := map[string]any{"r1": "r1", "r2": "r2", "k": 4, "algorithm": "grouping"}
+	postJSON(t, srv.URL+"/v1/query", query) // warm an entry to maintain
+
+	resp, out := postJSON(t, srv.URL+"/v1/insert", map[string]any{
+		"relation": "r1",
+		"tuples": []map[string]any{
+			{"key": "h", "attrs": []float64{2, 8}},
+			{"key": "h", "attrs": []float64{8, 2}},
+			{"key": "h", "attrs": []float64{0, 0}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch insert: status %d (%v)", resp.StatusCode, out)
+	}
+	// One version bump for the whole batch, ids from the append point.
+	if out["id"].(float64) != 2 || out["count"].(float64) != 3 || out["version"].(float64) != 2 {
+		t.Errorf("batch insert response: %v", out)
+	}
+	if out["maintained"].(float64) != 1 {
+		t.Errorf("batch insert maintained %v entries, want 1", out["maintained"])
+	}
+
+	_, maintained := postJSON(t, srv.URL+"/v1/query", query)
+	if maintained["source"] != "maintained" {
+		t.Fatalf("post-batch query source = %v, want maintained", maintained["source"])
+	}
+	fresh := map[string]any{"r1": "r1", "r2": "r2", "k": 4, "algorithm": "grouping", "no_cache": true}
+	_, recomputed := postJSON(t, srv.URL+"/v1/query", fresh)
+	if fmt.Sprint(maintained["skyline"]) != fmt.Sprint(recomputed["skyline"]) {
+		t.Errorf("maintained answer diverges from recompute:\n%v\n%v",
+			maintained["skyline"], recomputed["skyline"])
+	}
+
+	// Mixing the single and batch forms is ambiguous — rejected.
+	resp, out = postJSON(t, srv.URL+"/v1/insert", map[string]any{
+		"relation": "r1",
+		"tuple":    map[string]any{"key": "h", "attrs": []float64{1, 1}},
+		"tuples":   []map[string]any{{"key": "h", "attrs": []float64{1, 1}}},
+	})
+	if resp.StatusCode != http.StatusBadRequest || out["error"] == nil {
+		t.Errorf("mixed forms: status %d (%v), want 400", resp.StatusCode, out)
+	}
+	// An empty batch is a client error, not a silent no-op.
+	resp, _ = postJSON(t, srv.URL+"/v1/insert", map[string]any{"relation": "r1", "tuples": []map[string]any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
 func TestServerErrors(t *testing.T) {
 	srv := newTestServer(t)
 	postJSON(t, srv.URL+"/v1/relations", relationBody("r1"))

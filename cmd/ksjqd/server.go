@@ -22,6 +22,7 @@ import (
 //	POST /v1/query      {"r1","r2","k","join","agg","algorithm","workers","timeout_ms","no_cache"}
 //	POST /v1/watch      same body as /v1/query; responds with NDJSON answer deltas
 //	POST /v1/insert     {"relation","tuple":{"key","band","attrs"}}
+//	                    or {"relation","tuples":[{...},...]} (one group commit)
 //	GET  /v1/stats
 //	GET  /healthz
 
@@ -289,22 +290,40 @@ func (srv *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleInsert accepts the original single-tuple form ("tuple") and the
+// batch form ("tuples"); both run through the service's group-commit
+// ingest, a batch paying one version bump and one maintenance pass for
+// the whole set.
 func handleInsert(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Relation string    `json:"relation"`
-		Tuple    tupleJSON `json:"tuple"`
+		Relation string      `json:"relation"`
+		Tuple    *tupleJSON  `json:"tuple"`
+		Tuples   []tupleJSON `json:"tuples"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	res, err := svc.Insert(req.Relation, req.Tuple.tuple())
+	var tuples []ksjq.Tuple
+	switch {
+	case req.Tuple != nil && len(req.Tuples) > 0:
+		writeError(w, http.StatusBadRequest, errors.New(`give "tuple" or "tuples", not both`))
+		return
+	case req.Tuple != nil:
+		tuples = []ksjq.Tuple{req.Tuple.tuple()}
+	default:
+		tuples = make([]ksjq.Tuple, len(req.Tuples))
+		for i, t := range req.Tuples {
+			tuples[i] = t.tuple()
+		}
+	}
+	res, err := svc.InsertBatch(req.Relation, tuples)
 	if err != nil {
 		writeServiceError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"id": res.ID, "version": res.Version,
+		"id": res.ID, "count": res.Count, "version": res.Version,
 		"maintained": res.Maintained, "invalidated": res.Invalidated,
 		"displaced": res.Displaced, "admitted": res.Admitted,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -160,55 +161,186 @@ func (m *Maintainer) absorbChecked(id int, left bool) (displaced, admitted int, 
 // never an error.
 func (m *Maintainer) UseResident(res *Resident) { m.res = res }
 
+// AbsorbBatchLeft folds into the skyline a whole batch of R1 tuples an
+// external writer already appended (via Relation.AppendBatch): ids are the
+// appended row indices, each absorbed exactly once. One call does the work
+// of absorbing every id in sequence — one engine, one materialization of
+// all new pairs, one blocked displacement sweep of the current members
+// against them, and one blocked admission sweep against the updated join —
+// so the per-insert setup cost is paid once per batch; a batch large
+// relative to the relation (see absorbRecomputeFraction) switches to a
+// from-scratch recompute instead, which is cheaper there. The resulting
+// skyline is identical to sequential per-id absorbs; the (displaced,
+// admitted) totals can group differently — a pair a sequential run would
+// admit and then displace within the same batch is simply never admitted
+// here.
+func (m *Maintainer) AbsorbBatchLeft(ids []int) (displaced, admitted int, err error) {
+	return m.absorbBatchChecked(ids, true)
+}
+
+// AbsorbBatchRight is AbsorbBatchLeft for the R2 side.
+func (m *Maintainer) AbsorbBatchRight(ids []int) (displaced, admitted int, err error) {
+	return m.absorbBatchChecked(ids, false)
+}
+
+// AbsorbBatch dispatches to AbsorbBatchLeft or AbsorbBatchRight.
+func (m *Maintainer) AbsorbBatch(side Side, ids []int) (displaced, admitted int, err error) {
+	return m.absorbBatchChecked(ids, side == Left)
+}
+
+func (m *Maintainer) absorbBatchChecked(ids []int, left bool) (displaced, admitted int, err error) {
+	if m.closed {
+		return 0, 0, ErrMaintainerClosed
+	}
+	r := m.q.R2
+	if left {
+		r = m.q.R1
+	}
+	for _, id := range ids {
+		if id < 0 || id >= r.Len() {
+			return 0, 0, fmt.Errorf("core: absorb index %d out of range [0,%d)", id, r.Len())
+		}
+	}
+	if len(ids) == 0 {
+		return 0, 0, nil
+	}
+	return m.absorbIDs(ids, left)
+}
+
 // absorb updates the skyline for the already-appended tuple r[id].
 func (m *Maintainer) absorb(id int, left bool) (displaced, admitted int, err error) {
-	m.inserted++
+	return m.absorbIDs([]int{id}, left)
+}
 
-	// New joined pairs introduced by the tuple.
+// absorbRecomputeFraction is the batch-size threshold of the hybrid
+// absorb: a batch of b ids against a (post-append) relation of n rows
+// takes the from-scratch recompute path when b*absorbRecomputeFraction
+// >= n. Incremental absorption pays per new pair, so its cost grows
+// linearly with the batch while a recompute's is fixed; past roughly a
+// 1/8 growth the recompute wins, and per-tuple absorbs (b = 1) never
+// come near the threshold.
+const absorbRecomputeFraction = 8
+
+// absorbIDs updates the skyline for the already-appended tuples ids on one
+// side: the shared core of the per-tuple and batched absorb paths.
+func (m *Maintainer) absorbIDs(ids []int, left bool) (displaced, admitted int, err error) {
+	m.inserted += len(ids)
+
+	// New joined pairs introduced by the batch. For a left batch that is
+	// ids × R2 — which, R2 including any rows this same physical batch
+	// appended there (self-join), covers the new×new pairs too.
 	st := Stats{}
 	res := m.res
 	if res != nil && !res.matches(m.q) {
 		res = nil
 	}
+	rel := m.q.R2
+	if left {
+		rel = m.q.R1
+	}
+	if len(ids)*absorbRecomputeFraction >= rel.Len() {
+		return m.recomputeDiff(res)
+	}
 	e := newEngineResident(m.q, &st, res)
+	all1 := allIndices(m.q.R1.Len())
+	all2 := allIndices(m.q.R2.Len())
 	var newPairs []join.Pair
 	if left {
-		newPairs = e.pairs([]int{id}, allIndices(m.q.R2.Len()))
+		newPairs = e.pairs(ids, all2)
 	} else {
-		newPairs = e.pairs(allIndices(m.q.R1.Len()), []int{id})
+		newPairs = e.pairs(all1, ids)
 	}
 	if len(newPairs) == 0 {
 		return 0, 0, nil
 	}
+	ctx := context.Background()
 
-	// Displacement: existing skyline members k-dominated by a new pair.
-	for key, p := range m.sky {
-		for _, np := range newPairs {
-			if e.pairKDominates(np.Left, np.Right, p.Attrs) {
-				delete(m.sky, key)
+	// Displacement: an existing member leaves exactly when some new pair
+	// k-dominates it, and a checker restricted to the batch's side
+	// enumerates precisely the new pairs — so the blocked verification
+	// kernel sweeps all current members against them at once instead of
+	// testing |sky| × |newPairs| combinations pair by pair.
+	if len(m.sky) > 0 {
+		keys := make([][2]int, 0, len(m.sky))
+		members := make([]join.Pair, 0, len(m.sky))
+		for key, p := range m.sky {
+			keys = append(keys, key)
+			members = append(members, p)
+		}
+		var chk *checker
+		if left {
+			chk = e.newChecker(ids, all2)
+		} else {
+			chk = e.newChecker(all1, ids)
+		}
+		chk.ensurePartners()
+		keep := e.keepBits(len(members))
+		if err := chk.verifyRange(ctx, members, 0, len(members), keep); err != nil {
+			return 0, 0, err
+		}
+		for i := range members {
+			if keep[i>>6]&(uint64(1)<<uint(i&63)) == 0 {
+				delete(m.sky, keys[i])
 				displaced++
-				break
 			}
 		}
 	}
 
 	// Admission: new pairs not k-dominated by any pair of the updated
-	// join (the checker's target pruning applies as usual).
-	chk := e.newChecker(allIndices(m.q.R1.Len()), allIndices(m.q.R2.Len()))
-	for _, np := range newPairs {
-		if !chk.dominates(np.Attrs) {
-			key := [2]int{np.Left, np.Right}
-			// Count only genuinely new members: a self-join absorbs the
-			// (new, new) pair from both sides, and it must not show up as
-			// two admissions.
-			if _, ok := m.sky[key]; !ok {
-				admitted++
-			}
-			// Detach from the per-insert materialization arena: the skyline
-			// map is long-lived and must not pin the whole insert's pairs.
-			m.sky[key] = detach(np)
-		}
+	// join (the checker's target pruning applies as usual), verified
+	// through the same blocked kernel.
+	chk := e.newChecker(all1, all2)
+	chk.ensurePartners()
+	keep := e.keepBits(len(newPairs))
+	if err := chk.verifyRange(ctx, newPairs, 0, len(newPairs), keep); err != nil {
+		return 0, 0, err
 	}
+	for i := range newPairs {
+		if keep[i>>6]&(uint64(1)<<uint(i&63)) == 0 {
+			continue
+		}
+		np := newPairs[i]
+		key := [2]int{np.Left, np.Right}
+		// Count only genuinely new members: a self-join absorbs the
+		// (new, new) pair from both sides, and it must not show up as
+		// two admissions.
+		if _, ok := m.sky[key]; !ok {
+			admitted++
+		}
+		// Detach from the per-batch materialization arena: the skyline
+		// map is long-lived and must not pin the whole batch's pairs.
+		m.sky[key] = detach(np)
+	}
+	return displaced, admitted, nil
+}
+
+// recomputeDiff repositions the maintainer on a from-scratch grouping run
+// — the large-batch arm of the hybrid absorb — and derives the displaced/
+// admitted counts by diffing the old and new member sets. The counts are
+// exactly what the incremental arm would report: insert-monotonicity
+// means every member that leaves was displaced and every member that
+// appears is a newly admitted pair.
+func (m *Maintainer) recomputeDiff(res *Resident) (displaced, admitted int, err error) {
+	var out *Result
+	if res != nil {
+		out, err = res.Exec(context.Background(), m.q, ExecOptions{Algorithm: Grouping})
+	} else {
+		out, err = Run(m.q, Grouping)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	m.recomputes++
+	next := make(map[[2]int]join.Pair, len(out.Skyline))
+	for _, p := range out.Skyline {
+		key := [2]int{p.Left, p.Right}
+		if _, ok := m.sky[key]; !ok {
+			admitted++
+		}
+		next[key] = detach(p)
+	}
+	displaced = len(m.sky) + admitted - len(next)
+	m.sky = next
 	return displaced, admitted, nil
 }
 
@@ -268,7 +400,8 @@ func (m *Maintainer) Len() int { return len(m.sky) }
 
 // Counters reports maintenance activity: incremental insert/absorb
 // operations processed (a self-joined tuple absorbed on both sides counts
-// as two operations) and full recomputes triggered by deletions.
+// as two operations) and full recomputes — triggered by deletions or by
+// batches past the hybrid absorb's threshold.
 func (m *Maintainer) Counters() (inserted, recomputes int) {
 	return m.inserted, m.recomputes
 }

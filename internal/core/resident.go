@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/join"
@@ -22,8 +23,9 @@ import (
 //
 // A Resident is a snapshot: it is valid only while the relations it was
 // built from keep the exact contents (and lengths) they had at build time.
-// Callers that mutate relations (the maintainer's insert path) must build
-// a fresh Resident afterwards; Exec rejects a stale one.
+// Callers that append to the relations can carry the snapshot forward with
+// Absorb instead of rebuilding; any other mutation requires a fresh
+// Resident — Exec rejects a stale one.
 type Resident struct {
 	r1, r2     *dataset.Relation
 	n1, n2     int
@@ -31,6 +33,19 @@ type Resident struct {
 	rightIx    *join.Index
 	leftSorted []int
 	pts1, pts2 [][]float64
+	// leftSums caches the attribute sums behind leftSorted's ordering,
+	// indexed by R1 row ID; built lazily by the first left-side Absorb so
+	// batch merges extend it instead of re-summing the whole relation.
+	leftSums []float64
+}
+
+// String returns "left" or "right" (Side is declared with the
+// categorization machinery; the absorption entry points reuse it).
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
 }
 
 // ErrStaleResident is returned by Exec when ExecOptions.Resident does not
@@ -72,6 +87,102 @@ func NewResident(q Query) (*Resident, error) {
 		pts1:       e.pts1,
 		pts2:       e.pts2,
 	}, nil
+}
+
+// Absorb advances the snapshot over rows appended to one side's relation:
+// ids must be exactly that side's appended tail — the consecutive row IDs
+// from the snapshot's recorded length up — each listed once, in order. A
+// left absorb merges the new rows into the sum-sorted probe order (a
+// stable merge of the sorted tail, reproducing exactly the ordering a
+// rebuild would compute); a right absorb extends the full-R2 join index in
+// place (join.Index.Extend). Both refresh the side's base-point views
+// (appending may have re-backed the attribute column) and advance the
+// recorded length, so the post-batch Resident serves queries without
+// ErrStaleResident at merge cost instead of rebuild cost.
+//
+// Absorb writes to structures concurrent Execs read: callers must exclude
+// it from readers exactly as they exclude relation mutation. For a
+// self-join (one relation on both sides) absorb each side separately.
+func (r *Resident) Absorb(side Side, ids []int) error {
+	rel, n := r.r2, r.n2
+	if side == Left {
+		rel, n = r.r1, r.n1
+	}
+	for i, id := range ids {
+		if id != n+i {
+			return fmt.Errorf("core: absorb %s ids must be the appended tail starting at %d (got %d at position %d)",
+				side, n, id, i)
+		}
+	}
+	if n+len(ids) > rel.Len() {
+		return fmt.Errorf("core: absorb %s ids reach row %d, relation %s has %d rows",
+			side, n+len(ids)-1, rel.Name, rel.Len())
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	if side == Left {
+		r.leftSorted = mergeBySum(r.leftSorted, ids, r.extendLeftSums(ids))
+		r.pts1 = basePoints(r.r1)
+		r.n1 += len(ids)
+		return nil
+	}
+	// Probe-priority for the appended tail mirrors rightProbeOrder: sum
+	// order for bucketed conditions, natural order where the index
+	// re-sorts by band anyway.
+	tail := ids
+	if r.cond == join.Equality || r.cond == join.Cross {
+		tail = sortBySum(basePoints(r.r2), ids)
+	}
+	r.rightIx.Extend(tail)
+	r.pts2 = basePoints(r.r2)
+	r.n2 += len(ids)
+	return nil
+}
+
+// extendLeftSums brings the cached R1 attribute sums up to date with the
+// appended ids and returns the table (indexed by row ID).
+func (r *Resident) extendLeftSums(ids []int) []float64 {
+	if r.leftSums == nil {
+		r.leftSums = make([]float64, 0, r.n1+len(ids))
+		for i := 0; i < r.n1; i++ {
+			r.leftSums = append(r.leftSums, sumOf(r.r1.Attrs(i)))
+		}
+	}
+	for _, id := range ids {
+		r.leftSums = append(r.leftSums, sumOf(r.r1.Attrs(id)))
+	}
+	return r.leftSums
+}
+
+func sumOf(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// mergeBySum merges the appended ids into an existing ascending-sum
+// ordering: the tail is stable-sorted by sum, then merged with existing
+// entries winning ties. Because the appended ids all follow the existing
+// ones in natural order, this is exactly the stable sort a from-scratch
+// rebuild computes.
+func mergeBySum(sorted, ids []int, sums []float64) []int {
+	tail := append([]int(nil), ids...)
+	sort.SliceStable(tail, func(a, b int) bool { return sums[tail[a]] < sums[tail[b]] })
+	merged := make([]int, len(sorted)+len(tail))
+	i, j := len(sorted)-1, len(tail)-1
+	for k := len(merged) - 1; k >= 0; k-- {
+		if j < 0 || (i >= 0 && sums[sorted[i]] > sums[tail[j]]) {
+			merged[k] = sorted[i]
+			i--
+		} else {
+			merged[k] = tail[j]
+			j--
+		}
+	}
+	return merged
 }
 
 // matches reports whether the resident snapshot is still valid for q.

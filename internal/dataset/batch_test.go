@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randBatch(rng *rand.Rand, n, local, agg, groups int) []Tuple {
+	ts := make([]Tuple, n)
+	for i := range ts {
+		attrs := make([]float64, local+agg)
+		for j := range attrs {
+			attrs[j] = rng.Float64() * 100
+		}
+		ts[i] = Tuple{
+			Key:   fmt.Sprintf("g%04d", rng.Intn(groups)),
+			Band:  rng.Float64(),
+			Attrs: attrs,
+		}
+	}
+	return ts
+}
+
+// TestAppendBatchMatchesSequential pins the batched append to the
+// per-tuple path: same rows, same symbols, same iteration views.
+func TestAppendBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	base := randBatch(rng, 10, 2, 1, 3)
+	batch := randBatch(rng, 25, 2, 1, 3)
+
+	seq, err := New("seq", 2, 1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat := seq.Clone()
+	for i, tup := range batch {
+		id, err := seq.Append(tup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != len(base)+i {
+			t.Fatalf("Append id = %d, want %d", id, len(base)+i)
+		}
+	}
+	first, err := bat.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != len(base) {
+		t.Fatalf("AppendBatch first id = %d, want %d", first, len(base))
+	}
+	if seq.Len() != bat.Len() {
+		t.Fatalf("lengths diverge: sequential %d, batch %d", seq.Len(), bat.Len())
+	}
+	for i := 0; i < seq.Len(); i++ {
+		a, b := seq.Tuple(i), bat.Tuple(i)
+		if a.Key != b.Key || a.Key2 != b.Key2 || a.Band != b.Band {
+			t.Fatalf("row %d diverges: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Attrs {
+			if a.Attrs[j] != b.Attrs[j] {
+				t.Fatalf("row %d attr %d: %v vs %v", i, j, a.Attrs[j], b.Attrs[j])
+			}
+		}
+		if seq.KeyID(i) != bat.KeyID(i) {
+			t.Fatalf("row %d symbol diverges: %d vs %d", i, seq.KeyID(i), bat.KeyID(i))
+		}
+	}
+}
+
+// TestAppendBatchRejectsAtomically pins all-or-nothing validation: a bad
+// tuple anywhere in the batch leaves the relation untouched and names the
+// offending position.
+func TestAppendBatchRejectsAtomically(t *testing.T) {
+	r, err := New("r", 2, 0, randBatch(rand.New(rand.NewSource(5)), 4, 2, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := r.Len()
+	bad := randBatch(rand.New(rand.NewSource(6)), 3, 2, 0, 2)
+	bad[2].Attrs[0] = math.NaN()
+	if _, err := r.AppendBatch(bad); err == nil {
+		t.Fatal("AppendBatch accepted a NaN attribute")
+	} else if !strings.Contains(err.Error(), "tuple 2") {
+		t.Fatalf("error %q does not name the offending tuple", err)
+	} else if !errors.Is(err, ErrBadSchema) {
+		t.Fatalf("error %q is not ErrBadSchema", err)
+	}
+	if r.Len() != n {
+		t.Fatalf("failed batch mutated the relation: %d rows, want %d", r.Len(), n)
+	}
+}

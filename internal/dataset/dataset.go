@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -108,31 +109,20 @@ func checkTuple(t *Tuple, d int) error {
 // tuple matches the schema width local+agg and carries finite skyline
 // attributes and a non-NaN band. The tuples' storage is copied into the
 // relation's columns; the input slice is not retained or mutated.
+// Construction is one AppendBatch over an empty relation, so the bulk
+// ingest path and the constructor share one set of invariants.
 func New(name string, local, agg int, tuples []Tuple) (*Relation, error) {
 	if local < 0 || agg < 0 || local+agg == 0 {
 		return nil, fmt.Errorf("%w: local=%d agg=%d", ErrBadSchema, local, agg)
 	}
-	d := local + agg
 	r := &Relation{
 		Name:  name,
 		Local: local,
 		Agg:   agg,
-		n:     len(tuples),
-		attrs: make([]float64, 0, len(tuples)*d),
-		band:  make([]float64, 0, len(tuples)),
-		keys:  make([]int32, 0, len(tuples)),
-		keys2: make([]int32, 0, len(tuples)),
 		syms:  NewSymbolTable(),
 	}
-	for i := range tuples {
-		t := &tuples[i]
-		if err := checkTuple(t, d); err != nil {
-			return nil, fmt.Errorf("%w (tuple %d)", err, i)
-		}
-		r.attrs = append(r.attrs, t.Attrs...)
-		r.band = append(r.band, t.Band)
-		r.keys = append(r.keys, r.syms.Intern(t.Key))
-		r.keys2 = append(r.keys2, r.syms.Intern(t.Key2))
+	if _, err := r.AppendBatch(tuples); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -164,6 +154,52 @@ func (r *Relation) Append(t Tuple) (int, error) {
 	r.keys2 = append(r.keys2, r.syms.Intern(t.Key2))
 	r.n++
 	return id, nil
+}
+
+// AppendBatch validates ts against the relation's schema and appends all
+// of them in one pass, assigning consecutive row IDs; it returns the first
+// assigned ID (the batch occupies [first, first+len(ts))). Appending is
+// all-or-nothing: every tuple is validated before any column is touched,
+// so a bad tuple mid-batch cannot leave the relation half-grown. Each
+// column grows at most once for the whole batch, and runs of equal join
+// keys are interned with one symbol-table lookup per run — the bulk-ingest
+// door group-commit inserts, CSV loads and New itself go through.
+// The tuples' storage is copied; the input slice is not retained or
+// mutated.
+func (r *Relation) AppendBatch(ts []Tuple) (int, error) {
+	d := r.D()
+	for i := range ts {
+		if err := checkTuple(&ts[i], d); err != nil {
+			return 0, fmt.Errorf("%w (tuple %d)", err, i)
+		}
+	}
+	first := r.n
+	r.attrs = slices.Grow(r.attrs, len(ts)*d)
+	r.band = slices.Grow(r.band, len(ts))
+	r.keys = slices.Grow(r.keys, len(ts))
+	r.keys2 = slices.Grow(r.keys2, len(ts))
+	// Run memo: batches arrive grouped by key often enough (CSV exports,
+	// per-group generators) that remembering the last interned string of
+	// each column skips the table lookup for every repeat. Comparing a
+	// repeated string to its own previous occurrence is cheap (equal
+	// lengths, usually shared backing), and a miss costs one comparison.
+	var lastKey, lastKey2 string
+	var lastSym, lastSym2 int32 = -1, -1
+	for i := range ts {
+		t := &ts[i]
+		r.attrs = append(r.attrs, t.Attrs...)
+		r.band = append(r.band, t.Band)
+		if lastSym < 0 || t.Key != lastKey {
+			lastKey, lastSym = t.Key, r.syms.Intern(t.Key)
+		}
+		r.keys = append(r.keys, lastSym)
+		if lastSym2 < 0 || t.Key2 != lastKey2 {
+			lastKey2, lastSym2 = t.Key2, r.syms.Intern(t.Key2)
+		}
+		r.keys2 = append(r.keys2, lastSym2)
+	}
+	r.n += len(ts)
+	return first, nil
 }
 
 // Delete removes row i, shifting higher rows down by one (their IDs shrink

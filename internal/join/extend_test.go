@@ -1,0 +1,131 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func extendTestRelation(t *testing.T, name string, rng *rand.Rand, n, groups int) *dataset.Relation {
+	t.Helper()
+	ts := make([]dataset.Tuple, n)
+	for i := range ts {
+		ts[i] = dataset.Tuple{
+			Key:   fmt.Sprintf("g%03d", rng.Intn(groups)),
+			Band:  rng.Float64(),
+			Attrs: []float64{rng.Float64() * 100, rng.Float64() * 100},
+		}
+	}
+	r, err := dataset.New(name, 2, 0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestExtendMatchesRebuild pins Index.Extend to the constructor: an index
+// built over a prefix and extended with the appended tail must answer
+// every probe exactly like one built from scratch over the full relation
+// — same partner sets, same order.
+func TestExtendMatchesRebuild(t *testing.T) {
+	conds := []Condition{Equality, Cross, BandLess, BandLessEq, BandGreater, BandGreaterEq}
+	for _, cond := range conds {
+		t.Run(cond.Token(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cond)*31 + 7))
+			probe := extendTestRelation(t, "probe", rng, 40, 6)
+			target := extendTestRelation(t, "target", rng, 30, 6)
+
+			prefix := 18
+			subset := make([]int, prefix)
+			for i := range subset {
+				subset[i] = i
+			}
+			extended := NewIndex(probe, target, subset, cond)
+			tail := make([]int, target.Len()-prefix)
+			for i := range tail {
+				tail[i] = prefix + i
+			}
+			extended.Extend(tail)
+
+			full := make([]int, target.Len())
+			for i := range full {
+				full[i] = i
+			}
+			rebuilt := NewIndex(probe, target, full, cond)
+
+			assertIndexesAgree(t, probe, extended, rebuilt)
+		})
+	}
+}
+
+// TestExtendSparseBuckets drives Extend through the map-backed bucket
+// representation (small subset over a large symbol space), which the
+// dense-bucket path of TestExtendMatchesRebuild never reaches.
+func TestExtendSparseBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// ~126 expected distinct symbols: deep into the map-backed regime
+	// (nsyms > 64, subset < nsyms/8).
+	probe := extendTestRelation(t, "probe", rng, 200, 200)
+	target := extendTestRelation(t, "target", rng, 200, 200)
+
+	subset := []int{3, 11, 27, 40}
+	extended := NewIndex(probe, target, subset, Equality)
+	extended.Extend([]int{55, 61})
+
+	rebuilt := NewIndex(probe, target, []int{3, 11, 27, 40, 55, 61}, Equality)
+	assertIndexesAgree(t, probe, extended, rebuilt)
+}
+
+// TestExtendAfterSymbolGrowth pins the stale-KeyTrans hazard: the appended
+// tail interns a key the probe already had but the target did not, so the
+// extension must refresh the translation or the probe row would silently
+// lose its partners.
+func TestExtendAfterSymbolGrowth(t *testing.T) {
+	mk := func(name string, keys ...string) *dataset.Relation {
+		ts := make([]dataset.Tuple, len(keys))
+		for i, k := range keys {
+			ts[i] = dataset.Tuple{Key: k, Attrs: []float64{float64(i), 1}}
+		}
+		r, err := dataset.New(name, 2, 0, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	probe := mk("probe", "a", "b", "z")
+	target := mk("target", "a", "b")
+
+	ix := NewIndex(probe, target, []int{0, 1}, Equality)
+	if got := ix.Partners(probe, 2); len(got) != 0 {
+		t.Fatalf("probe z has partners %v before the append", got)
+	}
+	if _, err := target.Append(dataset.Tuple{Key: "z", Attrs: []float64{9, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	ix.Extend([]int{2})
+	got := ix.Partners(probe, 2)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("probe z partners = %v after extend, want [2]", got)
+	}
+}
+
+func assertIndexesAgree(t *testing.T, probe *dataset.Relation, got, want *Index) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("index sizes diverge: %d vs %d", got.Len(), want.Len())
+	}
+	for i := 0; i < probe.Len(); i++ {
+		g, w := got.Partners(probe, i), want.Partners(probe, i)
+		if len(g) != len(w) {
+			t.Fatalf("probe %d: %d partners extended, %d rebuilt", i, len(g), len(w))
+		}
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("probe %d partner %d: %d extended, %d rebuilt (extended %v, rebuilt %v)",
+					i, j, g[j], w[j], g, w)
+			}
+		}
+	}
+}

@@ -19,14 +19,21 @@ import (
 //     the matching contiguous range of the permutation.
 //   - Cross: Partners returns the whole subset.
 //
-// An Index is built once and never mutated, so it is safe to share across
+// An Index is never mutated by readers, so it is safe to share across
 // concurrent readers (the parallel checker relies on this). Partner slices
-// are views into the index: callers must not modify them.
+// are views into the index: callers must not modify them. The one writer
+// entry point is Extend, which folds newly appended target rows into the
+// existing structures; it requires the same exclusion from readers that
+// mutating the underlying relation does.
 type Index struct {
 	cond Condition
 	// all is the indexed subset in build order (Cross fast path, and the
 	// universe every other representation permutes).
 	all []int
+	// probe is the relation the index is probed by (it may equal target);
+	// Extend rebuilds the key translation from it when either symbol table
+	// has grown since construction.
+	probe *dataset.Relation
 	// target is the indexed relation; its symbol table resolves probe
 	// symbols interned after the index was built.
 	target *dataset.Relation
@@ -68,7 +75,7 @@ func NewIndex(probe, r *dataset.Relation, subset []int, cond Condition) *Index {
 // KeyTrans once and amortize the per-symbol pass; kt == nil builds one.
 func NewIndexTrans(probe, r *dataset.Relation, subset []int, cond Condition, kt *KeyTrans) *Index {
 	subset = append([]int(nil), subset...)
-	ix := &Index{cond: cond, all: subset, target: r}
+	ix := &Index{cond: cond, all: subset, probe: probe, target: r}
 	switch cond {
 	case Equality:
 		if kt == nil {
@@ -145,6 +152,81 @@ func NewFullIndex(probe, r *dataset.Relation, cond Condition) *Index {
 		subset[i] = i
 	}
 	return NewIndex(probe, r, subset, cond)
+}
+
+// Extend folds rows appended to the target relation since the index was
+// built into the existing structures, in the order given: equality rows
+// are appended to their key buckets (the bucket table growing to cover
+// symbols interned by the batch), band rows are sorted among themselves
+// and merged into the band permutation from the end — O(b log b + n)
+// for a batch of b against an index of n, instead of the O(n log n)
+// rebuild. The resulting index answers Partners with exactly the partner
+// sets a rebuild over the grown relation would; within an equality bucket
+// the batch rows probe after the pre-existing ones rather than in global
+// probe-priority order, which affects probe order only, never membership.
+//
+// newIDs must be target rows that are not yet indexed, each listed once —
+// the appended tail of the relation, in whatever probe-priority order the
+// caller wants bucket tails to keep. Extend is a write: callers must
+// exclude it from concurrent readers exactly as they would a mutation of
+// the relation itself (the ingest path extends only residents it has
+// taken out of circulation).
+func (ix *Index) Extend(newIDs []int) {
+	if len(newIDs) == 0 {
+		return
+	}
+	ix.all = append(ix.all, newIDs...)
+	switch ix.cond {
+	case Equality:
+		// The batch may have interned strings into either symbol table: a
+		// new probe symbol is handled lazily by bucketForSym's fallback,
+		// but a target symbol interned for a string the probe already knew
+		// would leave a stale -1 in the translation and silently miss the
+		// new partners. Rebuilding the translation (one pass over the probe
+		// table) restores the invariant; the shared KeyTrans other indexes
+		// hold is immutable, so this index gets its own.
+		if ix.kt != nil && !ix.kt.identity {
+			ix.kt = NewKeyTrans(ix.probe, ix.target)
+		}
+		if ix.buckets != nil {
+			if nsyms := ix.target.Symbols().Len(); nsyms > len(ix.buckets) {
+				ix.buckets = append(ix.buckets, make([][]int, nsyms-len(ix.buckets))...)
+			}
+			for _, j := range newIDs {
+				k := ix.target.KeyID(j)
+				ix.buckets[k] = append(ix.buckets[k], j)
+			}
+		} else {
+			for _, j := range newIDs {
+				k := ix.target.KeyID(j)
+				ix.bucketMap[k] = append(ix.bucketMap[k], j)
+			}
+		}
+	case Cross:
+		// all is the whole answer; already extended above.
+	default:
+		bands := ix.target.Bands()
+		tail := append([]int(nil), newIDs...)
+		sort.SliceStable(tail, func(a, b int) bool {
+			return bands[tail[a]] < bands[tail[b]]
+		})
+		// Merge from the end, new rows placed after equal-band old rows:
+		// together with the stable tail sort this reproduces the exact
+		// permutation a stable rebuild sort over [old order, newIDs] would.
+		perm := make([]int, len(ix.perm)+len(tail))
+		merged := make([]float64, len(perm))
+		i, j := len(ix.perm)-1, len(tail)-1
+		for k := len(perm) - 1; k >= 0; k-- {
+			if j < 0 || (i >= 0 && ix.bands[i] > bands[tail[j]]) {
+				perm[k], merged[k] = ix.perm[i], ix.bands[i]
+				i--
+			} else {
+				perm[k], merged[k] = tail[j], bands[tail[j]]
+				j--
+			}
+		}
+		ix.perm, ix.bands = perm, merged
+	}
 }
 
 // Len returns the number of indexed tuples.

@@ -131,12 +131,16 @@ func (c *answerCache) takeForRelation(name string) []*entry {
 }
 
 // restore puts back an entry removed by takeForRelation under its
-// re-stamped key. No collision handling is needed: the caller (Insert)
-// holds the service's exclusive lock, so no store can interleave, and the
-// re-stamped keys of one insert are pairwise distinct.
+// re-stamped key. The ingest path absorbs maintainers outside the service
+// lock, so a concurrent query may have computed and stored a snapshot at
+// the same post-batch key in the meantime; the maintained entry supersedes
+// it (same answer, but live across future inserts).
 func (c *answerCache) restore(e *entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if prev, ok := c.entries[e.key]; ok {
+		c.removeLocked(prev)
+	}
 	e.elem = c.lru.PushFront(e)
 	c.entries[e.key] = e
 	for len(c.entries) > c.cap {

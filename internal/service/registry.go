@@ -110,6 +110,23 @@ func (rc *residentCache) put(key residentKey, res *core.Resident) {
 	rc.residents[key] = slot
 }
 
+// take removes and returns the resident for the key, or nil when the
+// cache holds none (or the slot errored). The ingest path calls it under
+// the service's exclusive lock to reclaim the pre-batch snapshot for
+// in-place extension; that lock has drained every query that could be
+// mid-build inside the slot's once, so reading slot.res without waiting
+// on it is safe.
+func (rc *residentCache) take(key residentKey) *core.Resident {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	slot, ok := rc.residents[key]
+	if !ok {
+		return nil
+	}
+	delete(rc.residents, key)
+	return slot.res
+}
+
 // dropRelation removes every resident referencing the named relation;
 // called after an insert bumps its version.
 func (rc *residentCache) dropRelation(name string) {

@@ -29,11 +29,18 @@
 //     Added/Removed deltas are published on every insert.
 //
 // Concurrency model: queries hold the service's read lock while they
-// execute (relations are read-only during evaluation), inserts hold the
-// write lock (single writer, serialized against all reads). The answer
-// cache has its own mutex for O(1) hit bookkeeping, and entries being
-// mutated by an insert are removed from the cache first, so a cache hit
-// never observes a half-absorbed answer.
+// execute (relations are read-only during evaluation). Ingest is a group
+// commit in three phases: a short exclusive section appends the whole
+// batch, bumps the version once, and pulls every affected cache entry,
+// watch set, and resident out of reach; the expensive maintainer
+// absorption then runs with no service lock held at all — concurrent
+// queries proceed, recomputing at the new versions; a second short
+// exclusive section publishes the updated entries and residents and fans
+// one coalesced delta per batch out to watchers. Batches themselves are
+// serialized by a dedicated ingest mutex (single writer), so version
+// history stays linear. The answer cache has its own mutex for O(1) hit
+// bookkeeping, and entries being mutated by an ingest are removed from
+// the cache first, so a cache hit never observes a half-absorbed answer.
 package service
 
 import (
@@ -154,11 +161,16 @@ type QueryResponse struct {
 	Stats *core.Stats
 }
 
-// InsertResult reports what one insert did to the resident state.
+// InsertResult reports what one ingest (a single tuple or a whole batch)
+// did to the resident state.
 type InsertResult struct {
-	// ID is the tuple's assigned index within its relation.
+	// ID is the first inserted tuple's assigned index within its
+	// relation; a batch occupies IDs [ID, ID+Count).
 	ID int
-	// Version is the relation's version after the insert.
+	// Count is the number of tuples appended.
+	Count int
+	// Version is the relation's version after the insert. A batch moves
+	// the version once, not once per tuple.
 	Version uint64
 	// Maintained counts cache entries updated in place through their
 	// maintainer; Invalidated counts entries dropped as stale.
@@ -175,6 +187,7 @@ type Stats struct {
 	MaintainedHits uint64 `json:"maintained_hits"`
 	Computed       uint64 `json:"computed"`
 	Inserts        uint64 `json:"inserts"`
+	Batches        uint64 `json:"batches"`
 	Rejected       uint64 `json:"rejected"`
 	Evictions      uint64 `json:"evictions"`
 
@@ -196,16 +209,24 @@ type Service struct {
 	cache     *answerCache
 	residents *residentCache
 
+	// ingestMu serializes ingest batches end to end (single writer) so
+	// version history stays linear even though each batch releases mu for
+	// its absorption phase. Lock order: ingestMu before mu.
+	ingestMu sync.Mutex
+
 	// mu guards the registry and — via read-locking for the whole of
-	// query execution — the relations' contents. Inserts take it
-	// exclusively: single writer, serialized against every reader.
+	// query execution — the relations' contents. Ingest takes it
+	// exclusively only for its two short commit sections; absorption runs
+	// with mu released so readers are never blocked behind maintainer
+	// work.
 	mu      sync.RWMutex
 	rels    map[string]*regRelation
 	watches map[watchKey]*watchSet
 	closed  atomic.Bool
 
 	queries, cacheHits, maintainedHits atomic.Uint64
-	computed, inserts, rejected        atomic.Uint64
+	computed, inserts, batches         atomic.Uint64
+	rejected                           atomic.Uint64
 }
 
 // New builds a Service with the given configuration.
@@ -539,40 +560,79 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 }
 
 // Insert appends one tuple to a registered relation and brings the
-// resident state with it: the relation's version moves, stale residents
-// and cache entries are dropped, and cache entries still current at the
-// old version are promoted to live maintenance and updated incrementally
-// instead of recomputed. Inserts are serialized (single writer) and
-// exclusive against running queries.
+// resident state with it. It is InsertBatch with a one-tuple batch —
+// the per-tuple path IS the batch path, so the two can never diverge.
 func (s *Service) Insert(name string, t dataset.Tuple) (*InsertResult, error) {
+	return s.InsertBatch(name, []dataset.Tuple{t})
+}
+
+// ingestCombo is the per-(pair, condition) state one batch threads through
+// its phases: a representative query (the resident structures are k- and
+// aggregator-independent, so any query over the combo serves) and the
+// shared Resident every maintained entry and watch set over the combo
+// absorbs through.
+type ingestCombo struct {
+	q   core.Query
+	res *core.Resident
+}
+
+// InsertBatch appends a batch of tuples to a registered relation as one
+// group commit: one physical append, one version bump, one resident
+// build (or in-place extension) per affected (pair, condition), one
+// maintainer absorption per cache entry and watch set, one coalesced
+// WatchEvent per subscriber. The final skyline is identical to inserting
+// the tuples one at a time (insert-monotonicity makes batch absorption
+// order-insensitive); only the intermediate versions are skipped.
+//
+// Locking: the batch runs in three phases. Phase 1 (exclusive) appends
+// and unhooks every affected entry, watch set, and resident. Phase 2
+// holds no service lock — the expensive verification work runs while
+// concurrent queries execute freely, recomputing at the new versions.
+// Phase 3 (exclusive) publishes the absorbed state and watch deltas.
+// Batches are serialized against each other by ingestMu.
+func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+
+	// Phase 1 — group commit under the exclusive lock: append the batch,
+	// bump the version, and pull everything the batch must update out of
+	// reach of concurrent readers.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed.Load() {
-		return nil, ErrClosed
-	}
 	rr, ok := s.rels[name]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, name)
 	}
-	id, err := rr.rel.Append(t)
+	first, err := rr.rel.AppendBatch(ts)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	oldV := rr.version
 	rr.version++
-	s.residents.dropRelation(name)
-	s.inserts.Add(1)
+	newV := rr.version
+	s.inserts.Add(uint64(len(ts)))
+	s.batches.Add(1)
+	ids := make([]int, len(ts))
+	for i := range ids {
+		ids[i] = first + i
+	}
+	out := &InsertResult{ID: first, Count: len(ts), Version: newV}
 
-	out := &InsertResult{ID: id, Version: rr.version}
-	// One Resident per affected (pair, condition) at the post-insert
-	// versions: its index structures are k- and aggregator-independent,
-	// so every maintained entry over the same combo absorbs through one
-	// build instead of rebuilding per entry — and the same snapshot
-	// warm-starts the next query.
-	combos := make(map[residentKey]*core.Resident)
+	// Cache entries still current at the old version are promoted to live
+	// maintenance; stale ones drop. Taken entries are unreachable by
+	// lookups until phase 3 restores them.
+	var live []*entry
+	var liveCombos []residentKey
 	for _, e := range s.cache.takeForRelation(name) {
 		if !s.entryCurrent(e, name, oldV) {
 			s.cache.drop(e)
@@ -580,13 +640,13 @@ func (s *Service) Insert(name string, t dataset.Tuple) (*InsertResult, error) {
 			continue
 		}
 		if e.key.r1 == name {
-			e.key.v1 = rr.version
+			e.key.v1 = newV
 		}
 		if e.key.r2 == name {
-			e.key.v2 = rr.version
+			e.key.v2 = newV
 		}
 		if e.m == nil {
-			// Promotion is free: the cached skyline at the pre-insert
+			// Promotion is free: the cached skyline at the pre-batch
 			// version seeds the maintainer, no recomputation. Queries the
 			// maintainer cannot take (non-strict aggregators) fall back
 			// to invalidation.
@@ -598,39 +658,155 @@ func (s *Service) Insert(name string, t dataset.Tuple) (*InsertResult, error) {
 			}
 			e.m = m
 		}
-		combo := residentKey{r1: e.key.r1, r2: e.key.r2, v1: e.key.v1, v2: e.key.v2, cond: e.key.cond}
-		res, ok := combos[combo]
-		if !ok {
+		live = append(live, e)
+		liveCombos = append(liveCombos, residentKey{r1: e.key.r1, r2: e.key.r2, v1: e.key.v1, v2: e.key.v2, cond: e.key.cond})
+	}
+
+	// Affected watch sets: flag them as absorbing so a last unsubscribe
+	// during phase 2 cannot close the maintainer out from under us —
+	// phase 3 finishes such a teardown itself.
+	var wsets []*watchSet
+	var wsCombos []residentKey
+	var wsVersions [][2]uint64
+	for wkey, ws := range s.watches {
+		if wkey.r1 != name && wkey.r2 != name {
+			continue
+		}
+		v1, v2 := s.rels[wkey.r1].version, s.rels[wkey.r2].version
+		ws.absorbing = true
+		wsets = append(wsets, ws)
+		wsCombos = append(wsCombos, residentKey{r1: wkey.r1, r2: wkey.r2, v1: v1, v2: v2, cond: wkey.cond})
+		wsVersions = append(wsVersions, [2]uint64{v1, v2})
+	}
+
+	// One shared Resident per affected combo. Reclaim the pre-batch
+	// snapshot where the cache has one — phase 2 extends it in place
+	// (merge cost) instead of rebuilding (sort cost) — then orphan
+	// whatever else references the mutated relation.
+	combos := make(map[residentKey]*ingestCombo)
+	addCombo := func(key residentKey, q core.Query) {
+		if _, ok := combos[key]; !ok {
+			combos[key] = &ingestCombo{q: q}
+		}
+	}
+	for i, e := range live {
+		addCombo(liveCombos[i], e.q)
+	}
+	for i, ws := range wsets {
+		addCombo(wsCombos[i], ws.q)
+	}
+	for key, cs := range combos {
+		oldKey := key
+		if oldKey.r1 == name {
+			oldKey.v1 = oldV
+		}
+		if oldKey.r2 == name {
+			oldKey.v2 = oldV
+		}
+		cs.res = s.residents.take(oldKey)
+	}
+	s.residents.dropRelation(name)
+	s.mu.Unlock()
+
+	// Phase 2 — absorb with no service lock held. Everything touched here
+	// (taken entries, watch maintainers, reclaimed residents) is
+	// unreachable by concurrent queries; readers run freely and recompute
+	// at the new versions.
+	for key, cs := range combos {
+		if cs.res != nil {
+			if err := extendResident(cs.res, key.r1 == name, key.r2 == name, ids); err != nil {
+				cs.res = nil // fall back to a fresh build
+			}
+		}
+		if cs.res == nil {
 			// Best effort: a failed build (unreachable for registry-owned
 			// relations) just means this combo absorbs without sharing.
-			res, _ = core.NewResident(e.q)
-			combos[combo] = res
+			cs.res, _ = core.NewResident(cs.q)
 		}
-		e.m.UseResident(res)
-		displaced, admitted, err := absorbInto(e, name, id)
+	}
+	type outcome struct {
+		displaced, admitted int
+		cur                 []join.Pair
+		err                 error
+	}
+	entOut := make([]outcome, len(live))
+	for i, e := range live {
+		if res := combos[liveCombos[i]].res; res != nil {
+			e.m.UseResident(res)
+		}
+		d, a, err := absorbBatchInto(e.m, e.key.r1 == name, e.key.r2 == name, ids)
 		if err != nil {
+			entOut[i].err = err
+			continue
+		}
+		entOut[i].displaced, entOut[i].admitted = d, a
+		// Refresh the served snapshot once per batch so cache hits stay
+		// O(1) instead of paying the maintainer's copy-and-sort.
+		e.skyline = e.m.Skyline()
+	}
+	wsOut := make([]outcome, len(wsets))
+	for i, ws := range wsets {
+		if res := combos[wsCombos[i]].res; res != nil {
+			ws.m.UseResident(res)
+		}
+		if _, _, err := absorbBatchInto(ws.m, ws.key.r1 == name, ws.key.r2 == name, ids); err != nil {
+			wsOut[i].err = err
+			continue
+		}
+		wsOut[i].cur = ws.m.Skyline()
+	}
+
+	// Phase 3 — publish under the exclusive lock: restore maintained
+	// entries, fan one coalesced delta per batch out to watchers, seed
+	// the resident cache for the next query.
+	s.mu.Lock()
+	for i, e := range live {
+		if entOut[i].err != nil {
 			s.cache.drop(e)
 			out.Invalidated++
 			continue
 		}
-		out.Displaced += displaced
-		out.Admitted += admitted
-		// Refresh the served snapshot once per insert, under the write
-		// lock, so cache hits stay O(1) instead of paying the
-		// maintainer's copy-and-sort per lookup.
-		e.skyline = e.m.Skyline()
+		out.Displaced += entOut[i].displaced
+		out.Admitted += entOut[i].admitted
 		s.cache.restore(e)
 		out.Maintained++
 	}
-	// Watched answers ride the same insert: absorb into each affected
-	// watch set's maintainer and fan the delta out to its subscribers,
-	// sharing the per-combo residents built above.
-	s.notifyWatchesLocked(name, id, combos)
-	for key, res := range combos {
-		if res != nil {
-			s.residents.put(key, res)
+	for i, ws := range wsets {
+		ws.absorbing = false
+		if wsOut[i].err != nil {
+			// Unreachable for registry-owned relations; fail loudly rather
+			// than silently drift: every subscriber ends with the error.
+			if s.watches[ws.key] == ws {
+				delete(s.watches, ws.key)
+			}
+			ws.m.Close()
+			for sub := range ws.subs {
+				sub.terminate(wsOut[i].err)
+			}
+			continue
+		}
+		if len(ws.subs) == 0 {
+			// The last subscriber left during phase 2; removeWatch deferred
+			// the teardown to us.
+			if s.watches[ws.key] == ws {
+				delete(s.watches, ws.key)
+			}
+			ws.m.Close()
+			continue
+		}
+		added, removed := diffPairs(ws.last, wsOut[i].cur)
+		ws.last = wsOut[i].cur
+		ws.versions = wsVersions[i]
+		for sub := range ws.subs {
+			sub.enqueue(WatchEvent{Added: added, Removed: removed, Versions: ws.versions})
 		}
 	}
+	for key, cs := range combos {
+		if cs.res != nil {
+			s.residents.put(key, cs.res)
+		}
+	}
+	s.mu.Unlock()
 	return out, nil
 }
 
@@ -654,19 +830,36 @@ func (s *Service) entryCurrent(e *entry, name string, oldV uint64) bool {
 	return ok1 && ok2 && e.key.v1 == v1 && e.key.v2 == v2
 }
 
-// absorbInto folds the appended tuple into the entry's maintainer on
-// every side the relation occupies (both, for a self-join).
-func absorbInto(e *entry, name string, id int) (displaced, admitted int, err error) {
-	if e.key.r1 == name {
-		d, a, err := e.m.AbsorbLeft(id)
+// extendResident advances a reclaimed pre-batch Resident over the
+// appended tail, on every side the mutated relation occupies (both, for a
+// self-join).
+func extendResident(res *core.Resident, left, right bool, ids []int) error {
+	if left {
+		if err := res.Absorb(core.Left, ids); err != nil {
+			return err
+		}
+	}
+	if right {
+		if err := res.Absorb(core.Right, ids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// absorbBatchInto folds the appended tail into a maintainer on every side
+// the mutated relation occupies (both, for a self-join).
+func absorbBatchInto(m *core.Maintainer, left, right bool, ids []int) (displaced, admitted int, err error) {
+	if left {
+		d, a, err := m.AbsorbBatchLeft(ids)
 		if err != nil {
 			return 0, 0, err
 		}
 		displaced += d
 		admitted += a
 	}
-	if e.key.r2 == name {
-		d, a, err := e.m.AbsorbRight(id)
+	if right {
+		d, a, err := m.AbsorbBatchRight(ids)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -692,6 +885,7 @@ func (s *Service) Stats() Stats {
 		MaintainedHits:    s.maintainedHits.Load(),
 		Computed:          s.computed.Load(),
 		Inserts:           s.inserts.Load(),
+		Batches:           s.batches.Load(),
 		Rejected:          s.rejected.Load(),
 		Evictions:         evictions,
 		CacheEntries:      entries,
@@ -711,8 +905,12 @@ func (s *Service) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// The exclusive lock drains every reader: no query is mid-execution
-	// when the cache and registry go away.
+	// Wait out any in-flight batch first (a batch that started before the
+	// CAS is entitled to publish its phase 3), then let the exclusive
+	// lock drain every reader: no query is mid-execution when the cache
+	// and registry go away.
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cache.closeAll()

@@ -19,13 +19,15 @@ import (
 // watch sets push answer changes to standing subscribers.
 //
 // Concurrency model: watch sets live in the service registry map, guarded
-// by the service lock. The insert path (write lock held) absorbs the new
-// tuple into each affected watch set's maintainer, diffs the served
-// snapshot, and enqueues the delta on every subscriber — enqueueing only
-// appends to a per-subscriber buffer and never blocks, so a slow consumer
-// cannot stall Insert (its deltas queue in memory until it drains them).
-// A per-subscription goroutine forwards queued events to the Events
-// channel, honoring the subscriber's context.
+// by the service lock. The ingest path (Service.InsertBatch) flags each
+// affected set in its locked commit phase, absorbs the batch into the
+// set's maintainer with the lock released, then — back under the lock —
+// diffs the served snapshot and enqueues one coalesced delta per batch on
+// every subscriber. Enqueueing only appends to a per-subscriber buffer
+// and never blocks, so a slow consumer cannot stall ingest (its deltas
+// queue in memory until it drains them). A per-subscription goroutine
+// forwards queued events to the Events channel, honoring the subscriber's
+// context.
 
 // WatchEvent is one change to a watched answer. The first event of every
 // subscription (Seq 0) is the full current answer as Added; each later
@@ -75,7 +77,10 @@ type watchKey struct {
 
 // watchSet is the shared state of all subscriptions to one watched query:
 // a live maintainer, the served snapshot its deltas are diffed against,
-// and the subscriber list. Mutated only under the service lock.
+// and the subscriber list. All fields except m are mutated only under the
+// service lock; m is absorbed by the ingest path with the lock released,
+// protected instead by the absorbing flag (see below) and the ingest
+// mutex.
 type watchSet struct {
 	key      watchKey
 	q        core.Query
@@ -83,6 +88,11 @@ type watchSet struct {
 	last     []join.Pair // sorted; the snapshot the next delta diffs against
 	versions [2]uint64
 	subs     map[*Watch]struct{}
+	// absorbing is set (under the service lock) by ingest phase 1 and
+	// cleared by phase 3. While it is set the maintainer may be in use
+	// with no lock held, so removeWatch must not close it — phase 3
+	// finishes the teardown of a set whose last subscriber left mid-batch.
+	absorbing bool
 }
 
 // Watch subscribes to a query's answer. The first event is the current
@@ -120,7 +130,14 @@ func (s *Service) Watch(ctx context.Context, req QueryRequest) (*Watch, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, ok, err := s.tryAttach(ctx, req, p, resp.Skyline, resp.Versions)
+		snapshot := resp.Skyline
+		if snapshot == nil {
+			// An empty answer is a perfectly watchable snapshot; nil is
+			// tryAttach's "no snapshot computed yet" sentinel, so make the
+			// empty case explicit rather than spin on the retry loop.
+			snapshot = []join.Pair{}
+		}
+		w, ok, err := s.tryAttach(ctx, req, p, snapshot, resp.Versions)
 		if err != nil {
 			return nil, err
 		}
@@ -180,59 +197,6 @@ func (s *Service) tryAttach(ctx context.Context, req QueryRequest, p parsed, sna
 	w.enqueue(WatchEvent{Added: ws.last, Versions: ws.versions})
 	go w.pump(ctx)
 	return w, true, nil
-}
-
-// notifyWatchesLocked runs on the insert path (write lock held): absorb
-// the appended tuple into every watch set over the named relation, diff
-// the served snapshot, and fan the delta out. combos shares one Resident
-// per (pair, versions, condition) with the cache-entry absorbs.
-func (s *Service) notifyWatchesLocked(name string, id int, combos map[residentKey]*core.Resident) {
-	for wkey, ws := range s.watches {
-		if wkey.r1 != name && wkey.r2 != name {
-			continue
-		}
-		v1, v2 := s.rels[wkey.r1].version, s.rels[wkey.r2].version
-		combo := residentKey{r1: wkey.r1, r2: wkey.r2, v1: v1, v2: v2, cond: wkey.cond}
-		res, ok := combos[combo]
-		if !ok {
-			res, _ = core.NewResident(ws.q) // best effort, as for cache entries
-			combos[combo] = res
-		}
-		ws.m.UseResident(res)
-		if err := s.absorbWatch(ws, name, id); err != nil {
-			// Unreachable for registry-owned relations; fail loudly rather
-			// than silently drift: every subscriber ends with the error.
-			delete(s.watches, wkey)
-			ws.m.Close()
-			for sub := range ws.subs {
-				sub.terminate(err)
-			}
-			continue
-		}
-		cur := ws.m.Skyline()
-		added, removed := diffPairs(ws.last, cur)
-		ws.last = cur
-		ws.versions = [2]uint64{v1, v2}
-		for sub := range ws.subs {
-			sub.enqueue(WatchEvent{Added: added, Removed: removed, Versions: ws.versions})
-		}
-	}
-}
-
-// absorbWatch folds the appended tuple into the watch set's maintainer on
-// every side the relation occupies (both, for a self-join).
-func (s *Service) absorbWatch(ws *watchSet, name string, id int) error {
-	if ws.key.r1 == name {
-		if _, _, err := ws.m.AbsorbLeft(id); err != nil {
-			return err
-		}
-	}
-	if ws.key.r2 == name {
-		if _, _, err := ws.m.AbsorbRight(id); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // diffPairs computes the delta between two (Left, Right)-sorted answers.
@@ -346,7 +310,8 @@ func (w *Watch) pump(ctx context.Context) {
 }
 
 // removeWatch unsubscribes w, closing its set's maintainer when it was
-// the last subscriber.
+// the last subscriber — unless an ingest batch is mid-absorption on the
+// set, in which case the batch's publish phase finishes the teardown.
 func (s *Service) removeWatch(w *Watch) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -355,7 +320,7 @@ func (s *Service) removeWatch(w *Watch) {
 		return // already detached (service closed, or set torn down)
 	}
 	delete(ws.subs, w)
-	if len(ws.subs) == 0 {
+	if len(ws.subs) == 0 && !ws.absorbing {
 		ws.m.Close()
 		delete(s.watches, ws.key)
 	}

@@ -53,6 +53,9 @@ type (
 
 	// Maintainer keeps a query's answer current under inserts/deletes.
 	Maintainer = core.Maintainer
+	// Side selects a relation side for batch absorption
+	// (Maintainer.AbsorbBatch).
+	Side = core.Side
 
 	// CascadeQuery is a chain-join KSJQ over three or more relations.
 	CascadeQuery = cascade.Query
@@ -80,6 +83,12 @@ var (
 	Sum = join.Sum
 	Max = join.Max
 	Min = join.Min
+)
+
+// Relation sides for batch absorption.
+const (
+	SideLeft  = core.Left
+	SideRight = core.Right
 )
 
 // Find-k strategies (Algos 4-6).

@@ -72,6 +72,16 @@ while read -r name base; do
     fi
 done < /tmp/bench_base.$$
 
+# Benchmarks present only in the fresh snapshot (typically added by the PR
+# under test) have no baseline to regress against: report them so they
+# don't silently vanish from the record, but never fail on them.
+while read -r name freshns; do
+    base=$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_base.$$)
+    if [ -z "$base" ]; then
+        printf "%-24s %14s %14s %8s\n" "$name" "(new)" "$freshns" "-"
+    fi
+done < /tmp/bench_fresh.$$
+
 if [ "$status" -ne 0 ]; then
     if [ "$warn_only" = 1 ]; then
         echo "bench_compare: regressions beyond ${threshold}% (warn-only mode, not failing)"

@@ -21,7 +21,7 @@ fi
 out=$1
 benchtime=${BENCHTIME:-3x}
 count=${COUNT:-5}
-pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert)$'
+pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert|BenchmarkInsertLoop|BenchmarkInsertBatch|BenchmarkResidentExtend|BenchmarkResidentRebuild)$'
 
 goversion=$(go version)
 loadavg=$(cut -d' ' -f1-3 /proc/loadavg 2>/dev/null || sysctl -n vm.loadavg 2>/dev/null || echo unknown)
@@ -37,9 +37,18 @@ awk -v benchtime="$benchtime" -v count="$count" \
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
+    # Columns are keyed by unit, not position: a benchmark that reports a
+    # custom metric (b.ReportMetric) inserts extra "<value> <unit>" pairs
+    # between ns/op and the -benchmem columns.
     name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
-    if (!(name in best) || $3 + 0 < best[name] + 0) {
-        best[name] = $3; iter[name] = $2; bytes[name] = $5; allocs[name] = $7
+    ns = ""; by = 0; al = 0
+    for (f = 3; f <= NF; f++) {
+        if ($f == "ns/op") ns = $(f - 1)
+        else if ($f == "B/op") by = $(f - 1)
+        else if ($f == "allocs/op") al = $(f - 1)
+    }
+    if (ns != "" && (!(name in best) || ns + 0 < best[name] + 0)) {
+        best[name] = ns; iter[name] = $2; bytes[name] = by; allocs[name] = al
     }
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
