@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare docs-check examples staticcheck apicheck shuffle ci
+.PHONY: build test race bench bench-compare coverage docs-check examples staticcheck apicheck shuffle ci
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,18 @@ examples:
 # Snapshot the tracked benchmarks (best-of-COUNT, default 5) into the
 # current PR's trajectory record.
 bench:
-	./scripts/bench_snapshot.sh BENCH_pr7.json
+	./scripts/bench_snapshot.sh BENCH_pr8.json
 
 # Noise-robust regression gate: fresh best-of-N snapshot vs the newest
 # checked-in BENCH_pr*.json; fails on >25% ns/op regression (THRESHOLD to
 # tune, WARN_ONLY=1 to report without failing).
 bench-compare:
 	./scripts/bench_compare.sh
+
+# Statement-coverage gate: internal/core and internal/service against
+# the floors in scripts/coverage_floor.txt (WARN_ONLY=1 to report only).
+coverage:
+	./scripts/check_coverage.sh
 
 # Fail if README.md references commands, flags, or files that are gone.
 docs-check:
@@ -48,4 +53,4 @@ staticcheck:
 		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
 	staticcheck ./...
 
-ci: build test race shuffle apicheck examples docs-check
+ci: build test race shuffle apicheck coverage examples docs-check

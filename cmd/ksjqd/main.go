@@ -16,8 +16,15 @@
 //	POST /v1/query       answer one KSJQ query
 //	POST /v1/insert      insert one tuple or a batch ("tuples"), maintaining
 //	                     cached answers through one group commit
+//	POST /v1/delete      delete one row ("id") or a batch ("ids") by current
+//	                     row index, maintaining cached answers the same way
 //	GET  /v1/stats       service counters
 //	GET  /healthz        liveness
+//
+// Relations registered with a window (the -window flag for preloads, or
+// "window_ms" on POST /v1/relations) are sliding windows: rows older than
+// the window age out automatically through the same delete path, swept
+// every -sweep-interval.
 //
 // Example query:
 //
@@ -91,6 +98,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "default per-request deadline (0 = 30s, negative = none)")
 		grace   = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		window  = flag.Duration("window", 0, "sliding window applied to every -load relation (0 = keep rows forever)")
+		sweep   = flag.Duration("sweep-interval", 0, "how often windowed relations age out expired rows (0 = 1s, negative = never)")
 		loads   loadFlags
 	)
 	flag.Var(&loads, "load", "preload a relation: name,path,local[,agg[,band]] (repeatable)")
@@ -101,9 +110,10 @@ func main() {
 		MaxQueue:       *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		SweepInterval:  *sweep,
 	})
 	for _, spec := range loads {
-		if err := preload(svc, spec); err != nil {
+		if err := preload(svc, spec, *window); err != nil {
 			log.Fatalf("ksjqd: -load %s: %v", spec.name, err)
 		}
 		log.Printf("loaded relation %s from %s", spec.name, spec.path)
@@ -155,14 +165,18 @@ func main() {
 	log.Printf("ksjqd: bye")
 }
 
-func preload(svc *ksjq.Service, spec loadSpec) error {
+func preload(svc *ksjq.Service, spec loadSpec, window time.Duration) error {
 	f, err := os.Open(spec.path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	_, err = svc.RegisterCSV(spec.name, f, ksjq.ReadOptions{
+	rel, err := ksjq.ReadCSV(f, ksjq.ReadOptions{
 		Name: spec.name, Local: spec.local, Agg: spec.agg, HasBand: spec.band,
 	})
+	if err != nil {
+		return err
+	}
+	_, err = svc.RegisterWindow(spec.name, rel, window)
 	return err
 }

@@ -430,3 +430,160 @@ func TestServerWatchRejectsBadRequest(t *testing.T) {
 		t.Fatalf("max aggregator: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestServerDelete covers both wire forms of /v1/delete: single-id and
+// batch, the maintained answer staying identical to a forced recompute,
+// and the client-error surface (mixed forms, bad ids, delete-all).
+func TestServerDelete(t *testing.T) {
+	srv := newTestServer(t)
+	for _, name := range []string{"r1", "r2"} {
+		postJSON(t, srv.URL+"/v1/relations", relationBody(name))
+	}
+	query := map[string]any{"r1": "r1", "r2": "r2", "k": 4, "algorithm": "grouping"}
+	postJSON(t, srv.URL+"/v1/query", query) // warm an entry to maintain
+
+	// Deleting r1's (1,9) leaves only pairs built from (9,1).
+	resp, out := postJSON(t, srv.URL+"/v1/delete", map[string]any{"relation": "r1", "id": 0})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d (%v)", resp.StatusCode, out)
+	}
+	if out["count"].(float64) != 1 || out["version"].(float64) != 2 {
+		t.Errorf("delete response: %v", out)
+	}
+	if out["maintained"].(float64) != 1 {
+		t.Errorf("delete maintained %v entries, want 1", out["maintained"])
+	}
+	_, maintained := postJSON(t, srv.URL+"/v1/query", query)
+	if maintained["source"] != "maintained" {
+		t.Fatalf("post-delete query source = %v, want maintained", maintained["source"])
+	}
+	if n := maintained["count"].(float64); n != 2 {
+		t.Fatalf("post-delete skyline has %v pairs, want 2", n)
+	}
+	fresh := map[string]any{"r1": "r1", "r2": "r2", "k": 4, "algorithm": "grouping", "no_cache": true}
+	_, recomputed := postJSON(t, srv.URL+"/v1/query", fresh)
+	if fmt.Sprint(maintained["skyline"]) != fmt.Sprint(recomputed["skyline"]) {
+		t.Errorf("maintained answer diverges from recompute:\n%v\n%v",
+			maintained["skyline"], recomputed["skyline"])
+	}
+
+	// Batch form: grow the relation, then delete two rows as one commit.
+	postJSON(t, srv.URL+"/v1/insert", map[string]any{
+		"relation": "r1",
+		"tuples": []map[string]any{
+			{"key": "h", "attrs": []float64{2, 8}},
+			{"key": "h", "attrs": []float64{8, 2}},
+		},
+	})
+	resp, out = postJSON(t, srv.URL+"/v1/delete", map[string]any{"relation": "r1", "ids": []int{0, 2}})
+	if resp.StatusCode != http.StatusOK || out["count"].(float64) != 2 {
+		t.Fatalf("batch delete: status %d (%v)", resp.StatusCode, out)
+	}
+	_, maintained = postJSON(t, srv.URL+"/v1/query", query)
+	_, recomputed = postJSON(t, srv.URL+"/v1/query", fresh)
+	if fmt.Sprint(maintained["skyline"]) != fmt.Sprint(recomputed["skyline"]) {
+		t.Errorf("post-batch maintained answer diverges from recompute:\n%v\n%v",
+			maintained["skyline"], recomputed["skyline"])
+	}
+
+	// Client errors: mixed forms, empty batch, out-of-range, delete-all,
+	// unknown relation.
+	resp, _ = postJSON(t, srv.URL+"/v1/delete", map[string]any{"relation": "r1", "id": 0, "ids": []int{0}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mixed forms: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/delete", map[string]any{"relation": "r1", "ids": []int{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/delete", map[string]any{"relation": "r1", "id": 99})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out of range: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/delete", map[string]any{"relation": "r2", "ids": []int{0, 1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("delete-all: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/delete", map[string]any{"relation": "nope", "id": 0})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown relation: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerWindow registers sliding-window relations over both wire
+// forms, checks the window surfaces in the listing, and lets the real
+// sweeper age rows out down to the retained newest row.
+func TestServerWindow(t *testing.T) {
+	svc := ksjq.NewService(ksjq.ServiceConfig{SweepInterval: 10 * time.Millisecond})
+	srv := httptest.NewServer(newServer(svc, 30*time.Second))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+
+	body := relationBody("r1")
+	body["window_ms"] = 40
+	if resp, out := postJSON(t, srv.URL+"/v1/relations", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("windowed load: status %d (%v)", resp.StatusCode, out)
+	}
+	csv := "key,a0,a1\nh,1,9\nh,9,1\n"
+	resp, err := http.Post(srv.URL+"/v1/relations?format=csv&name=legs&local=2&window_ms=60000", "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("windowed CSV load: status %d", resp.StatusCode)
+	}
+
+	// The listing carries each relation's window.
+	listResp, err := http.Get(srv.URL + "/v1/relations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Relations []struct {
+			Name     string `json:"name"`
+			WindowMS int64  `json:"window_ms"`
+		} `json:"relations"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	windows := map[string]int64{}
+	for _, r := range listing.Relations {
+		windows[r.Name] = r.WindowMS
+	}
+	if windows["r1"] != 40 || windows["legs"] != 60000 {
+		t.Fatalf("listed windows = %v, want r1:40 legs:60000", windows)
+	}
+
+	// r1's 40ms window ages both seed rows past their deadline; the
+	// sweeper keeps the newest so the relation never empties.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, err := svc.RelationInfo("r1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Tuples == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper left %d rows after 5s", info.Tuples)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// legs' one-minute window expires nothing in this test's lifetime.
+	if info, err := svc.RelationInfo("legs"); err != nil || info.Tuples != 2 {
+		t.Fatalf("legs: %v tuples (err %v), want 2 intact", info.Tuples, err)
+	}
+
+	// A negative window is rejected at registration.
+	bad := relationBody("r3")
+	bad["window_ms"] = -5
+	if resp, _ := postJSON(t, srv.URL+"/v1/relations", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative window: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -16,13 +16,15 @@ import (
 // decodes a request, calls the same method an embedder would, and encodes
 // the response. No query logic lives here.
 //
-//	POST /v1/relations  {"name","local","agg","tuples":[{"key","band","attrs"}]}
-//	POST /v1/relations?format=csv&name=r1&local=3&agg=1[&band=1]   (CSV body)
+//	POST /v1/relations  {"name","local","agg","tuples":[{"key","band","attrs"}],"window_ms":60000}
+//	POST /v1/relations?format=csv&name=r1&local=3&agg=1[&band=1][&window_ms=60000]   (CSV body)
 //	GET  /v1/relations
 //	POST /v1/query      {"r1","r2","k","join","agg","algorithm","workers","timeout_ms","no_cache"}
 //	POST /v1/watch      same body as /v1/query; responds with NDJSON answer deltas
 //	POST /v1/insert     {"relation","tuple":{"key","band","attrs"}}
 //	                    or {"relation","tuples":[{...},...]} (one group commit)
+//	POST /v1/delete     {"relation","id":3} or {"relation","ids":[0,4,7]}
+//	                    (one group commit; ids are current row indexes)
 //	GET  /v1/stats
 //	GET  /healthz
 
@@ -124,6 +126,13 @@ func newServer(svc *ksjq.Service, maxTimeout time.Duration) http.Handler {
 		}
 		handleInsert(svc, w, r)
 	})
+	mux.HandleFunc("/v1/delete", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		handleDelete(svc, w, r)
+	})
 	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
@@ -136,9 +145,15 @@ func handleLoad(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
 		name := q.Get("name")
 		local, agg := atoi(q.Get("local")), atoi(q.Get("agg"))
 		hasBand := q.Get("band") != "" && q.Get("band") != "0"
-		version, err := svc.RegisterCSV(name, r.Body, ksjq.ReadOptions{
+		window := time.Duration(atoi(q.Get("window_ms"))) * time.Millisecond
+		rel, err := ksjq.ReadCSV(r.Body, ksjq.ReadOptions{
 			Name: name, Local: local, Agg: agg, HasBand: hasBand,
 		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		version, err := svc.RegisterWindow(name, rel, window)
 		if err != nil {
 			writeServiceError(w, err)
 			return
@@ -147,10 +162,11 @@ func handleLoad(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Name   string      `json:"name"`
-		Local  int         `json:"local"`
-		Agg    int         `json:"agg"`
-		Tuples []tupleJSON `json:"tuples"`
+		Name     string      `json:"name"`
+		Local    int         `json:"local"`
+		Agg      int         `json:"agg"`
+		Tuples   []tupleJSON `json:"tuples"`
+		WindowMS int64       `json:"window_ms"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -165,7 +181,7 @@ func handleLoad(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	version, err := svc.Register(req.Name, rel)
+	version, err := svc.RegisterWindow(req.Name, rel, time.Duration(req.WindowMS)*time.Millisecond)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -326,6 +342,43 @@ func handleInsert(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
 		"id": res.ID, "count": res.Count, "version": res.Version,
 		"maintained": res.Maintained, "invalidated": res.Invalidated,
 		"displaced": res.Displaced, "admitted": res.Admitted,
+	})
+}
+
+// handleDelete accepts a single row id ("id") or a batch ("ids"); both
+// run through the service's group-commit delete, a batch paying one
+// version bump and one maintenance pass for the whole set. Ids are the
+// rows' current indexes — surviving rows renumber after the commit, so
+// batch members are resolved against the same pre-delete numbering.
+func handleDelete(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Relation string `json:"relation"`
+		ID       *int   `json:"id"`
+		IDs      []int  `json:"ids"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var ids []int
+	switch {
+	case req.ID != nil && len(req.IDs) > 0:
+		writeError(w, http.StatusBadRequest, errors.New(`give "id" or "ids", not both`))
+		return
+	case req.ID != nil:
+		ids = []int{*req.ID}
+	default:
+		ids = req.IDs
+	}
+	res, err := svc.DeleteBatch(req.Relation, ids)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": res.Count, "version": res.Version,
+		"maintained": res.Maintained, "invalidated": res.Invalidated,
+		"evicted": res.Evicted, "resurrected": res.Resurrected,
 	})
 }
 

@@ -22,10 +22,13 @@ import (
 //	|new pairs| target-checked against the (updated) full join, plus
 //	|current skyline| × |new pairs| displacement tests,
 //
-// instead of recomputing from scratch. Deletions break monotonicity
-// (removing a dominator can resurrect arbitrary tuples), so Delete* falls
-// back to a full recompute with the grouping algorithm; the API exists so
-// callers need no special-casing.
+// instead of recomputing from scratch. Deletions break monotonicity in the
+// opposite direction — removing a dominator can resurrect previously
+// dominated tuples, but can never displace a surviving member — so
+// Delete*/RetractBatch evict members referencing deleted rows and
+// re-verify only the resurrection candidates some removed pair dominated
+// (see retract.go); batches large relative to the relation fall back to a
+// full recompute, mirroring the absorb side's hybrid.
 type Maintainer struct {
 	q      Query
 	sky    map[[2]int]join.Pair
@@ -344,9 +347,11 @@ func (m *Maintainer) recomputeDiff(res *Resident) (displaced, admitted int, err 
 	return displaced, admitted, nil
 }
 
-// DeleteLeft removes the R1 tuple at index idx. Deletion is handled by a
-// full recompute (see the type comment); tuple IDs above idx shift down by
-// one, matching slice semantics.
+// DeleteLeft removes the R1 tuple at index idx and updates the skyline
+// through the retract path (RetractBatch): members referencing the row are
+// evicted, survivors renumbered (tuple IDs above idx shift down by one,
+// matching slice semantics), and resurrection candidates re-verified. For
+// a self-join the one physical delete shrinks both sides at once.
 func (m *Maintainer) DeleteLeft(idx int) error { return m.delete(idx, true) }
 
 // DeleteRight removes the R2 tuple at index idx.
@@ -360,24 +365,33 @@ func (m *Maintainer) delete(idx int, left bool) error {
 	// built at while changing its contents — the one mutation the
 	// resident's (pointer, length) staleness check cannot see — so drop
 	// it here rather than risk absorbing through a stale index later.
+	// (The service's delete path re-hands a freshly retracted resident via
+	// UseResident after the physical delete, which is the one way to keep
+	// one across a delete.)
 	m.res = nil
 	r := m.q.R2
 	if left {
 		r = m.q.R1
 	}
-	if err := r.Delete(idx); err != nil {
-		return err // dataset's bounds check; nothing has been mutated
+	if idx < 0 || idx >= r.Len() {
+		return r.Delete(idx) // dataset's bounds error; nothing is mutated
 	}
-	res, err := Run(m.q, Grouping)
-	if err != nil {
+	ids := []int{idx}
+	var rs *RetractSet
+	snap := !RetractPrefersRecompute(1, r.Len()-1)
+	var del *dataset.Relation
+	if snap {
+		del = SnapshotRows(r, ids)
+	}
+	if err := r.DeleteBatch(ids); err != nil {
 		return err
 	}
-	m.recomputes++
-	m.sky = make(map[[2]int]join.Pair, len(res.Skyline))
-	for _, p := range res.Skyline {
-		m.sky[[2]int{p.Left, p.Right}] = p
+	self := m.q.R1 == m.q.R2
+	if snap {
+		rs = NewRetractSet(m.q, left || self, !left || self, del)
 	}
-	return nil
+	_, _, err := m.RetractBatch(left || self, !left || self, ids, rs)
+	return err
 }
 
 // Skyline returns the current answer, sorted by (Left, Right), or nil if
@@ -400,8 +414,8 @@ func (m *Maintainer) Len() int { return len(m.sky) }
 
 // Counters reports maintenance activity: incremental insert/absorb
 // operations processed (a self-joined tuple absorbed on both sides counts
-// as two operations) and full recomputes — triggered by deletions or by
-// batches past the hybrid absorb's threshold.
+// as two operations) and full recomputes — triggered by absorb or retract
+// batches past their hybrid thresholds.
 func (m *Maintainer) Counters() (inserted, recomputes int) {
 	return m.inserted, m.recomputes
 }

@@ -140,6 +140,69 @@ func (r *Resident) Absorb(side Side, ids []int) error {
 	return nil
 }
 
+// Retract advances the snapshot over a batch delete on one side's
+// relation: ids must be the deleted rows' pre-delete IDs, sorted strictly
+// ascending — the same slice handed to dataset.Relation.DeleteBatch — and
+// the relation must already be compacted. A left retract filters the
+// deleted rows out of the sum-sorted probe order and renumbers the
+// survivors (sums are untouched by a delete, so the filtered order is
+// exactly what a rebuild would sort); a right retract does the same to the
+// full-R2 join index (join.Index.Retract). Both refresh the side's
+// base-point views and shrink the recorded length. For a self-join retract
+// each side separately, exactly as with Absorb.
+//
+// Like Absorb, Retract writes to structures concurrent Execs read: callers
+// must exclude it from readers.
+func (r *Resident) Retract(side Side, ids []int) error {
+	rel, n := r.r2, r.n2
+	if side == Left {
+		rel, n = r.r1, r.n1
+	}
+	for i, id := range ids {
+		if id < 0 || id >= n || (i > 0 && id <= ids[i-1]) {
+			return fmt.Errorf("core: retract %s ids must be strictly ascending pre-delete row IDs in [0,%d)", side, n)
+		}
+	}
+	if n-len(ids) != rel.Len() {
+		return fmt.Errorf("core: retract %s of %d ids expects relation %s at %d rows, it has %d",
+			side, len(ids), rel.Name, n-len(ids), rel.Len())
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	if side == Left {
+		w := 0
+		for _, id := range r.leftSorted {
+			j := sort.SearchInts(ids, id)
+			if j < len(ids) && ids[j] == id {
+				continue
+			}
+			r.leftSorted[w] = id - j
+			w++
+		}
+		r.leftSorted = r.leftSorted[:w]
+		if r.leftSums != nil {
+			w, next := 0, 0
+			for i, s := range r.leftSums {
+				if next < len(ids) && ids[next] == i {
+					next++
+					continue
+				}
+				r.leftSums[w] = s
+				w++
+			}
+			r.leftSums = r.leftSums[:w]
+		}
+		r.pts1 = basePoints(r.r1)
+		r.n1 -= len(ids)
+		return nil
+	}
+	r.rightIx.Retract(ids)
+	r.pts2 = basePoints(r.r2)
+	r.n2 -= len(ids)
+	return nil
+}
+
 // extendLeftSums brings the cached R1 attribute sums up to date with the
 // appended ids and returns the table (indexed by row ID).
 func (r *Resident) extendLeftSums(ids []int) []float64 {

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/dom"
+	"repro/internal/join"
+)
+
+// Delete-side incremental maintenance. Deletions break the insert-
+// monotonicity the absorb path is built on, but they break it in exactly
+// one direction: removing rows only removes joined pairs, so a dominator
+// set can shrink but never grow. Two consequences drive everything here:
+//
+//   - a surviving skyline member can never be displaced by a delete
+//     (its dominators were already empty and stay empty), and
+//   - a surviving non-member can re-enter ("resurrect") only if every
+//     dominator it had was removed — in particular, at least one removed
+//     pair k-dominated it.
+//
+// The second point is the resurrection filter: RetractBatch materializes
+// the removed pairs once (RetractSet), tests each non-member candidate
+// against them, and runs the expensive dominator verification only on the
+// candidates that pass. Everything else is bookkeeping — evicting members
+// that reference deleted rows and renumbering the survivors to the
+// relation's post-delete IDs.
+
+// RetractSet is the set of joined pairs a batch delete removed from a
+// query's join, organized for the resurrection filter: pairs are grouped
+// by their deleted component, each group keyed by that component's base
+// attributes so one local-prefix reachability test (the same bound the
+// verification kernel hoists) can skip the whole group.
+type RetractSet struct {
+	k          int
+	l1, l2     int
+	k1pp, k2pp int
+	count      int
+	// left groups pairs by a deleted R1-side row, right by a deleted
+	// R2-side row; a self-join's deleted×deleted pairs live in left.
+	left, right []retractGroup
+}
+
+type retractGroup struct {
+	// local is the deleted component's base attribute vector; its local
+	// prefix bounds what any pair in the group can dominate.
+	local []float64
+	sum   float64
+	pairs [][]float64
+}
+
+// SnapshotRows materializes the given rows of r as a standalone relation
+// with r's schema, in id order, with detached attribute storage — the
+// pre-delete snapshot NewRetractSet runs against. ids must be valid rows.
+func SnapshotRows(r *dataset.Relation, ids []int) *dataset.Relation {
+	ts := make([]dataset.Tuple, len(ids))
+	for i, id := range ids {
+		t := r.Tuple(id)
+		t.Attrs = append([]float64(nil), t.Attrs...)
+		ts[i] = t
+	}
+	del, err := dataset.New(r.Name+" (deleted)", r.Local, r.Agg, ts)
+	if err != nil {
+		// The rows passed this same validation when they entered r.
+		panic(fmt.Sprintf("core: snapshot of %s rows failed validation: %v", r.Name, err))
+	}
+	return del
+}
+
+// NewRetractSet materializes the joined pairs a DeleteBatch removed from
+// q's join. q must be the post-delete query (relations already compacted)
+// and del a snapshot of the deleted rows (SnapshotRows, taken before the
+// physical delete); left/right say which sides of the query the mutated
+// relation occupies (both, for a self-join). The removed pairs decompose
+// into deleted×survivors, survivors×deleted and — for a self-join —
+// deleted×deleted; each part is enumerated by indexing the small deleted
+// set (under the reversed condition where the probe direction flips) and
+// probing it from the big surviving relation, so the cost is
+// O(n log |del| + removed pairs), never O(n²).
+func NewRetractSet(q Query, left, right bool, del *dataset.Relation) *RetractSet {
+	agg := q.aggregator()
+	k1pp, k2pp := q.KDoublePrimes()
+	rs := &RetractSet{
+		k:    q.K,
+		l1:   q.R1.Local,
+		l2:   q.R2.Local,
+		k1pp: k1pp,
+		k2pp: k2pp,
+	}
+	w := join.Width(q.R1, q.R2)
+	if left {
+		byU := make([][][]float64, del.Len())
+		// Index del under the reversed condition and probe it by each
+		// surviving R2 row: Partners answers "which deleted u join with
+		// this v", covering del × R2 without indexing the big side.
+		ix := join.NewFullIndex(q.R2, del, q.Spec.Cond.Reversed())
+		all2 := allIndices(q.R2.Len())
+		arena := make([]float64, ix.CountPairs(q.R2, all2)*w)
+		pos := 0
+		ix.ForEachPair(q.R2, all2, func(j, u int) bool {
+			byU[u] = append(byU[u], join.CombineAt(del, q.R2, u, j, agg, arena[pos:pos:pos+w]))
+			pos += w
+			return false
+		})
+		if right {
+			// Self-join: both deleted rows of a deleted×deleted pair are
+			// gone from the survivors, so neither sweep above saw it.
+			ixd := join.NewFullIndex(del, del, q.Spec.Cond)
+			alld := allIndices(del.Len())
+			tail := make([]float64, ixd.CountPairs(del, alld)*w)
+			pos = 0
+			ixd.ForEachPair(del, alld, func(u, v int) bool {
+				byU[u] = append(byU[u], join.CombineAt(del, del, u, v, agg, tail[pos:pos:pos+w]))
+				pos += w
+				return false
+			})
+		}
+		rs.left = packRetractGroups(del, byU, &rs.count)
+	}
+	if right {
+		byV := make([][][]float64, del.Len())
+		// Natural probe direction: index del as the right side, probe by
+		// each surviving R1 row.
+		ix := join.NewFullIndex(q.R1, del, q.Spec.Cond)
+		all1 := allIndices(q.R1.Len())
+		arena := make([]float64, ix.CountPairs(q.R1, all1)*w)
+		pos := 0
+		ix.ForEachPair(q.R1, all1, func(i, v int) bool {
+			byV[v] = append(byV[v], join.CombineAt(q.R1, del, i, v, agg, arena[pos:pos:pos+w]))
+			pos += w
+			return false
+		})
+		rs.right = packRetractGroups(del, byV, &rs.count)
+	}
+	return rs
+}
+
+// packRetractGroups turns the per-deleted-row pair lists into the sorted
+// group form Dominated scans: groups ascending by their component's
+// attribute sum, pairs within a group ascending by combined sum, so the
+// strongest dominators are met first.
+func packRetractGroups(del *dataset.Relation, byRow [][][]float64, count *int) []retractGroup {
+	groups := make([]retractGroup, 0, len(byRow))
+	for id, pairs := range byRow {
+		if len(pairs) == 0 {
+			continue
+		}
+		sort.Slice(pairs, func(a, b int) bool { return sumOf(pairs[a]) < sumOf(pairs[b]) })
+		groups = append(groups, retractGroup{
+			local: del.Attrs(id),
+			sum:   sumOf(del.Attrs(id)),
+			pairs: pairs,
+		})
+		*count += len(pairs)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].sum < groups[b].sum })
+	return groups
+}
+
+// Pairs returns the number of removed joined pairs the set holds.
+func (rs *RetractSet) Pairs() int { return rs.count }
+
+// Dominated reports whether any removed pair k-dominates cand, a combined
+// attribute vector in the engine's [left locals, right locals, aggregates]
+// layout. A non-member can resurrect after the delete only if this is true
+// (all its dominators were removed, and it had at least one); candidates
+// that fail skip dominator verification entirely.
+func (rs *RetractSet) Dominated(cand []float64) bool {
+	for gi := range rs.left {
+		g := &rs.left[gi]
+		if _, _, ok := localPrefix(g.local, cand, rs.l1, rs.k1pp); !ok {
+			continue
+		}
+		for _, pa := range g.pairs {
+			if dom.KDominates(pa, cand, rs.k) {
+				return true
+			}
+		}
+	}
+	for gi := range rs.right {
+		g := &rs.right[gi]
+		// The deleted component sits on the right: its locals line up with
+		// cand[l1:l1+l2], and the reachability threshold is k2''.
+		if _, _, ok := localPrefix(g.local, cand[rs.l1:], rs.l2, rs.k2pp); !ok {
+			continue
+		}
+		for _, pa := range g.pairs {
+			if dom.KDominates(pa, cand, rs.k) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// retractRecomputeFraction mirrors absorbRecomputeFraction on the delete
+// side: a batch of b deleted rows against a post-delete relation of n rows
+// takes the from-scratch recompute arm when b*retractRecomputeFraction
+// >= n. The incremental arm pays per removed pair and per filtered
+// candidate, so its cost grows with the batch while a recompute's is
+// fixed; past roughly 1/8 shrinkage the recompute wins.
+const retractRecomputeFraction = 8
+
+// RetractPrefersRecompute reports whether RetractBatch will take its
+// from-scratch recompute arm for a batch of b deleted rows against a
+// post-delete relation of n rows — callers can skip building the
+// RetractSet (and retracting residents) in that case.
+func RetractPrefersRecompute(b, n int) bool {
+	return b*retractRecomputeFraction >= n
+}
+
+// RetractBatch folds an already-executed DeleteBatch into the skyline: the
+// caller has removed rows ids (pre-delete IDs, strictly ascending — the
+// slice handed to dataset.Relation.DeleteBatch) from the relation on the
+// given side(s) of the query; left and right are both true for a
+// self-join, whose one physical delete shrinks both sides at once. rs is
+// the removed-pair set built by NewRetractSet over the post-delete query
+// and a pre-delete SnapshotRows of the deleted rows; nil forces the
+// recompute arm (callers that know the batch is large skip building it,
+// see RetractPrefersRecompute).
+//
+// Members that reference a deleted row are evicted and the survivors
+// renumbered to the post-delete IDs; surviving members are kept without
+// re-verification (a delete only shrinks dominator sets). Resurrection
+// candidates — non-members some removed pair dominated — are then swept
+// through the same categorize/verify cells the grouping recompute would
+// run, so the resulting skyline is identical to a from-scratch recompute.
+// It returns the number of members evicted (their rows deleted) and the
+// number of non-members resurrected.
+//
+// Like the absorb path, RetractBatch uses the resident handed to
+// UseResident only when it matches the post-delete relations; the caller
+// that retracted the resident must hand it over after the physical delete.
+func (m *Maintainer) RetractBatch(left, right bool, ids []int, rs *RetractSet) (evicted, resurrected int, err error) {
+	if m.closed {
+		return 0, 0, ErrMaintainerClosed
+	}
+	if len(ids) == 0 || (!left && !right) {
+		return 0, 0, nil
+	}
+	rel := m.q.R2
+	if left {
+		rel = m.q.R1
+	}
+	preLen := rel.Len() + len(ids)
+	for i, id := range ids {
+		if id < 0 || id >= preLen || (i > 0 && id <= ids[i-1]) {
+			return 0, 0, fmt.Errorf("core: retract ids must be strictly ascending pre-delete row IDs in [0,%d)", preLen)
+		}
+	}
+
+	// Evict members referencing deleted rows; renumber the survivors.
+	renum := func(id int) (int, bool) {
+		i := sort.SearchInts(ids, id)
+		if i < len(ids) && ids[i] == id {
+			return 0, false
+		}
+		return id - i, true
+	}
+	next := make(map[[2]int]join.Pair, len(m.sky))
+	for key, p := range m.sky {
+		l, r := key[0], key[1]
+		keep := true
+		if left {
+			l, keep = renum(l)
+		}
+		if keep && right {
+			r, keep = renum(r)
+		}
+		if !keep {
+			evicted++
+			continue
+		}
+		p.Left, p.Right = l, r
+		next[[2]int{l, r}] = p
+	}
+	m.sky = next
+
+	res := m.res
+	if res != nil && !res.matches(m.q) {
+		res = nil
+	}
+	if rs == nil || RetractPrefersRecompute(len(ids), rel.Len()) {
+		_, resurrected, err = m.recomputeDiff(res)
+		return evicted, resurrected, err
+	}
+
+	// Resurrection sweep: mirror the grouping recompute's cells, but only
+	// verify non-members the removed pairs dominated — everything else
+	// keeps its pre-delete verdict.
+	st := Stats{}
+	e := newEngineResident(m.q, &st, res)
+	q := m.q
+	k1p, k2p := q.KPrimes()
+	c1 := Categorize(q.R1, k1p, e.cond, Left)
+	c2 := Categorize(q.R2, k2p, e.cond, Right)
+	a1 := targetUnion(q.R1, c1.SS, e.l1, e.k1pp)
+	a2 := targetUnion(q.R2, c2.SS, e.l2, e.k2pp)
+	all1 := allIndices(q.R1.Len())
+	all2 := allIndices(q.R2.Len())
+	cells := []struct {
+		left, right       []int
+		chkLeft, chkRight []int
+		yes               bool
+	}{
+		{c1.SS, c2.SS, a1, a2, true},
+		{c1.SS, c2.SN, a1, all2, false},
+		{c1.SN, c2.SS, all1, a2, false},
+		{c1.SN, c2.SN, all1, all2, false},
+	}
+	ctx := context.Background()
+	var sweep []join.Pair
+	for _, cell := range cells {
+		candidates := e.pairs(cell.left, cell.right)
+		if len(candidates) == 0 {
+			continue
+		}
+		if cell.yes && e.a < 2 {
+			// Unchecked cell: every pair is a member by the paper's
+			// theorem, so any non-member here resurrects outright.
+			for _, p := range candidates {
+				key := [2]int{p.Left, p.Right}
+				if _, ok := m.sky[key]; !ok {
+					m.sky[key] = detach(p)
+					resurrected++
+				}
+			}
+			continue
+		}
+		sweep = sweep[:0]
+		for _, p := range candidates {
+			if _, ok := m.sky[[2]int{p.Left, p.Right}]; ok {
+				continue // surviving member: cannot be displaced by a delete
+			}
+			if rs.Dominated(p.Attrs) {
+				sweep = append(sweep, p)
+			}
+		}
+		if len(sweep) == 0 {
+			continue
+		}
+		chk := e.newChecker(cell.chkLeft, cell.chkRight)
+		chk.ensurePartners()
+		keep := e.keepBits(len(sweep))
+		if err := chk.verifyRange(ctx, sweep, 0, len(sweep), keep); err != nil {
+			return evicted, resurrected, err
+		}
+		for i, p := range sweep {
+			if keep[i>>6]&(uint64(1)<<uint(i&63)) != 0 {
+				m.sky[[2]int{p.Left, p.Right}] = detach(p)
+				resurrected++
+			}
+		}
+	}
+	return evicted, resurrected, nil
+}

@@ -206,15 +206,54 @@ func (r *Relation) AppendBatch(ts []Tuple) (int, error) {
 // accordingly, matching slice semantics). Interned symbols are never
 // reclaimed: a symbol ID stays valid for the life of the relation.
 func (r *Relation) Delete(i int) error {
-	if i < 0 || i >= r.n {
-		return fmt.Errorf("dataset: delete index %d out of range [0,%d)", i, r.n)
+	return r.DeleteBatch([]int{i})
+}
+
+// DeleteBatch removes the rows with the given IDs in one pass. IDs refer to
+// the relation's state before the call; survivors shift down to close the
+// gaps, exactly as if the rows were deleted one by one from highest to
+// lowest. Deleting is all-or-nothing: the whole batch is validated (bounds,
+// no duplicates) before any column is touched, so a bad ID mid-batch cannot
+// leave the relation half-compacted. Each surviving row moves at most once.
+// The input slice is not retained or mutated. Interned symbols are never
+// reclaimed: a symbol ID stays valid for the life of the relation.
+func (r *Relation) DeleteBatch(ids []int) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := ids
+	if !sort.IntsAreSorted(sorted) {
+		sorted = append([]int(nil), ids...)
+		sort.Ints(sorted)
+	}
+	for i, id := range sorted {
+		if id < 0 || id >= r.n {
+			return fmt.Errorf("dataset: delete index %d out of range [0,%d)", id, r.n)
+		}
+		if i > 0 && id == sorted[i-1] {
+			return fmt.Errorf("dataset: duplicate delete index %d", id)
+		}
 	}
 	d := r.D()
-	r.attrs = append(r.attrs[:i*d], r.attrs[(i+1)*d:]...)
-	r.band = append(r.band[:i], r.band[i+1:]...)
-	r.keys = append(r.keys[:i], r.keys[i+1:]...)
-	r.keys2 = append(r.keys2[:i], r.keys2[i+1:]...)
-	r.n--
+	w, next := 0, 0
+	for i := 0; i < r.n; i++ {
+		if next < len(sorted) && sorted[next] == i {
+			next++
+			continue
+		}
+		if w != i {
+			copy(r.attrs[w*d:(w+1)*d], r.attrs[i*d:(i+1)*d])
+			r.band[w] = r.band[i]
+			r.keys[w] = r.keys[i]
+			r.keys2[w] = r.keys2[i]
+		}
+		w++
+	}
+	r.n = w
+	r.attrs = r.attrs[:w*d]
+	r.band = r.band[:w]
+	r.keys = r.keys[:w]
+	r.keys2 = r.keys2[:w]
 	return nil
 }
 

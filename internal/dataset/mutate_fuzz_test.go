@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// shadowRow is the row-shaped model the fuzzed relation is checked
+// against: plain per-row storage with none of the columnar machinery.
+type shadowRow struct {
+	key, key2 string
+	band      float64
+	attrs     []float64
+}
+
+// applyShadowDelete removes the given sorted ids from the shadow.
+func applyShadowDelete(shadow []shadowRow, ids []int) []shadowRow {
+	out := shadow[:0]
+	next := 0
+	for i, row := range shadow {
+		if next < len(ids) && ids[next] == i {
+			next++
+			continue
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// checkShadow asserts every columnar accessor agrees with the row-shaped
+// model: lengths, per-row keys/bands/attrs, the flat column strides the
+// engine reads directly, and the symbol table's string mapping.
+func checkShadow(t *testing.T, r *Relation, shadow []shadowRow) {
+	t.Helper()
+	if r.Len() != len(shadow) {
+		t.Fatalf("length %d, shadow %d", r.Len(), len(shadow))
+	}
+	d := r.D()
+	flat := r.FlatAttrs()
+	if len(flat) != r.Len()*d {
+		t.Fatalf("flat attrs length %d, want %d", len(flat), r.Len()*d)
+	}
+	bands := r.Bands()
+	if len(bands) != r.Len() {
+		t.Fatalf("band column length %d, want %d", len(bands), r.Len())
+	}
+	for i, row := range shadow {
+		if got := r.Key(i); got != row.key {
+			t.Fatalf("row %d key %q, shadow %q", i, got, row.key)
+		}
+		if got := r.Key2(i); got != row.key2 {
+			t.Fatalf("row %d key2 %q, shadow %q", i, got, row.key2)
+		}
+		if got := r.Band(i); got != row.band {
+			t.Fatalf("row %d band %v, shadow %v", i, got, row.band)
+		}
+		if got := r.Symbols().String(r.KeyID(i)); got != row.key {
+			t.Fatalf("row %d symbol %q, shadow %q", i, got, row.key)
+		}
+		attrs := r.Attrs(i)
+		if len(attrs) != d {
+			t.Fatalf("row %d attr width %d, want %d", i, len(attrs), d)
+		}
+		for j, v := range row.attrs {
+			if attrs[j] != v {
+				t.Fatalf("row %d attr %d: %v, shadow %v", i, j, attrs[j], v)
+			}
+			if flat[i*d+j] != v {
+				t.Fatalf("row %d flat attr %d: %v, shadow %v (stride broken)", i, j, flat[i*d+j], v)
+			}
+		}
+		if bands[i] != row.band {
+			t.Fatalf("row %d band column %v, shadow %v", i, bands[i], row.band)
+		}
+	}
+	if r.Len() > 0 {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+	}
+}
+
+// FuzzRelationMutations drives random Append/AppendBatch/Delete/
+// DeleteBatch interleavings — the script and values both derived from the
+// fuzzed inputs — against the row-shaped shadow model. Every accessor the
+// engine relies on (column strides, band permutation inputs, symbol
+// tables) must agree with the shadow after every operation, and a rejected
+// mutation must leave the relation untouched.
+func FuzzRelationMutations(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 3, 2, 0, 3, 2}, int64(1))
+	f.Add([]byte{1, 8, 3, 4, 1, 2, 3, 9, 0}, int64(2))
+	f.Add([]byte{0, 2, 2, 2, 2, 2}, int64(3))
+	f.Add([]byte{1, 200, 3, 100}, int64(4))
+	f.Add([]byte{}, int64(5))
+	f.Fuzz(func(t *testing.T, script []byte, seed int64) {
+		if len(script) > 64 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		const local, agg = 2, 1
+		d := local + agg
+		mk := func() Tuple {
+			attrs := make([]float64, d)
+			for j := range attrs {
+				attrs[j] = float64(rng.Intn(9))
+			}
+			return Tuple{
+				Key:   fmt.Sprintf("g%d", rng.Intn(4)),
+				Key2:  fmt.Sprintf("h%d", rng.Intn(3)),
+				Band:  float64(rng.Intn(5)),
+				Attrs: attrs,
+			}
+		}
+		r := MustNew("fuzz", local, agg, []Tuple{mk()})
+		shadow := []shadowRow{{key: r.Key(0), key2: r.Key2(0), band: r.Band(0), attrs: append([]float64(nil), r.Attrs(0)...)}}
+
+		record := func(ts []Tuple) {
+			for _, tp := range ts {
+				shadow = append(shadow, shadowRow{key: tp.Key, key2: tp.Key2, band: tp.Band, attrs: append([]float64(nil), tp.Attrs...)})
+			}
+		}
+		for pc := 0; pc < len(script); pc++ {
+			op := script[pc] % 5
+			arg := 0
+			if pc+1 < len(script) {
+				pc++
+				arg = int(script[pc])
+			}
+			switch op {
+			case 0: // Append
+				tp := mk()
+				if _, err := r.Append(tp); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+				record([]Tuple{tp})
+			case 1: // AppendBatch
+				n := arg%6 + 1
+				ts := make([]Tuple, n)
+				for i := range ts {
+					ts[i] = mk()
+				}
+				if _, err := r.AppendBatch(ts); err != nil {
+					t.Fatalf("append batch: %v", err)
+				}
+				record(ts)
+			case 2: // Delete one
+				if r.Len() == 0 {
+					continue
+				}
+				id := arg % r.Len()
+				if err := r.Delete(id); err != nil {
+					t.Fatalf("delete %d of %d: %v", id, r.Len(), err)
+				}
+				shadow = applyShadowDelete(shadow, []int{id})
+			case 3: // DeleteBatch
+				if r.Len() == 0 {
+					continue
+				}
+				b := arg%r.Len() + 1
+				if b > r.Len() {
+					b = r.Len()
+				}
+				ids := rng.Perm(r.Len())[:b]
+				if err := r.DeleteBatch(ids); err != nil {
+					t.Fatalf("delete batch %v of %d: %v", ids, r.Len(), err)
+				}
+				sorted := append([]int(nil), ids...)
+				sort.Ints(sorted)
+				shadow = applyShadowDelete(shadow, sorted)
+			case 4: // invalid DeleteBatch: must reject and leave columns alone
+				bad := [][]int{
+					{r.Len()},
+					{-1},
+					{0, 0},
+				}[arg%3]
+				if r.Len() == 0 {
+					continue
+				}
+				if err := r.DeleteBatch(bad); err == nil {
+					t.Fatalf("invalid delete batch %v accepted at len %d", bad, r.Len())
+				}
+			}
+			checkShadow(t, r, shadow)
+		}
+	})
+}

@@ -229,6 +229,71 @@ func (ix *Index) Extend(newIDs []int) {
 	}
 }
 
+// Retract removes target rows from the index after a batch delete on the
+// target relation and renumbers the survivors to the post-delete IDs.
+// removed must be the deleted rows' pre-delete IDs, sorted strictly
+// ascending — the same slice handed to dataset.Relation.DeleteBatch. Every
+// representation is filtered in place, preserving relative order, so probe
+// priority inside equality buckets and the band permutation's stable order
+// are exactly what a rebuild over the shrunken relation would produce
+// (survivors' keys and bands are untouched by a delete). Symbols are never
+// reclaimed, so the key translation stays valid as is. Like Extend, Retract
+// is a write: exclude it from concurrent readers.
+func (ix *Index) Retract(removed []int) {
+	if len(removed) == 0 {
+		return
+	}
+	renum := func(id int) (int, bool) {
+		i := sort.SearchInts(removed, id)
+		if i < len(removed) && removed[i] == id {
+			return 0, false
+		}
+		return id - i, true
+	}
+	filter := func(list []int) []int {
+		w := 0
+		for _, id := range list {
+			if nid, ok := renum(id); ok {
+				list[w] = nid
+				w++
+			}
+		}
+		return list[:w]
+	}
+	ix.all = filter(ix.all)
+	switch ix.cond {
+	case Equality:
+		if ix.buckets != nil {
+			for k, b := range ix.buckets {
+				if len(b) > 0 {
+					ix.buckets[k] = filter(b)
+				}
+			}
+		} else {
+			for k, b := range ix.bucketMap {
+				if nb := filter(b); len(nb) > 0 {
+					ix.bucketMap[k] = nb
+				} else {
+					delete(ix.bucketMap, k)
+				}
+			}
+		}
+	case Cross:
+		// all is the whole answer; already filtered above.
+	default:
+		w := 0
+		for i, id := range ix.perm {
+			if nid, ok := renum(id); ok {
+				ix.perm[w] = nid
+				ix.bands[w] = ix.bands[i]
+				w++
+			}
+		}
+		ix.perm = ix.perm[:w]
+		ix.bands = ix.bands[:w]
+	}
+}
+
 // Len returns the number of indexed tuples.
 func (ix *Index) Len() int { return len(ix.all) }
 

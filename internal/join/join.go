@@ -74,6 +74,26 @@ func (c Condition) Token() string {
 	}
 }
 
+// Reversed returns the condition with the operand roles swapped:
+// c.Matches(u, v) == c.Reversed().Matches(v, u) for all tuples. Equality
+// and Cross are symmetric; the band inequalities flip. The delete path uses
+// this to probe a small index over removed rows from the surviving
+// relation's side without materializing the transposed join.
+func (c Condition) Reversed() Condition {
+	switch c {
+	case BandLess:
+		return BandGreater
+	case BandLessEq:
+		return BandGreaterEq
+	case BandGreater:
+		return BandLess
+	case BandGreaterEq:
+		return BandLessEq
+	default:
+		return c
+	}
+}
+
 // ParseCondition maps CLI and API spellings to a Condition. The empty
 // string defaults to Equality.
 func ParseCondition(s string) (Condition, error) {

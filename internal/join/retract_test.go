@@ -1,0 +1,136 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestRetractMatchesRebuild pins Index.Retract to the constructor: an
+// index retracted after a batch delete on its target relation must answer
+// every probe exactly like one built from scratch over the compacted
+// relation — same partner sets, same order.
+func TestRetractMatchesRebuild(t *testing.T) {
+	conds := []Condition{Equality, Cross, BandLess, BandLessEq, BandGreater, BandGreaterEq}
+	for _, cond := range conds {
+		t.Run(cond.Token(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cond)*37 + 11))
+			probe := extendTestRelation(t, "probe", rng, 40, 6)
+			target := extendTestRelation(t, "target", rng, 30, 6)
+
+			retracted := NewFullIndex(probe, target, cond)
+			ids := rng.Perm(target.Len())[:7]
+			sort.Ints(ids)
+			if err := target.DeleteBatch(ids); err != nil {
+				t.Fatal(err)
+			}
+			retracted.Retract(ids)
+
+			rebuilt := NewFullIndex(probe, target, cond)
+			assertIndexesAgree(t, probe, retracted, rebuilt)
+		})
+	}
+}
+
+// TestRetractSubsetIndex deletes rows both inside and outside an indexed
+// subset: outside rows must only renumber the survivors, inside rows must
+// leave the index as a rebuild over the subset's survivors.
+func TestRetractSubsetIndex(t *testing.T) {
+	conds := []Condition{Equality, Cross, BandLessEq}
+	for _, cond := range conds {
+		t.Run(cond.Token(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cond)*41 + 3))
+			probe := extendTestRelation(t, "probe", rng, 30, 5)
+			target := extendTestRelation(t, "target", rng, 30, 5)
+			subset := rng.Perm(target.Len())[:12]
+
+			retracted := NewIndex(probe, target, subset, cond)
+			ids := []int{1, 5, 11, 12, 28} // mix of subset members and outsiders
+			if err := target.DeleteBatch(ids); err != nil {
+				t.Fatal(err)
+			}
+			retracted.Retract(ids)
+
+			// The surviving subset under post-delete IDs, in original order.
+			var survivors []int
+			for _, id := range subset {
+				i := sort.SearchInts(ids, id)
+				if i < len(ids) && ids[i] == id {
+					continue
+				}
+				survivors = append(survivors, id-i)
+			}
+			rebuilt := NewIndex(probe, target, survivors, cond)
+			assertIndexesAgree(t, probe, retracted, rebuilt)
+		})
+	}
+}
+
+// TestRetractBucketMap forces the sparse bucketMap representation (large
+// symbol space, small subset) through a retract.
+func TestRetractBucketMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	probe := extendTestRelation(t, "probe", rng, 60, 200)
+	target := extendTestRelation(t, "target", rng, 200, 200)
+	subset := rng.Perm(target.Len())[:10]
+
+	retracted := NewIndex(probe, target, subset, Equality)
+	ids := append([]int(nil), subset[:4]...)
+	ids = append(ids, 150, 180)
+	sort.Ints(ids)
+	if err := target.DeleteBatch(ids); err != nil {
+		t.Fatal(err)
+	}
+	retracted.Retract(ids)
+
+	var survivors []int
+	for _, id := range subset {
+		i := sort.SearchInts(ids, id)
+		if i < len(ids) && ids[i] == id {
+			continue
+		}
+		survivors = append(survivors, id-i)
+	}
+	rebuilt := NewIndex(probe, target, survivors, Equality)
+	assertIndexesAgree(t, probe, retracted, rebuilt)
+}
+
+// TestRetractThenExtend interleaves the two maintenance directions: a
+// retract followed by an extend must still agree with a rebuild.
+func TestRetractThenExtend(t *testing.T) {
+	conds := []Condition{Equality, Cross, BandLess, BandGreaterEq}
+	for _, cond := range conds {
+		t.Run(cond.Token(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cond)*13 + 29))
+			probe := extendTestRelation(t, "probe", rng, 30, 4)
+			target := extendTestRelation(t, "target", rng, 25, 4)
+
+			ix := NewFullIndex(probe, target, cond)
+			ids := []int{0, 7, 19}
+			if err := target.DeleteBatch(ids); err != nil {
+				t.Fatal(err)
+			}
+			ix.Retract(ids)
+
+			var tail []int
+			for i := 0; i < 5; i++ {
+				id, err := target.Append(dataset.Tuple{
+					Key:   fmt.Sprintf("g%03d", rng.Intn(4)),
+					Band:  rng.Float64(),
+					Attrs: []float64{rng.Float64() * 100, rng.Float64() * 100},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tail = append(tail, id)
+			}
+			ix.Extend(tail)
+
+			rebuilt := NewFullIndex(probe, target, cond)
+			assertIndexesAgree(t, probe, ix, rebuilt)
+		})
+	}
+}

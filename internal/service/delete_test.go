@@ -1,0 +1,476 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// deleteIDs draws b distinct in-range row ids, sorted ascending.
+func deleteIDs(rng *rand.Rand, n, b int) []int {
+	ids := append([]int(nil), rng.Perm(n)[:b]...)
+	sort.Ints(ids)
+	return ids
+}
+
+// TestDeleteMatchesOracle interleaves maintained deletes and inserts and
+// checks the served skyline against a from-scratch recompute over
+// mirrored clones after every step. Batch sizes straddle the hybrid
+// threshold so both the incremental retract arm and the recompute arm are
+// exercised through the service.
+func TestDeleteMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 4; trial++ {
+		s := newTestService(t, Config{SweepInterval: -1})
+		agg := rng.Intn(2)
+		local := 2 + rng.Intn(2)
+		groups := 2 + rng.Intn(3)
+		r1 := testRelation("r1", 30+rng.Intn(20), local, agg, groups, int64(trial)*2+1)
+		r2 := testRelation("r2", 30+rng.Intn(20), local, agg, groups, int64(trial)*2+2)
+		oracle := core.Query{
+			R1: r1.Clone(), R2: r2.Clone(),
+			Spec: join.Spec{Cond: join.Equality, Agg: join.Sum},
+		}
+		oracle.K = oracle.KMin() + rng.Intn(oracle.Width()-oracle.KMin()+1)
+		if _, err := s.Register("r1", r1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Register("r2", r2); err != nil {
+			t.Fatal(err)
+		}
+		req := QueryRequest{R1: "r1", R2: "r2", K: oracle.K, Algorithm: "grouping"}
+		if _, err := s.Query(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+
+		for step := 0; step < 12; step++ {
+			name, rel := "r1", oracle.R1
+			if rng.Intn(2) == 1 {
+				name, rel = "r2", oracle.R2
+			}
+			if step%3 == 2 {
+				// Every third step inserts, so deletes hit fresh rows too.
+				tup := randTuple(rng)
+				tup.Attrs = tup.Attrs[:local+agg]
+				if _, err := s.Insert(name, tup); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := rel.Append(tup); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				b := 1 + rng.Intn(2)
+				if step%4 == 1 {
+					b = 1 + rel.Len()/4 // deep into recompute territory
+				}
+				ids := deleteIDs(rng, rel.Len(), b)
+				res, err := s.DeleteBatch(name, ids)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Count != len(ids) {
+					t.Fatalf("trial %d step %d: deleted %d, want %d", trial, step, res.Count, len(ids))
+				}
+				if res.Maintained == 0 {
+					t.Fatalf("trial %d step %d: delete maintained no entries", trial, step)
+				}
+				if err := rel.DeleteBatch(ids); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			got, err := s.Query(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Source != SourceMaintained {
+				t.Fatalf("trial %d step %d: source = %q, want maintained", trial, step, got.Source)
+			}
+			want, err := core.Run(oracle, core.Grouping)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertPairsEqual(t, fmt.Sprintf("trial %d step %d", trial, step), got.Skyline, want.Skyline)
+		}
+		st := s.Stats()
+		if st.Computed != 1 {
+			t.Errorf("trial %d: %d full computations across 12 mutations, want 1", trial, st.Computed)
+		}
+		s.Close()
+	}
+}
+
+// TestDeleteBadRequests pins the validate-before-mutate contract: every
+// malformed batch is rejected whole, with the relation's contents and
+// version untouched.
+func TestDeleteBadRequests(t *testing.T) {
+	s := newTestService(t, Config{SweepInterval: -1})
+	registerPair(t, s, 10)
+
+	if _, err := s.DeleteBatch("nope", []int{0}); !errors.Is(err, ErrUnknownRelation) {
+		t.Errorf("unknown relation: err = %v", err)
+	}
+	cases := [][]int{
+		nil,                            // empty batch
+		{10},                           // out of range
+		{-1},                           // negative
+		{3, 3},                         // duplicate
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, // deletes every row
+	}
+	for _, ids := range cases {
+		if _, err := s.DeleteBatch("r1", ids); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("ids %v: err = %v, want bad request", ids, err)
+		}
+	}
+	info, err := s.RelationInfo("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Tuples != 10 {
+		t.Errorf("rejected deletes moved r1 to version %d with %d tuples", info.Version, info.Tuples)
+	}
+
+	// Unsorted input is not malformed — ids are order-insensitive.
+	if _, err := s.DeleteBatch("r1", []int{7, 2, 5}); err != nil {
+		t.Errorf("unsorted ids rejected: %v", err)
+	}
+}
+
+// TestDeleteWatchDeltas drives deletes (and a few inserts) through a
+// watched query: every event's Removed deltas must reference pairs the
+// subscriber was shown, and replaying the stream must reproduce a
+// from-scratch recompute after each mutation.
+func TestDeleteWatchDeltas(t *testing.T) {
+	s := newTestService(t, Config{SweepInterval: -1})
+	oracle := registerPair(t, s, 50)
+	// K near the width keeps the skyline populated (~170 pairs) so deletes
+	// generate real eviction/resurrection traffic.
+	req := QueryRequest{R1: "r1", R2: "r2", K: 7}
+
+	w, err := s.Watch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	replica := make(map[[2]int][]float64)
+	applyDelta(t, replica, nextEvent(t, w))
+
+	rng := rand.New(rand.NewSource(802))
+	removedSeen := 0
+	for i := 0; i < 12; i++ {
+		name, rel := "r1", oracle.R1
+		if i%2 == 1 {
+			name, rel = "r2", oracle.R2
+		}
+		if i%4 == 3 {
+			tup := randTuple(rng)
+			if _, err := s.Insert(name, tup); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rel.Append(tup); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// Aim at the answer: alongside random rows, delete one current
+			// member's row so genuine eviction (and possible resurrection)
+			// traffic flows through the deltas.
+			pick := make(map[int]struct{})
+			for _, id := range deleteIDs(rng, rel.Len(), 1+rng.Intn(3)) {
+				pick[id] = struct{}{}
+			}
+			for key := range replica {
+				id := key[0]
+				if name == "r2" {
+					id = key[1]
+				}
+				if id < rel.Len() {
+					pick[id] = struct{}{}
+				}
+				break
+			}
+			ids := make([]int, 0, len(pick))
+			for id := range pick {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			if _, err := s.DeleteBatch(name, ids); err != nil {
+				t.Fatal(err)
+			}
+			if err := rel.DeleteBatch(ids); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ev := nextEvent(t, w)
+		removedSeen += len(ev.Removed)
+		applyDelta(t, replica, ev) // fails on a Removed the replica never held
+
+		fresh, err := s.Query(context.Background(), QueryRequest{R1: "r1", R2: "r2", K: 7, NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fresh.Skyline) != len(replica) {
+			t.Fatalf("step %d: replica has %d pairs, oracle %d", i, len(replica), len(fresh.Skyline))
+		}
+		for _, p := range fresh.Skyline {
+			attrs, ok := replica[[2]int{p.Left, p.Right}]
+			if !ok {
+				t.Fatalf("step %d: oracle pair (%d,%d) missing from replica", i, p.Left, p.Right)
+			}
+			for a := range attrs {
+				if attrs[a] != p.Attrs[a] {
+					t.Fatalf("step %d: pair (%d,%d) attr %d = %v, oracle %v", i, p.Left, p.Right, a, attrs[a], p.Attrs[a])
+				}
+			}
+		}
+	}
+	if removedSeen == 0 {
+		t.Error("twelve mutations over a 50-row pair produced no Removed deltas; the test lost its teeth")
+	}
+}
+
+// TestWindowExpiry drives sliding-window expiry with a fake clock and
+// manual sweeps: expired prefixes leave through the delete path (version
+// bump, maintained entries, Expired counter) and the newest row survives
+// even a fully expired relation.
+func TestWindowExpiry(t *testing.T) {
+	s := newTestService(t, Config{SweepInterval: -1})
+	var (
+		clockMu sync.Mutex
+		current = time.Unix(1000, 0)
+	)
+	s.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return current
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		current = current.Add(d)
+		clockMu.Unlock()
+	}
+
+	r1 := testRelation("r1", 20, 3, 1, 5, 42)
+	r2 := testRelation("r2", 20, 3, 1, 5, 43)
+	oracle := core.Query{
+		R1: r1.Clone(), R2: r2.Clone(),
+		Spec: join.Spec{Cond: join.Equality, Agg: join.Sum}, K: 5,
+	}
+	if _, err := s.RegisterWindow("r1", r1, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("r2", r2); err != nil {
+		t.Fatal(err)
+	}
+	req := QueryRequest{R1: "r1", R2: "r2", K: 5}
+	if _, err := s.Query(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing is due yet: a sweep inside the window is a no-op.
+	advance(30 * time.Second)
+	if n := s.Sweep(); n != 0 {
+		t.Fatalf("sweep inside the window removed %d rows", n)
+	}
+
+	// Rows arriving now outlive the registration-time rows by 30s.
+	rng := rand.New(rand.NewSource(803))
+	for i := 0; i < 5; i++ {
+		tup := randTuple(rng)
+		if _, err := s.Insert("r1", tup); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.R1.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cross the registration rows' deadline: exactly the 20-row prefix
+	// expires, and the maintained answer tracks the oracle mirror.
+	advance(31 * time.Second)
+	if n := s.Sweep(); n != 20 {
+		t.Fatalf("sweep removed %d rows, want the 20 registration-time rows", n)
+	}
+	prefix := make([]int, 20)
+	for i := range prefix {
+		prefix[i] = i
+	}
+	if err := oracle.R1.DeleteBatch(prefix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Query(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != SourceMaintained {
+		t.Fatalf("post-sweep source = %q, want maintained", got.Source)
+	}
+	want, err := core.Run(oracle, core.Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPairsEqual(t, "post-sweep", got.Skyline, want.Skyline)
+	if st := s.Stats(); st.Expired != 20 {
+		t.Errorf("Expired counter = %d, want 20", st.Expired)
+	}
+
+	// Let everything expire: the newest row is retained so the relation
+	// never empties, and a repeat sweep is a no-op.
+	advance(time.Hour)
+	if n := s.Sweep(); n != 4 {
+		t.Fatalf("final sweep removed %d rows, want 4 (newest retained)", n)
+	}
+	if info, _ := s.RelationInfo("r1"); info.Tuples != 1 {
+		t.Fatalf("fully expired relation holds %d rows, want 1", info.Tuples)
+	}
+	if n := s.Sweep(); n != 0 {
+		t.Fatalf("repeat sweep removed %d rows", n)
+	}
+
+	// The wire-facing metadata carries the window.
+	if info, _ := s.RelationInfo("r1"); info.WindowMS != time.Minute.Milliseconds() {
+		t.Errorf("r1 WindowMS = %d, want %d", info.WindowMS, time.Minute.Milliseconds())
+	}
+	if info, _ := s.RelationInfo("r2"); info.WindowMS != 0 {
+		t.Errorf("unwindowed r2 WindowMS = %d", info.WindowMS)
+	}
+
+	if _, err := s.RegisterWindow("r3", testRelation("r3", 5, 3, 1, 2, 44), -time.Second); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("negative window: err = %v", err)
+	}
+}
+
+// TestBackgroundSweeper lets the real ticker age a windowed relation out:
+// the relation must shrink to its retained newest row without any
+// explicit delete, and Close must join the sweeper cleanly.
+func TestBackgroundSweeper(t *testing.T) {
+	s := newTestService(t, Config{SweepInterval: 5 * time.Millisecond})
+	if _, err := s.RegisterWindow("r1", testRelation("r1", 12, 3, 1, 4, 42), 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		info, err := s.RelationInfo("r1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Tuples == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweeper left %d rows after 5s", info.Tuples)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutationStormRace is the concurrency pin: queries, a watch, insert
+// batches, and delete batches all run at once. The watch replica rejects
+// any Removed delta for a pair the subscriber was never shown, event
+// sequence numbers must stay contiguous (no event lost or reordered), and
+// the replayed stream must land exactly on a final recompute. Run under
+// -race this also pins the delete path's locking discipline.
+func TestMutationStormRace(t *testing.T) {
+	s := newTestService(t, Config{MaxConcurrent: 4, MaxQueue: 256, SweepInterval: -1})
+	registerPair(t, s, 40)
+
+	w, err := s.Watch(context.Background(), QueryRequest{R1: "r1", R2: "r2", K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const inserts, deletes = 15, 15
+	var wg sync.WaitGroup
+	for worker := 0; worker < 3; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := 5 + (i+worker)%2
+				if _, err := s.Query(context.Background(), QueryRequest{R1: "r1", R2: "r2", K: k}); err != nil {
+					t.Errorf("query worker %d step %d: %v", worker, i, err)
+					return
+				}
+			}
+		}(worker)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(804))
+		for i := 0; i < inserts; i++ {
+			name := "r1"
+			if i%2 == 1 {
+				name = "r2"
+			}
+			batch := make([]dataset.Tuple, 1+rng.Intn(3))
+			for j := range batch {
+				batch[j] = randTuple(rng)
+			}
+			if _, err := s.InsertBatch(name, batch); err != nil {
+				t.Errorf("insert batch %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(805))
+		// This goroutine is the only deleter, so a floor tracked from its
+		// own deletes under-approximates both relations' true lengths:
+		// concurrent inserts only grow them, keeping every id valid.
+		floor := map[string]int{"r1": 40, "r2": 40}
+		for i := 0; i < deletes; i++ {
+			name := "r1"
+			if i%2 == 1 {
+				name = "r2"
+			}
+			b := 1 + rng.Intn(3)
+			if floor[name]-b < 5 {
+				b = 1
+			}
+			ids := deleteIDs(rng, floor[name], b)
+			if _, err := s.DeleteBatch(name, ids); err != nil {
+				t.Errorf("delete batch %d: %v", i, err)
+				return
+			}
+			floor[name] -= b
+		}
+	}()
+
+	replica := make(map[[2]int][]float64)
+	for seq := 0; seq <= inserts+deletes; seq++ {
+		ev := nextEvent(t, w)
+		if ev.Seq != uint64(seq) {
+			t.Fatalf("event seq %d, want %d", ev.Seq, seq)
+		}
+		applyDelta(t, replica, ev) // fails on a Removed never shown
+	}
+	wg.Wait()
+
+	fresh, err := s.Query(context.Background(), QueryRequest{R1: "r1", R2: "r2", K: 7, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Skyline) != len(replica) {
+		t.Fatalf("post-storm replica has %d pairs, oracle %d", len(replica), len(fresh.Skyline))
+	}
+	for _, p := range fresh.Skyline {
+		if _, ok := replica[[2]int{p.Left, p.Right}]; !ok {
+			t.Fatalf("post-storm oracle pair (%d,%d) missing from replica", p.Left, p.Right)
+		}
+	}
+}

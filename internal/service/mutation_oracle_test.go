@@ -1,0 +1,317 @@
+package service
+
+// The mixed-mutation oracle suite: a seeded randomized replayer that
+// interleaves insert batches, delete batches, sliding-window expiry,
+// queries and a standing watch against one service instance, mirroring
+// every mutation onto plain relation clones. At every query step and at
+// the end of every schedule the service's answer — maintained, cached or
+// recomputed — must be byte-identical (index pairs AND joined attribute
+// vectors) to a from-scratch engine run over the mirrors, for all six
+// join conditions under the strict aggregator. The watch replica must
+// reconcile exactly: snapshot + the sum of all deltas ≡ the final
+// recompute. This is the pin for the whole delete/expiry path: if any
+// layer (dataset compaction, index retract, maintainer resurrection
+// sweep, service group commit, watch diffing) drifts, a schedule here
+// catches it.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// oracleTuple draws an insert in the datagen shape: a key shared with the
+// generated base rows (so equality joins stay meaty), a band in [0,1) for
+// the band conditions, and 3 local + 1 aggregate attributes in [0,1).
+func oracleTuple(rng *rand.Rand) dataset.Tuple {
+	attrs := make([]float64, 4)
+	for i := range attrs {
+		attrs[i] = rng.Float64()
+	}
+	return dataset.Tuple{
+		Key:   fmt.Sprintf("g%04d", rng.Intn(5)),
+		Band:  rng.Float64(),
+		Attrs: attrs,
+	}
+}
+
+// assertPairsIdentical is assertPairsEqual plus attribute bytes: the
+// oracle suite demands byte-identical answers, not just identical
+// membership, because a delete renumbers rows and a stale attribute
+// vector under a reused index pair is exactly the bug class this suite
+// exists to catch.
+func assertPairsIdentical(t *testing.T, label string, got, want []join.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: skyline size %d, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Left != want[i].Left || got[i].Right != want[i].Right {
+			t.Fatalf("%s: pair %d = (%d,%d), want (%d,%d)",
+				label, i, got[i].Left, got[i].Right, want[i].Left, want[i].Right)
+		}
+		if !equalAttrs(got[i].Attrs, want[i].Attrs) {
+			t.Fatalf("%s: pair (%d,%d) attrs %v, want %v",
+				label, got[i].Left, got[i].Right, got[i].Attrs, want[i].Attrs)
+		}
+	}
+}
+
+// compactInt64 removes the sorted positions ids from arr in place —
+// the shadow of the service's own arrival-stamp compaction.
+func compactInt64(arr []int64, ids []int) []int64 {
+	out, di := arr[:0], 0
+	for i, v := range arr {
+		if di < len(ids) && ids[di] == i {
+			di++
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestMutationOracleSuite replays one seeded schedule of ≥200 mixed
+// mutations per join condition. Each schedule runs against its own
+// service: r1 is a 45-second sliding window driven by a fake clock and
+// manual Sweep calls, r2 is unwindowed, a watch at full width follows
+// every mutation, and a second cached K keeps two maintained shapes
+// live at once.
+func TestMutationOracleSuite(t *testing.T) {
+	conds := []join.Condition{
+		join.Equality, join.Cross,
+		join.BandLess, join.BandLessEq, join.BandGreater, join.BandGreaterEq,
+	}
+	for i, cond := range conds {
+		cond, seed := cond, int64(9000+17*i)
+		t.Run(cond.Token(), func(t *testing.T) {
+			t.Parallel()
+			runMutationOracle(t, cond, seed)
+		})
+	}
+}
+
+func runMutationOracle(t *testing.T, cond join.Condition, seed int64) {
+	const (
+		window    = 45 * time.Second
+		watchK    = 7 // full joined width: 3+3 local + 1 aggregate
+		mutations = 200
+	)
+	rng := rand.New(rand.NewSource(seed))
+	s := newTestService(t, Config{SweepInterval: -1}) // expiry only via Sweep
+
+	// A fake clock injected before registration: RegisterWindow stamps the
+	// base rows at "now", inserts stamp at "now", and Sweep's deadline is
+	// "now − window" — so the shadow arrival log below predicts every cut.
+	var (
+		clockMu sync.Mutex
+		current = time.Unix(1_700_000_000, 0)
+	)
+	s.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return current
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		current = current.Add(d)
+		clockMu.Unlock()
+	}
+	nowNanos := func() int64 {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return current.UnixNano()
+	}
+
+	r1 := testRelation("r1", 40, 3, 1, 5, seed)
+	r2 := testRelation("r2", 40, 3, 1, 5, seed+1)
+	m1, m2 := r1.Clone(), r2.Clone() // the oracle mirrors
+	arrivals := make([]int64, m1.Len())
+	for i := range arrivals {
+		arrivals[i] = nowNanos()
+	}
+	if _, err := s.RegisterWindow("r1", r1, window); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("r2", r2); err != nil {
+		t.Fatal(err)
+	}
+
+	tok := cond.Token()
+	recompute := func(k int) []join.Pair {
+		t.Helper()
+		q := core.Query{
+			R1: m1.Clone(), R2: m2.Clone(),
+			Spec: join.Spec{Cond: cond, Agg: join.Sum}, K: k,
+		}
+		res, err := core.Run(q, core.Grouping)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Skyline
+	}
+
+	ctx := context.Background()
+	w, err := s.Watch(ctx, QueryRequest{R1: "r1", R2: "r2", K: watchK, Join: tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	replica := make(map[[2]int][]float64)
+	snap := nextEvent(t, w)
+	if snap.Seq != 0 {
+		t.Fatalf("first watch event seq %d, want 0", snap.Seq)
+	}
+	applyDelta(t, replica, snap)
+
+	// Prime a second maintained shape: a cache entry at a smaller K whose
+	// prune thresholds differ from the watch's, so every mutation batch
+	// exercises two retract/extend paths at once.
+	if _, err := s.Query(ctx, QueryRequest{R1: "r1", R2: "r2", K: 5, Join: tok}); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wantSeq            uint64 = 1
+		addedSeen, removed int
+	)
+	expectEvent := func() {
+		t.Helper()
+		ev := nextEvent(t, w)
+		if ev.Seq != wantSeq {
+			t.Fatalf("watch event seq %d, want %d", ev.Seq, wantSeq)
+		}
+		wantSeq++
+		addedSeen += len(ev.Added)
+		removed += len(ev.Removed)
+		applyDelta(t, replica, ev)
+	}
+
+	for done, step := 0, 0; done < mutations; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert batch
+			name, m := "r1", m1
+			if rng.Intn(2) == 1 {
+				name, m = "r2", m2
+			}
+			ts := make([]dataset.Tuple, 1+rng.Intn(4))
+			for i := range ts {
+				ts[i] = oracleTuple(rng)
+			}
+			if _, err := s.InsertBatch(name, ts); err != nil {
+				t.Fatalf("step %d: insert %d into %s: %v", step, len(ts), name, err)
+			}
+			if _, err := m.AppendBatch(ts); err != nil {
+				t.Fatal(err)
+			}
+			if name == "r1" {
+				now := nowNanos()
+				for range ts {
+					arrivals = append(arrivals, now)
+				}
+			}
+			done++
+			expectEvent()
+		case op < 7: // delete batch (sizes straddle the retract/rebuild threshold)
+			name, m := "r1", m1
+			if rng.Intn(2) == 1 {
+				name, m = "r2", m2
+			}
+			if m.Len() < 2 {
+				continue
+			}
+			b := 1 + rng.Intn(3)
+			if rng.Intn(5) == 0 { // occasionally large enough to prefer recompute
+				b = 1 + m.Len()/4
+			}
+			if b > m.Len()-1 {
+				b = m.Len() - 1
+			}
+			ids := deleteIDs(rng, m.Len(), b)
+			if _, err := s.DeleteBatch(name, ids); err != nil {
+				t.Fatalf("step %d: delete %v from %s: %v", step, ids, name, err)
+			}
+			if err := m.DeleteBatch(ids); err != nil {
+				t.Fatal(err)
+			}
+			if name == "r1" {
+				arrivals = compactInt64(arrivals, ids)
+			}
+			done++
+			expectEvent()
+		case op < 8: // window expiry
+			advance(time.Duration(5+rng.Intn(36)) * time.Second)
+			deadline := nowNanos() - int64(window)
+			j := sort.Search(len(arrivals), func(i int) bool { return arrivals[i] > deadline })
+			if j >= len(arrivals) {
+				j = len(arrivals) - 1 // the newest row is always retained
+			}
+			if got := s.Sweep(); got != j {
+				t.Fatalf("step %d: Sweep expired %d rows, want %d", step, got, j)
+			}
+			if j > 0 {
+				ids := make([]int, j)
+				for i := range ids {
+					ids[i] = i
+				}
+				if err := m1.DeleteBatch(ids); err != nil {
+					t.Fatal(err)
+				}
+				arrivals = append(arrivals[:0], arrivals[j:]...)
+				done++
+				expectEvent()
+			}
+		default: // query: interleaved from-scratch comparison
+			k := 5 + rng.Intn(3)
+			req := QueryRequest{R1: "r1", R2: "r2", K: k, Join: tok, NoCache: rng.Intn(4) == 0}
+			resp, err := s.Query(ctx, req)
+			if err != nil {
+				t.Fatalf("step %d: query k=%d: %v", step, k, err)
+			}
+			assertPairsIdentical(t, fmt.Sprintf("step %d k=%d", step, k), resp.Skyline, recompute(k))
+		}
+	}
+
+	// Final skylines, byte-identical to from-scratch recomputes at every
+	// shape the schedule touched.
+	for k := 5; k <= watchK; k++ {
+		resp, err := s.Query(ctx, QueryRequest{R1: "r1", R2: "r2", K: k, Join: tok})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPairsIdentical(t, fmt.Sprintf("final k=%d", k), resp.Skyline, recompute(k))
+	}
+
+	// Watch reconciliation: snapshot + Σdeltas ≡ final recompute, with the
+	// attribute vectors of every surviving pair intact.
+	final := recompute(watchK)
+	if len(replica) != len(final) {
+		t.Fatalf("watch replica holds %d pairs, recompute has %d", len(replica), len(final))
+	}
+	for _, p := range final {
+		attrs, ok := replica[[2]int{p.Left, p.Right}]
+		if !ok {
+			t.Fatalf("watch replica is missing pair (%d,%d)", p.Left, p.Right)
+		}
+		if !equalAttrs(attrs, p.Attrs) {
+			t.Fatalf("watch replica attrs for (%d,%d) = %v, want %v", p.Left, p.Right, attrs, p.Attrs)
+		}
+	}
+	if addedSeen == 0 || removed == 0 {
+		t.Fatalf("schedule had no teeth: %d added / %d removed across all deltas", addedSeen, removed)
+	}
+
+	// The service's own mutation counters saw every batch the mirrors did.
+	st := s.Stats()
+	if st.Deletes == 0 || st.Inserts == 0 || st.Expired == 0 {
+		t.Fatalf("stats did not move: inserts=%d deletes=%d expired=%d", st.Inserts, st.Deletes, st.Expired)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -23,6 +24,16 @@ var (
 type regRelation struct {
 	rel     *dataset.Relation
 	version uint64
+	// window, when positive, makes the relation a sliding window: every
+	// row's arrival instant is recorded in arrivals and the service's
+	// sweeper ages out rows older than window through the same delete path
+	// an explicit DeleteBatch takes.
+	window time.Duration
+	// arrivals holds one unix-nano arrival stamp per row, in row order.
+	// Inserts only append and the clock is monotone within one service, so
+	// the slice stays ascending — expired rows are always a prefix, and the
+	// sweeper finds the cut with one binary search. Nil unless window > 0.
+	arrivals []int64
 }
 
 // RelationInfo describes one registered relation for stats and listings.
@@ -32,6 +43,9 @@ type RelationInfo struct {
 	Tuples  int    `json:"tuples"`
 	Local   int    `json:"local"`
 	Agg     int    `json:"agg"`
+	// WindowMS is the sliding-window length in milliseconds; 0 means the
+	// relation is unwindowed (rows live until explicitly deleted).
+	WindowMS int64 `json:"window_ms,omitempty"`
 }
 
 // residentKey identifies one shared core.Resident: a relation pair at
@@ -157,11 +171,12 @@ func relationInfos(rels map[string]*regRelation) []RelationInfo {
 	out := make([]RelationInfo, 0, len(rels))
 	for name, rr := range rels {
 		out = append(out, RelationInfo{
-			Name:    name,
-			Version: rr.version,
-			Tuples:  rr.rel.Len(),
-			Local:   rr.rel.Local,
-			Agg:     rr.rel.Agg,
+			Name:     name,
+			Version:  rr.version,
+			Tuples:   rr.rel.Len(),
+			Local:    rr.rel.Local,
+			Agg:      rr.rel.Agg,
+			WindowMS: rr.window.Milliseconds(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -26,7 +26,16 @@
 //     warm answers across updates;
 //   - the same maintainer machinery points outward through Watch
 //     (watch.go): a query becomes a standing subscription whose
-//     Added/Removed deltas are published on every insert.
+//     Added/Removed deltas are published on every mutation;
+//   - deletes ride the same rails in the other direction: DeleteBatch is
+//     a group commit that retracts resident indexes in place, evicts
+//     skyline members whose pairs died, and re-verifies only the
+//     resurrection candidates the deleted pairs could have suppressed
+//     (core.RetractSet) — or recomputes when the batch is large enough
+//     that the filter would not pay;
+//   - sliding-window relations (RegisterWindow) age rows out through that
+//     same delete path on a background sweeper, so expiry is just a
+//     delete nobody had to issue.
 //
 // Concurrency model: queries hold the service's read lock while they
 // execute (relations are read-only during evaluation). Ingest is a group
@@ -49,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +97,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// CacheEntries bounds the answer cache (LRU). Default: 256.
 	CacheEntries int
+	// SweepInterval is how often the background sweeper ages expired rows
+	// out of windowed relations (RegisterWindow). 0 means 1s; negative
+	// disables the sweeper entirely — tests drive expiry deterministically
+	// through Sweep instead.
+	SweepInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +176,24 @@ type QueryResponse struct {
 	Stats *core.Stats
 }
 
+// DeleteResult reports what one delete batch (explicit or expiry-driven)
+// did to the resident state.
+type DeleteResult struct {
+	// Count is the number of tuples removed.
+	Count int
+	// Version is the relation's version after the delete. A batch moves
+	// the version once, not once per tuple.
+	Version uint64
+	// Maintained counts cache entries updated in place through their
+	// maintainer; Invalidated counts entries dropped as stale.
+	Maintained, Invalidated int
+	// Evicted and Resurrected sum the skyline churn across maintained
+	// entries: members removed because their pairs were deleted (or
+	// renumber-evicted), and former non-members readmitted because every
+	// pair that k-dominated them is gone (see core.Maintainer).
+	Evicted, Resurrected int
+}
+
 // InsertResult reports what one ingest (a single tuple or a whole batch)
 // did to the resident state.
 type InsertResult struct {
@@ -188,6 +221,9 @@ type Stats struct {
 	Computed       uint64 `json:"computed"`
 	Inserts        uint64 `json:"inserts"`
 	Batches        uint64 `json:"batches"`
+	Deletes        uint64 `json:"deletes"`
+	DeleteBatches  uint64 `json:"delete_batches"`
+	Expired        uint64 `json:"expired"`
 	Rejected       uint64 `json:"rejected"`
 	Evictions      uint64 `json:"evictions"`
 
@@ -224,28 +260,64 @@ type Service struct {
 	watches map[watchKey]*watchSet
 	closed  atomic.Bool
 
+	// now is the clock windowed relations age against. Production uses
+	// time.Now; in-package tests substitute a fake to drive expiry
+	// deterministically. Set once in New, before any other goroutine can
+	// observe the service.
+	now func() time.Time
+	// sweepStop/sweepDone bracket the background sweeper's lifetime; nil
+	// when Config.SweepInterval disabled it.
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+
 	queries, cacheHits, maintainedHits atomic.Uint64
 	computed, inserts, batches         atomic.Uint64
+	deletes, deleteBatches, expired    atomic.Uint64
 	rejected                           atomic.Uint64
 }
 
 // New builds a Service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:       cfg,
 		sched:     newScheduler(cfg.MaxConcurrent, cfg.MaxQueue),
 		cache:     newAnswerCache(cfg.CacheEntries),
 		residents: newResidentCache(),
 		rels:      make(map[string]*regRelation),
 		watches:   make(map[watchKey]*watchSet),
+		now:       time.Now,
 	}
+	if cfg.SweepInterval >= 0 {
+		iv := cfg.SweepInterval
+		if iv == 0 {
+			iv = time.Second
+		}
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop(iv)
+	}
+	return s
 }
 
 // Register adds a relation to the registry at version 1. The service owns
-// the relation afterwards: callers must not mutate it except through
-// Insert.
+// the relation afterwards: callers must not mutate it except through the
+// service's insert and delete paths.
 func (s *Service) Register(name string, r *dataset.Relation) (uint64, error) {
+	return s.RegisterWindow(name, r, 0)
+}
+
+// RegisterWindow registers r as a sliding-window relation: rows older
+// than window (counted from their arrival at the service; pre-registered
+// rows arrive at registration time) are aged out by the background
+// sweeper through the same delete path an explicit DeleteBatch takes, so
+// maintained entries and watches see expiry as ordinary deletion. The
+// newest row is always retained — registered relations stay non-empty.
+// A zero window is exactly Register; a negative one is rejected.
+func (s *Service) RegisterWindow(name string, r *dataset.Relation, window time.Duration) (uint64, error) {
+	if window < 0 {
+		return 0, fmt.Errorf("%w: negative window %v", ErrBadRequest, window)
+	}
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
@@ -276,7 +348,15 @@ func (s *Service) Register(name string, r *dataset.Relation) (uint64, error) {
 			return 0, fmt.Errorf("%w: relation already registered as %q", ErrDuplicateRelation, other)
 		}
 	}
-	s.rels[name] = &regRelation{rel: r, version: 1}
+	rr := &regRelation{rel: r, version: 1, window: window}
+	if window > 0 {
+		now := s.now().UnixNano()
+		rr.arrivals = make([]int64, r.Len())
+		for i := range rr.arrivals {
+			rr.arrivals[i] = now
+		}
+	}
+	s.rels[name] = rr
 	return 1, nil
 }
 
@@ -325,11 +405,12 @@ func (s *Service) RelationInfo(name string) (RelationInfo, error) {
 		return RelationInfo{}, fmt.Errorf("%w: %q", ErrUnknownRelation, name)
 	}
 	return RelationInfo{
-		Name:    name,
-		Version: rr.version,
-		Tuples:  rr.rel.Len(),
-		Local:   rr.rel.Local,
-		Agg:     rr.rel.Agg,
+		Name:     name,
+		Version:  rr.version,
+		Tuples:   rr.rel.Len(),
+		Local:    rr.rel.Local,
+		Agg:      rr.rel.Agg,
+		WindowMS: rr.window.Milliseconds(),
 	}, nil
 }
 
@@ -529,10 +610,17 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 	alg := p.alg
 	if p.auto {
 		plan, err := planner.Choose(ctx, q, planner.Options{})
-		if err != nil {
+		switch {
+		case errors.Is(err, planner.ErrEmptyJoin):
+			// Deletes and window expiry can drain the join entirely; that
+			// is a valid state whose answer is the empty skyline, not a
+			// planning failure. Any algorithm computes it instantly.
+			alg = core.Grouping
+		case err != nil:
 			return nil, err
+		default:
+			alg = plan.Algorithm
 		}
-		alg = plan.Algorithm
 	}
 	// The service's query path is built on the same prepared-state surface
 	// the ksjq.Prepared facade exposes: every run over resident relations
@@ -617,6 +705,12 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	if rr.window > 0 {
+		now := s.now().UnixNano()
+		for range ts {
+			rr.arrivals = append(rr.arrivals, now)
+		}
+	}
 	oldV := rr.version
 	rr.version++
 	newV := rr.version
@@ -627,16 +721,104 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 		ids[i] = first + i
 	}
 	out := &InsertResult{ID: first, Count: len(ts), Version: newV}
+	plan, invalidated := s.takeAffectedLocked(name, oldV, newV)
+	out.Invalidated += invalidated
+	s.mu.Unlock()
+
+	// Phase 2 — absorb with no service lock held. Everything touched here
+	// (taken entries, watch maintainers, reclaimed residents) is
+	// unreachable by concurrent queries; readers run freely and recompute
+	// at the new versions.
+	for key, cs := range plan.combos {
+		if cs.res != nil {
+			if err := extendResident(cs.res, key.r1 == name, key.r2 == name, ids); err != nil {
+				cs.res = nil // fall back to a fresh build
+			}
+		}
+		if cs.res == nil {
+			// Best effort: a failed build (unreachable for registry-owned
+			// relations) just means this combo absorbs without sharing.
+			cs.res, _ = core.NewResident(cs.q)
+		}
+	}
+	entOut := make([]mutationOutcome, len(plan.live))
+	for i, e := range plan.live {
+		if res := plan.combos[plan.liveCombos[i]].res; res != nil {
+			e.m.UseResident(res)
+		}
+		d, a, err := absorbBatchInto(e.m, e.key.r1 == name, e.key.r2 == name, ids)
+		if err != nil {
+			entOut[i].err = err
+			continue
+		}
+		entOut[i].churnA, entOut[i].churnB = d, a
+		// Refresh the served snapshot once per batch so cache hits stay
+		// O(1) instead of paying the maintainer's copy-and-sort.
+		e.skyline = e.m.Skyline()
+	}
+	wsOut := make([]mutationOutcome, len(plan.wsets))
+	for i, ws := range plan.wsets {
+		if res := plan.combos[plan.wsCombos[i]].res; res != nil {
+			ws.m.UseResident(res)
+		}
+		if _, _, err := absorbBatchInto(ws.m, ws.key.r1 == name, ws.key.r2 == name, ids); err != nil {
+			wsOut[i].err = err
+			continue
+		}
+		wsOut[i].cur = ws.m.Skyline()
+	}
+
+	// Phase 3.
+	s.mu.Lock()
+	maintained, invalidated, displaced, admitted := s.publishLocked(plan, entOut, wsOut)
+	s.mu.Unlock()
+	out.Maintained += maintained
+	out.Invalidated += invalidated
+	out.Displaced += displaced
+	out.Admitted += admitted
+	return out, nil
+}
+
+// mutationPlan is everything one mutation batch (insert or delete) pulled
+// out of reach of concurrent readers during its first exclusive section:
+// the still-current cache entries (promoted to live maintenance), the
+// affected watch sets (flagged absorbing), and one shared resident slot
+// per (pair, condition) combo.
+type mutationPlan struct {
+	live       []*entry
+	liveCombos []residentKey
+	wsets      []*watchSet
+	wsCombos   []residentKey
+	wsVersions [][2]uint64
+	combos     map[residentKey]*ingestCombo
+}
+
+// mutationOutcome is what phase 2 produced for one taken entry or watch
+// set. churnA/churnB are displaced/admitted for inserts and
+// evicted/resurrected for deletes.
+type mutationOutcome struct {
+	churnA, churnB int
+	cur            []join.Pair
+	err            error
+}
+
+// takeAffectedLocked is the shared tail of phase 1: with the relation
+// already mutated and its version bumped oldV→newV, pull every affected
+// cache entry, watch set, and resident out of reach. Stale entries are
+// dropped (counted in the returned invalidated); current ones are
+// promoted to live maintenance and re-stamped at newV. The caller holds
+// s.mu exclusively.
+func (s *Service) takeAffectedLocked(name string, oldV, newV uint64) (*mutationPlan, int) {
+	plan := &mutationPlan{combos: make(map[residentKey]*ingestCombo)}
+	invalidated := 0
 
 	// Cache entries still current at the old version are promoted to live
 	// maintenance; stale ones drop. Taken entries are unreachable by
 	// lookups until phase 3 restores them.
-	var live []*entry
-	var liveCombos []residentKey
 	for _, e := range s.cache.takeForRelation(name) {
 		if !s.entryCurrent(e, name, oldV) {
 			s.cache.drop(e)
-			out.Invalidated++
+			invalidated++
 			continue
 		}
 		if e.key.r1 == name {
@@ -653,49 +835,45 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 			m, err := core.NewMaintainerFrom(e.q, e.skyline)
 			if err != nil {
 				s.cache.drop(e)
-				out.Invalidated++
+				invalidated++
 				continue
 			}
 			e.m = m
 		}
-		live = append(live, e)
-		liveCombos = append(liveCombos, residentKey{r1: e.key.r1, r2: e.key.r2, v1: e.key.v1, v2: e.key.v2, cond: e.key.cond})
+		plan.live = append(plan.live, e)
+		plan.liveCombos = append(plan.liveCombos, residentKey{r1: e.key.r1, r2: e.key.r2, v1: e.key.v1, v2: e.key.v2, cond: e.key.cond})
 	}
 
 	// Affected watch sets: flag them as absorbing so a last unsubscribe
 	// during phase 2 cannot close the maintainer out from under us —
 	// phase 3 finishes such a teardown itself.
-	var wsets []*watchSet
-	var wsCombos []residentKey
-	var wsVersions [][2]uint64
 	for wkey, ws := range s.watches {
 		if wkey.r1 != name && wkey.r2 != name {
 			continue
 		}
 		v1, v2 := s.rels[wkey.r1].version, s.rels[wkey.r2].version
 		ws.absorbing = true
-		wsets = append(wsets, ws)
-		wsCombos = append(wsCombos, residentKey{r1: wkey.r1, r2: wkey.r2, v1: v1, v2: v2, cond: wkey.cond})
-		wsVersions = append(wsVersions, [2]uint64{v1, v2})
+		plan.wsets = append(plan.wsets, ws)
+		plan.wsCombos = append(plan.wsCombos, residentKey{r1: wkey.r1, r2: wkey.r2, v1: v1, v2: v2, cond: wkey.cond})
+		plan.wsVersions = append(plan.wsVersions, [2]uint64{v1, v2})
 	}
 
 	// One shared Resident per affected combo. Reclaim the pre-batch
-	// snapshot where the cache has one — phase 2 extends it in place
-	// (merge cost) instead of rebuilding (sort cost) — then orphan
-	// whatever else references the mutated relation.
-	combos := make(map[residentKey]*ingestCombo)
+	// snapshot where the cache has one — phase 2 advances it in place
+	// instead of rebuilding — then orphan whatever else references the
+	// mutated relation.
 	addCombo := func(key residentKey, q core.Query) {
-		if _, ok := combos[key]; !ok {
-			combos[key] = &ingestCombo{q: q}
+		if _, ok := plan.combos[key]; !ok {
+			plan.combos[key] = &ingestCombo{q: q}
 		}
 	}
-	for i, e := range live {
-		addCombo(liveCombos[i], e.q)
+	for i, e := range plan.live {
+		addCombo(plan.liveCombos[i], e.q)
 	}
-	for i, ws := range wsets {
-		addCombo(wsCombos[i], ws.q)
+	for i, ws := range plan.wsets {
+		addCombo(plan.wsCombos[i], ws.q)
 	}
-	for key, cs := range combos {
+	for key, cs := range plan.combos {
 		oldKey := key
 		if oldKey.r1 == name {
 			oldKey.v1 = oldV
@@ -706,72 +884,26 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 		cs.res = s.residents.take(oldKey)
 	}
 	s.residents.dropRelation(name)
-	s.mu.Unlock()
+	return plan, invalidated
+}
 
-	// Phase 2 — absorb with no service lock held. Everything touched here
-	// (taken entries, watch maintainers, reclaimed residents) is
-	// unreachable by concurrent queries; readers run freely and recompute
-	// at the new versions.
-	for key, cs := range combos {
-		if cs.res != nil {
-			if err := extendResident(cs.res, key.r1 == name, key.r2 == name, ids); err != nil {
-				cs.res = nil // fall back to a fresh build
-			}
-		}
-		if cs.res == nil {
-			// Best effort: a failed build (unreachable for registry-owned
-			// relations) just means this combo absorbs without sharing.
-			cs.res, _ = core.NewResident(cs.q)
-		}
-	}
-	type outcome struct {
-		displaced, admitted int
-		cur                 []join.Pair
-		err                 error
-	}
-	entOut := make([]outcome, len(live))
-	for i, e := range live {
-		if res := combos[liveCombos[i]].res; res != nil {
-			e.m.UseResident(res)
-		}
-		d, a, err := absorbBatchInto(e.m, e.key.r1 == name, e.key.r2 == name, ids)
-		if err != nil {
-			entOut[i].err = err
-			continue
-		}
-		entOut[i].displaced, entOut[i].admitted = d, a
-		// Refresh the served snapshot once per batch so cache hits stay
-		// O(1) instead of paying the maintainer's copy-and-sort.
-		e.skyline = e.m.Skyline()
-	}
-	wsOut := make([]outcome, len(wsets))
-	for i, ws := range wsets {
-		if res := combos[wsCombos[i]].res; res != nil {
-			ws.m.UseResident(res)
-		}
-		if _, _, err := absorbBatchInto(ws.m, ws.key.r1 == name, ws.key.r2 == name, ids); err != nil {
-			wsOut[i].err = err
-			continue
-		}
-		wsOut[i].cur = ws.m.Skyline()
-	}
-
-	// Phase 3 — publish under the exclusive lock: restore maintained
-	// entries, fan one coalesced delta per batch out to watchers, seed
-	// the resident cache for the next query.
-	s.mu.Lock()
-	for i, e := range live {
+// publishLocked is the shared phase 3: restore maintained entries, fan
+// one coalesced delta per batch out to watchers, seed the resident cache
+// for the next query. Returns the maintained/invalidated entry counts and
+// the summed churn. The caller holds s.mu exclusively.
+func (s *Service) publishLocked(plan *mutationPlan, entOut, wsOut []mutationOutcome) (maintained, invalidated, churnA, churnB int) {
+	for i, e := range plan.live {
 		if entOut[i].err != nil {
 			s.cache.drop(e)
-			out.Invalidated++
+			invalidated++
 			continue
 		}
-		out.Displaced += entOut[i].displaced
-		out.Admitted += entOut[i].admitted
+		churnA += entOut[i].churnA
+		churnB += entOut[i].churnB
 		s.cache.restore(e)
-		out.Maintained++
+		maintained++
 	}
-	for i, ws := range wsets {
+	for i, ws := range plan.wsets {
 		ws.absorbing = false
 		if wsOut[i].err != nil {
 			// Unreachable for registry-owned relations; fail loudly rather
@@ -796,18 +928,17 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 		}
 		added, removed := diffPairs(ws.last, wsOut[i].cur)
 		ws.last = wsOut[i].cur
-		ws.versions = wsVersions[i]
+		ws.versions = plan.wsVersions[i]
 		for sub := range ws.subs {
 			sub.enqueue(WatchEvent{Added: added, Removed: removed, Versions: ws.versions})
 		}
 	}
-	for key, cs := range combos {
+	for key, cs := range plan.combos {
 		if cs.res != nil {
 			s.residents.put(key, cs.res)
 		}
 	}
-	s.mu.Unlock()
-	return out, nil
+	return maintained, invalidated, churnA, churnB
 }
 
 // entryCurrent reports whether a cache entry is valid at the registry
@@ -841,6 +972,275 @@ func extendResident(res *core.Resident, left, right bool, ids []int) error {
 	}
 	if right {
 		if err := res.Absorb(core.Right, ids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes one tuple from a registered relation and brings the
+// resident state with it. It is DeleteBatch with a one-id batch — the
+// per-tuple path IS the batch path, so the two can never diverge.
+func (s *Service) Delete(name string, id int) (*DeleteResult, error) {
+	return s.DeleteBatch(name, []int{id})
+}
+
+// DeleteBatch removes a batch of tuples (by current row id) from a
+// registered relation as one group commit: one physical compaction, one
+// version bump, one resident retract (or rebuild) per affected (pair,
+// condition), one maintainer retraction per cache entry and watch set,
+// one coalesced WatchEvent per subscriber carrying the genuine Removed
+// deltas plus any resurrection Added deltas. Ids may arrive in any order
+// but must be in range and free of duplicates; the batch is rejected
+// whole before anything mutates. Deleting every row is rejected too —
+// registered relations stay non-empty.
+//
+// Locking mirrors InsertBatch: phase 1 (exclusive) compacts the relation
+// and unhooks every affected entry, watch set, and resident; phase 2
+// holds no service lock — eviction and resurrection re-verification run
+// while concurrent queries execute freely at the new versions; phase 3
+// (exclusive) publishes the retracted state and watch deltas. Batches are
+// serialized against inserts and other deletes by ingestMu.
+func (s *Service) DeleteBatch(name string, ids []int) (*DeleteResult, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return s.deleteBatchLocked(name, ids, false)
+}
+
+// deleteBatchLocked is DeleteBatch after admission: the caller holds
+// ingestMu (the sweeper calls it directly, already inside its own ingest
+// turn). expiry marks sweeper-driven deletes in the counters.
+func (s *Service) deleteBatchLocked(name string, ids []int, expiry bool) (*DeleteResult, error) {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+
+	// Phase 1 — group commit under the exclusive lock: validate the whole
+	// batch, snapshot the doomed rows if the incremental path will want
+	// them, compact the relation, bump the version, and pull everything
+	// the batch must update out of reach of concurrent readers.
+	s.mu.Lock()
+	rr, ok := s.rels[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, name)
+	}
+	n := rr.rel.Len()
+	for i, id := range sorted {
+		if id < 0 || id >= n {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: delete index %d out of range [0,%d)", ErrBadRequest, id, n)
+		}
+		if i > 0 && sorted[i-1] == id {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: duplicate delete index %d", ErrBadRequest, id)
+		}
+	}
+	if len(sorted) >= n {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: cannot delete all %d rows of %q (registered relations stay non-empty)", ErrBadRequest, n, name)
+	}
+	// The resurrection filter needs the deleted rows' pairs, and the rows
+	// are unrecoverable once the columns compact — snapshot them now, but
+	// only when the batch is small enough that maintainers will take the
+	// incremental arm (past the hybrid threshold they recompute and the
+	// snapshot would be dead weight).
+	var del *dataset.Relation
+	if !core.RetractPrefersRecompute(len(sorted), n-len(sorted)) {
+		del = core.SnapshotRows(rr.rel, sorted)
+	}
+	if err := rr.rel.DeleteBatch(sorted); err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if rr.window > 0 {
+		keep := rr.arrivals[:0]
+		next := 0
+		for i, at := range rr.arrivals {
+			if next < len(sorted) && sorted[next] == i {
+				next++
+				continue
+			}
+			keep = append(keep, at)
+		}
+		rr.arrivals = keep
+	}
+	oldV := rr.version
+	rr.version++
+	newV := rr.version
+	s.deletes.Add(uint64(len(sorted)))
+	s.deleteBatches.Add(1)
+	if expiry {
+		s.expired.Add(uint64(len(sorted)))
+	}
+	out := &DeleteResult{Count: len(sorted), Version: newV}
+	plan, invalidated := s.takeAffectedLocked(name, oldV, newV)
+	out.Invalidated += invalidated
+	s.mu.Unlock()
+
+	// Phase 2 — retract with no service lock held. Reclaimed residents
+	// compact in place (O(survivors)); a failed retract falls back to a
+	// fresh build over the compacted relation.
+	for key, cs := range plan.combos {
+		if cs.res != nil {
+			if err := retractResident(cs.res, key.r1 == name, key.r2 == name, sorted); err != nil {
+				cs.res = nil
+			}
+		}
+		if cs.res == nil {
+			cs.res, _ = core.NewResident(cs.q)
+		}
+	}
+	// One RetractSet per (sides, condition, aggregator, k) the live
+	// entries and watch sets actually use. The combo key alone is not
+	// enough: the group-prune thresholds bake in k and the pair points
+	// bake in the aggregator.
+	type retractSetKey struct {
+		r1, r2 string
+		cond   join.Condition
+		agg    string
+		k      int
+	}
+	rsets := make(map[retractSetKey]*core.RetractSet)
+	rsFor := func(q core.Query, r1, r2 string) *core.RetractSet {
+		if del == nil {
+			return nil // past the hybrid threshold: maintainers recompute
+		}
+		rk := retractSetKey{r1: r1, r2: r2, cond: q.Spec.Cond, agg: q.Spec.Agg.Name, k: q.K}
+		rs, ok := rsets[rk]
+		if !ok {
+			rs = core.NewRetractSet(q, r1 == name, r2 == name, del)
+			rsets[rk] = rs
+		}
+		return rs
+	}
+	entOut := make([]mutationOutcome, len(plan.live))
+	for i, e := range plan.live {
+		if res := plan.combos[plan.liveCombos[i]].res; res != nil {
+			e.m.UseResident(res)
+		}
+		ev, ad, err := e.m.RetractBatch(e.key.r1 == name, e.key.r2 == name, sorted, rsFor(e.q, e.key.r1, e.key.r2))
+		if err != nil {
+			entOut[i].err = err
+			continue
+		}
+		entOut[i].churnA, entOut[i].churnB = ev, ad
+		e.skyline = e.m.Skyline()
+	}
+	wsOut := make([]mutationOutcome, len(plan.wsets))
+	for i, ws := range plan.wsets {
+		if res := plan.combos[plan.wsCombos[i]].res; res != nil {
+			ws.m.UseResident(res)
+		}
+		if _, _, err := ws.m.RetractBatch(ws.key.r1 == name, ws.key.r2 == name, sorted, rsFor(ws.q, ws.key.r1, ws.key.r2)); err != nil {
+			wsOut[i].err = err
+			continue
+		}
+		wsOut[i].cur = ws.m.Skyline()
+	}
+
+	// Phase 3.
+	s.mu.Lock()
+	maintained, invalidated, evicted, resurrected := s.publishLocked(plan, entOut, wsOut)
+	s.mu.Unlock()
+	out.Maintained += maintained
+	out.Invalidated += invalidated
+	out.Evicted += evicted
+	out.Resurrected += resurrected
+	return out, nil
+}
+
+// Sweep ages expired rows out of every windowed relation immediately,
+// regardless of the sweep interval, and reports how many rows it removed.
+// The background sweeper calls it on its ticker; tests that disabled the
+// sweeper (negative Config.SweepInterval) call it to drive expiry
+// deterministically.
+func (s *Service) Sweep() int {
+	if s.closed.Load() {
+		return 0
+	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.closed.Load() {
+		return 0
+	}
+
+	// Arrival stamps are ascending, so the expired rows of each relation
+	// are a prefix: one binary search per relation finds the cut. The
+	// newest row is always retained (registered relations stay non-empty).
+	now := s.now().UnixNano()
+	type cut struct {
+		name string
+		n    int
+	}
+	var cuts []cut
+	s.mu.RLock()
+	for name, rr := range s.rels {
+		if rr.window <= 0 {
+			continue
+		}
+		deadline := now - int64(rr.window)
+		j := sort.Search(len(rr.arrivals), func(i int) bool { return rr.arrivals[i] > deadline })
+		if j >= rr.rel.Len() {
+			j = rr.rel.Len() - 1
+		}
+		if j > 0 {
+			cuts = append(cuts, cut{name: name, n: j})
+		}
+	}
+	s.mu.RUnlock()
+
+	total := 0
+	for _, c := range cuts {
+		ids := make([]int, c.n)
+		for i := range ids {
+			ids[i] = i
+		}
+		// The only failure mode left after the scan is the relation having
+		// been deleted between locks — impossible while we hold ingestMu —
+		// so errors here are structural and safe to skip past.
+		if res, err := s.deleteBatchLocked(c.name, ids, true); err == nil {
+			total += res.Count
+		}
+	}
+	return total
+}
+
+// sweepLoop is the background sweeper goroutine: one Sweep per tick until
+// Close.
+func (s *Service) sweepLoop(interval time.Duration) {
+	defer close(s.sweepDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// retractResident compacts a reclaimed pre-batch Resident around the
+// deleted rows, on every side the mutated relation occupies (both, for a
+// self-join).
+func retractResident(res *core.Resident, left, right bool, ids []int) error {
+	if left {
+		if err := res.Retract(core.Left, ids); err != nil {
+			return err
+		}
+	}
+	if right {
+		if err := res.Retract(core.Right, ids); err != nil {
 			return err
 		}
 	}
@@ -886,6 +1286,9 @@ func (s *Service) Stats() Stats {
 		Computed:          s.computed.Load(),
 		Inserts:           s.inserts.Load(),
 		Batches:           s.batches.Load(),
+		Deletes:           s.deletes.Load(),
+		DeleteBatches:     s.deleteBatches.Load(),
+		Expired:           s.expired.Load(),
 		Rejected:          s.rejected.Load(),
 		Evictions:         evictions,
 		CacheEntries:      entries,
@@ -905,17 +1308,27 @@ func (s *Service) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Wait out any in-flight batch first (a batch that started before the
-	// CAS is entitled to publish its phase 3), then let the exclusive
-	// lock drain every reader: no query is mid-execution when the cache
-	// and registry go away.
+	// Stop the sweeper's ticker first; a sweep already past the closed
+	// check just rides out its ingest turn like any in-flight batch.
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+	}
+	// Wait out any in-flight batch (a batch that started before the CAS is
+	// entitled to publish its phase 3), then let the exclusive lock drain
+	// every reader: no query is mid-execution when the cache and registry
+	// go away.
 	s.ingestMu.Lock()
-	defer s.ingestMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.cache.closeAll()
 	s.closeWatchesLocked() // every subscription ends with ErrClosed
 	s.residents.clear()    // resident indexes pin O(n) per pair — release them
 	s.rels = make(map[string]*regRelation)
+	s.mu.Unlock()
+	s.ingestMu.Unlock()
+	// Only join the sweeper after releasing the locks — it may be blocked
+	// on ingestMu inside a final Sweep, which will see closed and bail.
+	if s.sweepDone != nil {
+		<-s.sweepDone
+	}
 	return nil
 }

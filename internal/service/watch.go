@@ -200,14 +200,23 @@ func (s *Service) tryAttach(ctx context.Context, req QueryRequest, p parsed, sna
 }
 
 // diffPairs computes the delta between two (Left, Right)-sorted answers.
-// Pair identity is the index pair — a pair's joined attributes are fixed
-// by the relations, so only membership can change.
+// Pair identity is the index pair. Under inserts a pair's joined
+// attributes are fixed by the relations, so only membership changes —
+// but a delete renumbers the surviving rows, and a survivor can inherit
+// the exact index pair of a simultaneously evicted member. Identity alone
+// would call that "unchanged" and leave subscribers holding the dead
+// pair's attributes, so an identity match with different attributes is
+// emitted as a remove-then-add of the same key.
 func diffPairs(old, cur []join.Pair) (added, removed []join.Pair) {
 	i, j := 0, 0
 	for i < len(old) && j < len(cur) {
 		a, b := old[i], cur[j]
 		switch {
 		case a.Left == b.Left && a.Right == b.Right:
+			if !equalAttrs(a.Attrs, b.Attrs) {
+				removed = append(removed, a)
+				added = append(added, b)
+			}
 			i++
 			j++
 		case a.Left < b.Left || (a.Left == b.Left && a.Right < b.Right):
@@ -221,6 +230,19 @@ func diffPairs(old, cur []join.Pair) (added, removed []join.Pair) {
 	removed = append(removed, old[i:]...)
 	added = append(added, cur[j:]...)
 	return added, removed
+}
+
+// equalAttrs reports byte-identical combined attribute vectors.
+func equalAttrs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Events is the subscription's delivery channel. It closes when the watch

@@ -23,6 +23,11 @@ type (
 	QueryResponse = service.QueryResponse
 	// InsertResult reports what one insert did to the resident state.
 	InsertResult = service.InsertResult
+	// DeleteResult reports what one delete batch — explicit, or issued by
+	// the sliding-window sweeper — did to the resident state: entries
+	// maintained in place, skyline members evicted, and former non-members
+	// resurrected because every pair that k-dominated them is gone.
+	DeleteResult = service.DeleteResult
 	// ServiceStats is the service-level counter snapshot.
 	ServiceStats = service.Stats
 	// RelationInfo describes one registered relation.
@@ -31,12 +36,15 @@ type (
 	Source = service.Source
 	// Watch is one live subscription to a query's answer: Service.Watch
 	// computes the answer once, then delivers Added/Removed deltas over
-	// Watch.Events as inserts arrive, driven by the same incremental
-	// maintainer machinery the answer cache promotes entries with.
+	// Watch.Events as mutations (inserts, deletes, window expiry) arrive,
+	// driven by the same incremental maintainer machinery the answer cache
+	// promotes entries with.
 	Watch = service.Watch
 	// WatchEvent is one change to a watched answer: the initial snapshot
-	// (Seq 0, all Added) or the delta one insert caused, stamped with the
-	// registry versions it moved the answer to.
+	// (Seq 0, all Added) or the delta one mutation batch caused, stamped
+	// with the registry versions it moved the answer to. Deletes produce
+	// genuine Removed deltas — evicted members plus renumbered survivors —
+	// alongside any resurrection Added deltas.
 	WatchEvent = service.WatchEvent
 )
 
@@ -75,10 +83,12 @@ var (
 //	svc.Register("flights2", r2)
 //	resp, err := svc.Query(ctx, ksjq.QueryRequest{R1: "flights1", R2: "flights2", K: 6})
 //
-// Repeated queries hit the answer cache; inserts through svc.Insert keep
-// cached answers current incrementally instead of invalidating them; and
-// svc.Watch turns a query into a standing subscription whose answer
-// deltas arrive as inserts do.
+// Repeated queries hit the answer cache; mutations through svc.Insert and
+// svc.Delete (and their batch forms) keep cached answers current
+// incrementally instead of invalidating them; svc.RegisterWindow makes a
+// relation a sliding window whose rows age out through the same delete
+// path; and svc.Watch turns a query into a standing subscription whose
+// answer deltas arrive as mutations do.
 func NewService(cfg ServiceConfig) *Service {
 	return service.New(cfg)
 }

@@ -21,7 +21,7 @@ fi
 out=$1
 benchtime=${BENCHTIME:-3x}
 count=${COUNT:-5}
-pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert|BenchmarkInsertLoop|BenchmarkInsertBatch|BenchmarkResidentExtend|BenchmarkResidentRebuild)$'
+pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert|BenchmarkInsertLoop|BenchmarkInsertBatch|BenchmarkResidentExtend|BenchmarkResidentRebuild|BenchmarkMaintainedDelete|BenchmarkDeleteRecompute|BenchmarkWindowSweep)$'
 
 goversion=$(go version)
 loadavg=$(cut -d' ' -f1-3 /proc/loadavg 2>/dev/null || sysctl -n vm.loadavg 2>/dev/null || echo unknown)

@@ -30,7 +30,7 @@ go_flags="bench benchmem benchtime count race run v s d"
 candidates=$( {
     sed -n '/^```/,/^```/p' "$readme"
     grep -oE '`[^`]*`' "$readme"
-} | grep -oE '(^|[ `(])-[a-z][a-z0-9-]*' | sed -E 's/.*-([a-z][a-z0-9-]*)$/\1/' | sort -u)
+} | grep -oE '(^|[ `(])-[a-z][a-z0-9-]*' | sed -E 's/^[^-]*-//' | sort -u)
 
 for f in $candidates; do
     if echo "$defined" | grep -qx "$f"; then
