@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare coverage docs-check examples staticcheck apicheck shuffle ci
+.PHONY: build test race bench bench-compare coverage docs-check examples staticcheck apicheck shuffle shard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ examples:
 # Snapshot the tracked benchmarks (best-of-COUNT, default 5) into the
 # current PR's trajectory record.
 bench:
-	./scripts/bench_snapshot.sh BENCH_pr8.json
+	./scripts/bench_snapshot.sh BENCH_pr9.json
 
 # Noise-robust regression gate: fresh best-of-N snapshot vs the newest
 # checked-in BENCH_pr*.json; fails on >25% ns/op regression (THRESHOLD to
@@ -46,6 +46,12 @@ apicheck:
 shuffle:
 	$(GO) test -shuffle=on ./...
 
+# Cluster smoke: boot 2 real shard processes + a gateway, check the
+# scatter-gathered answer against a single-node recompute, and that a
+# dead shard surfaces as a 503 naming it.
+shard-smoke:
+	./scripts/smoke_shard.sh
+
 # Static analysis. CI installs staticcheck; locally this uses whatever is
 # on PATH and explains itself if nothing is.
 staticcheck:
@@ -53,4 +59,4 @@ staticcheck:
 		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
 	staticcheck ./...
 
-ci: build test race shuffle apicheck coverage examples docs-check
+ci: build test race shuffle apicheck coverage examples docs-check shard-smoke

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+	"repro/ksjq"
+)
+
+// runGateway is gateway mode's main: connect to the shard processes,
+// serve the scatter-gather wire surface, shut down gracefully (draining
+// in-flight scatter-gathers) on SIGINT/SIGTERM.
+func runGateway(addr, shardList string, timeout, grace time.Duration, debug string) {
+	var addrs []string
+	for _, a := range strings.Split(shardList, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatalf("ksjqd: -gateway needs -shards host:port[,host:port...]")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	connectCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	gw, err := shard.New(connectCtx, addrs, shard.Config{ShardTimeout: timeout})
+	cancel()
+	if err != nil {
+		log.Fatalf("ksjqd: connecting to shards: %v", err)
+	}
+
+	// Wire-facing deadline bound, resolved exactly like single-node mode.
+	maxTimeout := timeout
+	if maxTimeout == 0 {
+		maxTimeout = ksjq.DefaultRequestTimeout
+	} else if maxTimeout < 0 {
+		maxTimeout = 0
+	}
+	srv := &http.Server{Addr: addr, Handler: shard.NewHandler(gw, maxTimeout)}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("ksjqd gateway listening on %s (%d shards: %s)", addr, len(addrs), strings.Join(addrs, ", "))
+
+	if debug != "" {
+		go func() {
+			log.Printf("ksjqd debug (pprof) listening on %s", debug)
+			if err := http.ListenAndServe(debug, nil); err != nil {
+				log.Printf("ksjqd: debug server: %v", err)
+			}
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		log.Fatalf("ksjqd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("ksjqd: gateway shutting down (grace %v)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ksjqd: shutdown: %v", err)
+	}
+	if err := gw.Close(); err != nil && !errors.Is(err, shard.ErrClosed) {
+		log.Printf("ksjqd: closing gateway: %v", err)
+	}
+	log.Printf("ksjqd: bye")
+}

@@ -32,6 +32,23 @@
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests finish
 // (bounded by -grace), new ones are refused.
+//
+// # Gateway mode
+//
+// With -gateway, ksjqd serves the same wire surface as a scatter-gather
+// gateway over a cluster of ordinary ksjqd shard processes instead of a
+// local service:
+//
+//	ksjqd -addr :8471 &          # shard 0
+//	ksjqd -addr :8472 &          # shard 1
+//	ksjqd -addr :8370 -gateway -shards localhost:8471,localhost:8472
+//
+// Relations registered through the gateway are partitioned across the
+// shards by join key (every join group wholly local); queries run the
+// paper's two-round distributed scheme — shard-local skylines, then a
+// candidate-verification exchange — and /v1/stats reports the cluster
+// breakdown including round-2 message/float traffic. Sliding windows and
+// -load preloads are not available in gateway mode. See DESIGN.md §13.
 package main
 
 import (
@@ -100,10 +117,17 @@ func main() {
 		debug   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 		window  = flag.Duration("window", 0, "sliding window applied to every -load relation (0 = keep rows forever)")
 		sweep   = flag.Duration("sweep-interval", 0, "how often windowed relations age out expired rows (0 = 1s, negative = never)")
+		gateway = flag.Bool("gateway", false, "serve as a scatter-gather gateway over -shards instead of a local service")
+		shards  = flag.String("shards", "", "comma-separated shard addresses (gateway mode)")
 		loads   loadFlags
 	)
 	flag.Var(&loads, "load", "preload a relation: name,path,local[,agg[,band]] (repeatable)")
 	flag.Parse()
+
+	if *gateway {
+		runGateway(*addr, *shards, *timeout, *grace, *debug)
+		return
+	}
 
 	svc := ksjq.NewService(ksjq.ServiceConfig{
 		MaxConcurrent:  *workers,

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/ksjq"
 )
 
@@ -319,8 +320,8 @@ func TestLoadFlagParsing(t *testing.T) {
 }
 
 func TestTupleJSONRoundTrip(t *testing.T) {
-	in := tupleJSON{Key: "A", Key2: "B", Band: 1.5, Attrs: []float64{1, 2}}
-	tup := in.tuple()
+	in := httpapi.TupleJSON{Key: "A", Key2: "B", Band: 1.5, Attrs: []float64{1, 2}}
+	tup := in.Tuple()
 	if tup.Key != "A" || tup.Key2 != "B" || tup.Band != 1.5 || fmt.Sprint(tup.Attrs) != "[1 2]" {
 		t.Errorf("tuple() = %+v", tup)
 	}
@@ -355,10 +356,10 @@ func TestServerWatch(t *testing.T) {
 	}
 
 	type eventJSON struct {
-		Seq      uint64     `json:"seq"`
-		Added    []pairJSON `json:"added"`
-		Removed  []pairJSON `json:"removed"`
-		Versions [2]uint64  `json:"versions"`
+		Seq      uint64             `json:"seq"`
+		Added    []httpapi.PairJSON `json:"added"`
+		Removed  []httpapi.PairJSON `json:"removed"`
+		Versions [2]uint64          `json:"versions"`
 	}
 	dec := json.NewDecoder(resp.Body)
 	lines := make(chan eventJSON, 8)

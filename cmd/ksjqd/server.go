@@ -1,423 +1,18 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/ksjq"
 )
 
-// The HTTP surface is a thin JSON codec over ksjq.Service: every endpoint
-// decodes a request, calls the same method an embedder would, and encodes
-// the response. No query logic lives here.
-//
-//	POST /v1/relations  {"name","local","agg","tuples":[{"key","band","attrs"}],"window_ms":60000}
-//	POST /v1/relations?format=csv&name=r1&local=3&agg=1[&band=1][&window_ms=60000]   (CSV body)
-//	GET  /v1/relations
-//	POST /v1/query      {"r1","r2","k","join","agg","algorithm","workers","timeout_ms","no_cache"}
-//	POST /v1/watch      same body as /v1/query; responds with NDJSON answer deltas
-//	POST /v1/insert     {"relation","tuple":{"key","band","attrs"}}
-//	                    or {"relation","tuples":[{...},...]} (one group commit)
-//	POST /v1/delete     {"relation","id":3} or {"relation","ids":[0,4,7]}
-//	                    (one group commit; ids are current row indexes)
-//	GET  /v1/stats
-//	GET  /healthz
-
-// tupleJSON is the wire form of one tuple.
-type tupleJSON struct {
-	Key   string    `json:"key"`
-	Key2  string    `json:"key2,omitempty"`
-	Band  float64   `json:"band,omitempty"`
-	Attrs []float64 `json:"attrs"`
-}
-
-func (t tupleJSON) tuple() ksjq.Tuple {
-	return ksjq.Tuple{Key: t.Key, Key2: t.Key2, Band: t.Band, Attrs: t.Attrs}
-}
-
-// pairJSON is the wire form of one skyline tuple.
-type pairJSON struct {
-	Left  int       `json:"left"`
-	Right int       `json:"right"`
-	Attrs []float64 `json:"attrs"`
-}
-
-type queryJSON struct {
-	R1        string `json:"r1"`
-	R2        string `json:"r2"`
-	K         int    `json:"k"`
-	Join      string `json:"join,omitempty"`
-	Agg       string `json:"agg,omitempty"`
-	Algorithm string `json:"algorithm,omitempty"`
-	Workers   int    `json:"workers,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-	NoCache   bool   `json:"no_cache,omitempty"`
-}
-
-type queryResponseJSON struct {
-	Skyline   []pairJSON `json:"skyline"`
-	Count     int        `json:"count"`
-	Source    string     `json:"source"`
-	Algorithm string     `json:"algorithm"`
-	Versions  [2]uint64  `json:"versions"`
-	ElapsedUS int64      `json:"elapsed_us"`
-	Stats     *statsJSON `json:"stats,omitempty"`
-}
-
-// statsJSON flattens the engine's per-phase breakdown to microseconds.
-type statsJSON struct {
-	GroupingUS  int64 `json:"grouping_us"`
-	JoinUS      int64 `json:"join_us"`
-	DominatorUS int64 `json:"dominator_us"`
-	RemainingUS int64 `json:"remaining_us"`
-	TotalUS     int64 `json:"total_us"`
-	Candidates  int   `json:"candidates"`
-	YesEmitted  int   `json:"yes_emitted"`
-	DomTests    int64 `json:"domination_tests"`
-}
-
-// server carries the handler's operator-level policy: wire clients may
-// tighten the per-request deadline but never loosen it past maxTimeout
-// (0 = the operator disabled the bound).
-type server struct {
-	svc        *ksjq.Service
-	maxTimeout time.Duration
-}
-
+// The HTTP surface lives in internal/httpapi — a thin JSON codec over
+// ksjq.Service shared between this single-node server and the sharded
+// gateway (internal/shard), which speaks it as a client against each
+// shard. newServer is kept as the in-package constructor the tests and
+// main use.
 func newServer(svc *ksjq.Service, maxTimeout time.Duration) http.Handler {
-	srv := &server{svc: svc, maxTimeout: maxTimeout}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
-	mux.HandleFunc("/v1/relations", func(w http.ResponseWriter, r *http.Request) {
-		switch r.Method {
-		case http.MethodGet:
-			writeJSON(w, http.StatusOK, map[string]any{"relations": svc.Relations()})
-		case http.MethodPost:
-			handleLoad(svc, w, r)
-		default:
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
-		}
-	})
-	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
-		srv.handleQuery(w, r)
-	})
-	mux.HandleFunc("/v1/watch", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
-		srv.handleWatch(w, r)
-	})
-	mux.HandleFunc("/v1/insert", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
-		handleInsert(svc, w, r)
-	})
-	mux.HandleFunc("/v1/delete", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
-		handleDelete(svc, w, r)
-	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	return mux
-}
-
-func handleLoad(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
-	if r.URL.Query().Get("format") == "csv" {
-		q := r.URL.Query()
-		name := q.Get("name")
-		local, agg := atoi(q.Get("local")), atoi(q.Get("agg"))
-		hasBand := q.Get("band") != "" && q.Get("band") != "0"
-		window := time.Duration(atoi(q.Get("window_ms"))) * time.Millisecond
-		rel, err := ksjq.ReadCSV(r.Body, ksjq.ReadOptions{
-			Name: name, Local: local, Agg: agg, HasBand: hasBand,
-		})
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		version, err := svc.RegisterWindow(name, rel, window)
-		if err != nil {
-			writeServiceError(w, err)
-			return
-		}
-		writeLoadResponse(svc, w, name, version)
-		return
-	}
-	var req struct {
-		Name     string      `json:"name"`
-		Local    int         `json:"local"`
-		Agg      int         `json:"agg"`
-		Tuples   []tupleJSON `json:"tuples"`
-		WindowMS int64       `json:"window_ms"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	tuples := make([]ksjq.Tuple, len(req.Tuples))
-	for i, t := range req.Tuples {
-		tuples[i] = t.tuple()
-	}
-	rel, err := ksjq.NewRelation(req.Name, req.Local, req.Agg, tuples)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	version, err := svc.RegisterWindow(req.Name, rel, time.Duration(req.WindowMS)*time.Millisecond)
-	if err != nil {
-		writeServiceError(w, err)
-		return
-	}
-	writeLoadResponse(svc, w, req.Name, version)
-}
-
-func writeLoadResponse(svc *ksjq.Service, w http.ResponseWriter, name string, version uint64) {
-	info, err := svc.RelationInfo(name)
-	if err != nil {
-		writeServiceError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"name": name, "version": version, "tuples": info.Tuples,
-	})
-}
-
-func (srv *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	svc := srv.svc
-	var req queryJSON
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	// Clamp: a wire client may tighten the deadline but never loosen it.
-	// Negative values (the service's embedder-only "no deadline" escape
-	// hatch) and anything beyond the operator's bound fall back to that
-	// bound, so no client can pin a worker slot past it.
-	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
-	if timeout < 0 || (srv.maxTimeout > 0 && (timeout == 0 || timeout > srv.maxTimeout)) {
-		timeout = srv.maxTimeout
-	}
-	resp, err := svc.Query(r.Context(), ksjq.QueryRequest{
-		R1: req.R1, R2: req.R2, K: req.K,
-		Join: req.Join, Agg: req.Agg, Algorithm: req.Algorithm,
-		Workers: req.Workers,
-		Timeout: timeout,
-		NoCache: req.NoCache,
-	})
-	if err != nil {
-		writeServiceError(w, err)
-		return
-	}
-	out := queryResponseJSON{
-		Skyline:   make([]pairJSON, len(resp.Skyline)),
-		Count:     len(resp.Skyline),
-		Source:    string(resp.Source),
-		Algorithm: resp.Algorithm,
-		Versions:  resp.Versions,
-		ElapsedUS: resp.Elapsed.Microseconds(),
-	}
-	for i, p := range resp.Skyline {
-		out.Skyline[i] = pairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs}
-	}
-	if st := resp.Stats; st != nil {
-		out.Stats = &statsJSON{
-			GroupingUS:  st.GroupingTime.Microseconds(),
-			JoinUS:      st.JoinTime.Microseconds(),
-			DominatorUS: st.DominatorTime.Microseconds(),
-			RemainingUS: st.RemainingTime.Microseconds(),
-			TotalUS:     st.Total.Microseconds(),
-			Candidates:  st.Candidates,
-			YesEmitted:  st.YesEmitted,
-			DomTests:    st.DominationTests,
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// watchEventJSON is the wire form of one answer delta on the NDJSON
-// stream: the initial snapshot (seq 0, all added), then one line per
-// insert that touched the watched relations.
-type watchEventJSON struct {
-	Seq      uint64     `json:"seq"`
-	Added    []pairJSON `json:"added,omitempty"`
-	Removed  []pairJSON `json:"removed,omitempty"`
-	Versions [2]uint64  `json:"versions"`
-}
-
-// handleWatch upgrades a query into a standing subscription: the response
-// is an unbounded application/x-ndjson stream of answer deltas, one JSON
-// object per line, flushed as they happen. The stream ends when the
-// client disconnects (the request context cancels the watch) or the
-// service shuts down. The timeout clamp is deliberately not applied —
-// a watch is long-lived by design; its lifetime is the connection's.
-func (srv *server) handleWatch(w http.ResponseWriter, r *http.Request) {
-	var req queryJSON
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	watch, err := srv.svc.Watch(r.Context(), ksjq.QueryRequest{
-		R1: req.R1, R2: req.R2, K: req.K,
-		Join: req.Join, Agg: req.Agg, Algorithm: req.Algorithm,
-		Workers: req.Workers,
-	})
-	if err != nil {
-		writeServiceError(w, err)
-		return
-	}
-	defer watch.Close()
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for ev := range watch.Events() {
-		out := watchEventJSON{Seq: ev.Seq, Versions: ev.Versions}
-		for _, p := range ev.Added {
-			out.Added = append(out.Added, pairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs})
-		}
-		for _, p := range ev.Removed {
-			out.Removed = append(out.Removed, pairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs})
-		}
-		if err := enc.Encode(out); err != nil {
-			return // client went away; the deferred Close tears down
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-}
-
-// handleInsert accepts the original single-tuple form ("tuple") and the
-// batch form ("tuples"); both run through the service's group-commit
-// ingest, a batch paying one version bump and one maintenance pass for
-// the whole set.
-func handleInsert(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Relation string      `json:"relation"`
-		Tuple    *tupleJSON  `json:"tuple"`
-		Tuples   []tupleJSON `json:"tuples"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	var tuples []ksjq.Tuple
-	switch {
-	case req.Tuple != nil && len(req.Tuples) > 0:
-		writeError(w, http.StatusBadRequest, errors.New(`give "tuple" or "tuples", not both`))
-		return
-	case req.Tuple != nil:
-		tuples = []ksjq.Tuple{req.Tuple.tuple()}
-	default:
-		tuples = make([]ksjq.Tuple, len(req.Tuples))
-		for i, t := range req.Tuples {
-			tuples[i] = t.tuple()
-		}
-	}
-	res, err := svc.InsertBatch(req.Relation, tuples)
-	if err != nil {
-		writeServiceError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"id": res.ID, "count": res.Count, "version": res.Version,
-		"maintained": res.Maintained, "invalidated": res.Invalidated,
-		"displaced": res.Displaced, "admitted": res.Admitted,
-	})
-}
-
-// handleDelete accepts a single row id ("id") or a batch ("ids"); both
-// run through the service's group-commit delete, a batch paying one
-// version bump and one maintenance pass for the whole set. Ids are the
-// rows' current indexes — surviving rows renumber after the commit, so
-// batch members are resolved against the same pre-delete numbering.
-func handleDelete(svc *ksjq.Service, w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Relation string `json:"relation"`
-		ID       *int   `json:"id"`
-		IDs      []int  `json:"ids"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	var ids []int
-	switch {
-	case req.ID != nil && len(req.IDs) > 0:
-		writeError(w, http.StatusBadRequest, errors.New(`give "id" or "ids", not both`))
-		return
-	case req.ID != nil:
-		ids = []int{*req.ID}
-	default:
-		ids = req.IDs
-	}
-	res, err := svc.DeleteBatch(req.Relation, ids)
-	if err != nil {
-		writeServiceError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"count": res.Count, "version": res.Version,
-		"maintained": res.Maintained, "invalidated": res.Invalidated,
-		"evicted": res.Evicted, "resurrected": res.Resurrected,
-	})
-}
-
-// writeServiceError maps service errors onto HTTP status codes.
-func writeServiceError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ksjq.ErrUnknownRelation):
-		writeError(w, http.StatusNotFound, err)
-	case errors.Is(err, ksjq.ErrDuplicateRelation):
-		writeError(w, http.StatusConflict, err)
-	case errors.Is(err, ksjq.ErrOverloaded):
-		writeError(w, http.StatusTooManyRequests, err)
-	case errors.Is(err, ksjq.ErrBadRequest):
-		writeError(w, http.StatusBadRequest, err)
-	case errors.Is(err, ksjq.ErrServiceClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeError(w, http.StatusGatewayTimeout, err)
-	default:
-		writeError(w, http.StatusInternalServerError, err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// atoi parses a non-negative query parameter, treating anything else as 0
-// (schema validation downstream produces the real error message).
-func atoi(s string) int {
-	n, err := strconv.Atoi(s)
-	if err != nil || n < 0 {
-		return 0
-	}
-	return n
+	return httpapi.NewHandler(svc, maxTimeout)
 }

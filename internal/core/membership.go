@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/dom"
 	"repro/internal/join"
 )
 
@@ -67,12 +68,36 @@ func membershipContext(ctx context.Context, q Query, pairs [][2]int, res *Reside
 }
 
 // AnyDominators reports, for each joined attribute vector, whether some
-// joined tuple of q's join k-dominates it. The vectors need not originate
-// from q's relations — this is the primitive a distributed verifier uses
-// to check foreign candidates against its local partition. Every vector
-// must have q.Width() attributes.
+// joined tuple of q's join k-dominates it, without a deadline; see
+// AnyDominatorsContext.
 func AnyDominators(q Query, vectors [][]float64) ([]bool, error) {
-	if err := q.Validate(Grouping); err != nil {
+	return anyDominatorsContext(context.Background(), q, vectors, nil)
+}
+
+// AnyDominatorsContext reports, for each joined attribute vector, whether
+// some joined tuple of q's join k-dominates it. The vectors need not
+// originate from q's relations — this is the primitive a distributed
+// verifier uses to check foreign candidates against its local partition.
+// Every vector must have q.Width() attributes. The context is polled
+// between verification batches, so a cancelled deadline aborts the scan
+// with ctx.Err().
+func AnyDominatorsContext(ctx context.Context, q Query, vectors [][]float64) ([]bool, error) {
+	return anyDominatorsContext(ctx, q, vectors, nil)
+}
+
+// anyDominatorsContext is the shared implementation behind
+// AnyDominatorsContext and Resident.AnyDominators: res, when non-nil,
+// seeds the checking engine with the prebuilt join index and base-point
+// tables. A strictly monotonic aggregator gets the target-set checker;
+// a non-strict one falls back to scanning the materialized join, where
+// every joined vector is a potential dominator.
+func anyDominatorsContext(ctx context.Context, q Query, vectors [][]float64, res *Resident) ([]bool, error) {
+	strict := q.R1 == nil || q.R1.Agg == 0 || q.aggregator().Strict
+	alg := Grouping
+	if !strict {
+		alg = Naive
+	}
+	if err := q.Validate(alg); err != nil {
 		return nil, err
 	}
 	for i, v := range vectors {
@@ -80,12 +105,47 @@ func AnyDominators(q Query, vectors [][]float64) ([]bool, error) {
 			return nil, fmt.Errorf("core: vector %d has %d attributes, joined width is %d", i, len(v), q.Width())
 		}
 	}
+	if !strict {
+		return anyDominatorsScan(ctx, q, vectors)
+	}
 	st := Stats{}
-	e := newEngine(q, &st)
+	e := newEngineResident(q, &st, res)
 	chk := e.newChecker(allIndices(q.R1.Len()), allIndices(q.R2.Len()))
 	out := make([]bool, len(vectors))
 	for i, v := range vectors {
+		if i%cancelEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		out[i] = chk.dominates(v)
+	}
+	return out, nil
+}
+
+// anyDominatorsScan is the non-strict arm: target-set pruning relies on
+// strict monotonicity, so the full join is materialized and each vector is
+// tested against every joined tuple, with an early exit once all vectors
+// have found a dominator.
+func anyDominatorsScan(ctx context.Context, q Query, vectors [][]float64) ([]bool, error) {
+	pairs, err := join.Pairs(q.R1, q.R2, q.Spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(vectors))
+	remaining := len(vectors)
+	for n := range pairs {
+		if n%cancelEvery == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		a := pairs[n].Attrs
+		for i, v := range vectors {
+			if !out[i] && dom.KDominates(a, v, q.K) {
+				out[i] = true
+				remaining--
+			}
+		}
+		if remaining == 0 {
+			break
+		}
 	}
 	return out, nil
 }

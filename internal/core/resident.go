@@ -311,6 +311,17 @@ func (r *Resident) Membership(ctx context.Context, q Query, pairs [][2]int) ([]b
 	return membershipContext(ctx, q, pairs, r)
 }
 
+// AnyDominators checks foreign candidate vectors against the resident
+// snapshot's partition, reusing r's join index and base-point tables; see
+// AnyDominatorsContext. This is the verification-round primitive a shard
+// serves on behalf of its peers.
+func (r *Resident) AnyDominators(ctx context.Context, q Query, vectors [][]float64) ([]bool, error) {
+	if err := r.check(q); err != nil {
+		return nil, err
+	}
+	return anyDominatorsContext(ctx, q, vectors, r)
+}
+
 // seed pre-loads an engine with the resident structures, skipping the
 // per-Exec index and probe-order construction.
 func (r *Resident) seed(e *engine) {

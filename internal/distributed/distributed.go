@@ -62,16 +62,37 @@ type Result struct {
 // ErrBadNodes is returned for a non-positive node count.
 var ErrBadNodes = errors.New("distributed: node count must be positive")
 
+// ErrNotShardable is returned when a join cannot be key-partitioned
+// across more than one node: only equality joins place every joined pair
+// wholly on one node. A single-node cluster trivially co-locates
+// everything, so any condition is admitted there.
+var ErrNotShardable = errors.New("distributed: only equality joins can be key-partitioned across multiple nodes")
+
+// LocalAlgorithm returns the algorithm the local round runs on each
+// partition: the grouping algorithm, except under a non-strict aggregator
+// (where target-set pruning is unsound and the naive algorithm is the
+// correct fallback). The verification round makes the matching choice
+// inside core.AnyDominators.
+func LocalAlgorithm(q core.Query) core.Algorithm {
+	if q.R1 != nil && q.R1.Agg > 0 && q.Spec.Agg.Fn != nil && !q.Spec.Agg.Strict {
+		return core.Naive
+	}
+	return core.Grouping
+}
+
 // Run evaluates q on a simulated cluster of n nodes. Only equality joins
-// can be key-partitioned; other conditions return an error.
+// can be key-partitioned across several nodes; other conditions are
+// admitted only at nodes == 1, where the single partition holds both
+// relations whole and the verification round is empty.
 func Run(q core.Query, nodes int) (*Result, error) {
 	if nodes <= 0 {
 		return nil, ErrBadNodes
 	}
-	if q.Spec.Cond != join.Equality {
-		return nil, fmt.Errorf("distributed: only equality joins can be key-partitioned, got %v", q.Spec.Cond)
+	if nodes > 1 && q.Spec.Cond != join.Equality {
+		return nil, fmt.Errorf("%w: got %v with %d nodes", ErrNotShardable, q.Spec.Cond, nodes)
 	}
-	if err := q.Validate(core.Grouping); err != nil {
+	alg := LocalAlgorithm(q)
+	if err := q.Validate(alg); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -83,12 +104,12 @@ func Run(q core.Query, nodes int) (*Result, error) {
 	// each partition's own columns.
 	parts := make([]partition, nodes)
 	for i := 0; i < q.R1.Len(); i++ {
-		n := nodeOf(q.R1.Key(i), nodes)
+		n := NodeOf(q.R1.Key(i), nodes)
 		parts[n].left = append(parts[n].left, q.R1.Tuple(i))
 		parts[n].leftOrigin = append(parts[n].leftOrigin, i)
 	}
 	for i := 0; i < q.R2.Len(); i++ {
-		n := nodeOf(q.R2.Key(i), nodes)
+		n := NodeOf(q.R2.Key(i), nodes)
 		parts[n].right = append(parts[n].right, q.R2.Tuple(i))
 		parts[n].rightOrigin = append(parts[n].rightOrigin, i)
 	}
@@ -112,7 +133,7 @@ func Run(q core.Query, nodes int) (*Result, error) {
 			return nil, err
 		}
 		queries[n] = lq
-		res, err := core.Run(lq, core.Grouping)
+		res, err := core.Run(lq, alg)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +192,7 @@ func Run(q core.Query, nodes int) (*Result, error) {
 	}
 	st.VerifyTime = time.Since(t0)
 
-	sortPairs(skyline)
+	SortPairs(skyline)
 	st.Total = time.Since(start)
 	return &Result{Skyline: skyline, Stats: st}, nil
 }
@@ -194,13 +215,21 @@ func (p *partition) query(q core.Query) (core.Query, error) {
 	return core.Query{R1: r1, R2: r2, Spec: q.Spec, K: q.K}, nil
 }
 
-func nodeOf(key string, nodes int) int {
+// NodeOf places a join-key symbol on a node: FNV-32a of the key modulo
+// the node count. The real sharded deployment (internal/shard) uses the
+// same function, so gateway placement and the simulator oracle agree on
+// which node owns every group.
+func NodeOf(key string, nodes int) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return int(h.Sum32() % uint32(nodes))
 }
 
-func sortPairs(pairs []join.Pair) {
+// SortPairs orders a merged skyline by (Left, Right) — the canonical order
+// core.Run emits — so partition-merged answers compare byte-identical to
+// single-node ones. Insertion sort: merged skylines are short and mostly
+// ordered.
+func SortPairs(pairs []join.Pair) {
 	for i := 1; i < len(pairs); i++ {
 		for j := i; j > 0; j-- {
 			a, b := pairs[j-1], pairs[j]

@@ -140,13 +140,13 @@ func TestDistributedErrors(t *testing.T) {
 
 func TestNodeOfDeterministicAndBounded(t *testing.T) {
 	for _, key := range []string{"", "a", "hub07", "Δ"} {
-		n1 := nodeOf(key, 7)
-		n2 := nodeOf(key, 7)
+		n1 := NodeOf(key, 7)
+		n2 := NodeOf(key, 7)
 		if n1 != n2 {
-			t.Errorf("nodeOf(%q) not deterministic", key)
+			t.Errorf("NodeOf(%q) not deterministic", key)
 		}
 		if n1 < 0 || n1 >= 7 {
-			t.Errorf("nodeOf(%q) = %d out of range", key, n1)
+			t.Errorf("NodeOf(%q) = %d out of range", key, n1)
 		}
 	}
 }

@@ -1,0 +1,527 @@
+// Package httpapi is the HTTP JSON codec over the KSJQ query service:
+// every endpoint decodes a request, calls the same service method an
+// embedder would, and encodes the response. No query logic lives here.
+// cmd/ksjqd serves it directly; the sharded gateway (internal/shard)
+// speaks it as a client against each shard process and re-serves the
+// same surface cluster-wide, which is why the wire types are exported.
+//
+//	POST   /v1/relations  {"name","local","agg","tuples":[{"key","band","attrs"}],"window_ms":60000}
+//	POST   /v1/relations?format=csv&name=r1&local=3&agg=1[&band=1][&window_ms=60000]   (CSV body)
+//	GET    /v1/relations
+//	DELETE /v1/relations?name=r1
+//	POST   /v1/query      {"r1","r2","k","join","agg","algorithm","workers","timeout_ms","no_cache"}
+//	POST   /v1/verify     {"r1","r2","k","join","agg","vectors":[[...],...],"timeout_ms"}
+//	POST   /v1/watch      same body as /v1/query; responds with NDJSON answer deltas
+//	POST   /v1/insert     {"relation","tuple":{"key","band","attrs"}}
+//	                      or {"relation","tuples":[{...},...]} (one group commit)
+//	POST   /v1/delete     {"relation","id":3} or {"relation","ids":[0,4,7]}
+//	                      (one group commit; ids are current row indexes)
+//	GET    /v1/stats
+//	GET    /healthz
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+// TupleJSON is the wire form of one tuple.
+type TupleJSON struct {
+	Key   string    `json:"key"`
+	Key2  string    `json:"key2,omitempty"`
+	Band  float64   `json:"band,omitempty"`
+	Attrs []float64 `json:"attrs"`
+}
+
+// Tuple converts to the dataset form.
+func (t TupleJSON) Tuple() dataset.Tuple {
+	return dataset.Tuple{Key: t.Key, Key2: t.Key2, Band: t.Band, Attrs: t.Attrs}
+}
+
+// FromTuple converts a dataset tuple to its wire form.
+func FromTuple(t dataset.Tuple) TupleJSON {
+	return TupleJSON{Key: t.Key, Key2: t.Key2, Band: t.Band, Attrs: t.Attrs}
+}
+
+// PairJSON is the wire form of one skyline tuple.
+type PairJSON struct {
+	Left  int       `json:"left"`
+	Right int       `json:"right"`
+	Attrs []float64 `json:"attrs"`
+}
+
+// QueryJSON is the wire form of a query (and watch) request.
+type QueryJSON struct {
+	R1        string `json:"r1"`
+	R2        string `json:"r2"`
+	K         int    `json:"k"`
+	Join      string `json:"join,omitempty"`
+	Agg       string `json:"agg,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+}
+
+// QueryResponseJSON is the wire form of one answer.
+type QueryResponseJSON struct {
+	Skyline   []PairJSON `json:"skyline"`
+	Count     int        `json:"count"`
+	Source    string     `json:"source"`
+	Algorithm string     `json:"algorithm"`
+	Versions  [2]uint64  `json:"versions"`
+	ElapsedUS int64      `json:"elapsed_us"`
+	Stats     *StatsJSON `json:"stats,omitempty"`
+}
+
+// StatsJSON flattens the engine's per-phase breakdown to microseconds.
+type StatsJSON struct {
+	GroupingUS  int64 `json:"grouping_us"`
+	JoinUS      int64 `json:"join_us"`
+	DominatorUS int64 `json:"dominator_us"`
+	RemainingUS int64 `json:"remaining_us"`
+	TotalUS     int64 `json:"total_us"`
+	Candidates  int   `json:"candidates"`
+	YesEmitted  int   `json:"yes_emitted"`
+	DomTests    int64 `json:"domination_tests"`
+}
+
+// RegisterJSON is the wire form of a JSON relation registration.
+type RegisterJSON struct {
+	Name     string      `json:"name"`
+	Local    int         `json:"local"`
+	Agg      int         `json:"agg"`
+	Tuples   []TupleJSON `json:"tuples"`
+	WindowMS int64       `json:"window_ms,omitempty"`
+}
+
+// RegisterResponseJSON acknowledges a registration.
+type RegisterResponseJSON struct {
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Tuples  int    `json:"tuples"`
+}
+
+// InsertJSON is the wire form of an insert: one tuple or a batch.
+type InsertJSON struct {
+	Relation string      `json:"relation"`
+	Tuple    *TupleJSON  `json:"tuple,omitempty"`
+	Tuples   []TupleJSON `json:"tuples,omitempty"`
+}
+
+// InsertResponseJSON reports one ingest group commit.
+type InsertResponseJSON struct {
+	ID          int    `json:"id"`
+	Count       int    `json:"count"`
+	Version     uint64 `json:"version"`
+	Maintained  int    `json:"maintained"`
+	Invalidated int    `json:"invalidated"`
+	Displaced   int    `json:"displaced"`
+	Admitted    int    `json:"admitted"`
+}
+
+// DeleteJSON is the wire form of a delete: one row id or a batch.
+type DeleteJSON struct {
+	Relation string `json:"relation"`
+	ID       *int   `json:"id,omitempty"`
+	IDs      []int  `json:"ids,omitempty"`
+}
+
+// DeleteResponseJSON reports one delete group commit.
+type DeleteResponseJSON struct {
+	Count       int    `json:"count"`
+	Version     uint64 `json:"version"`
+	Maintained  int    `json:"maintained"`
+	Invalidated int    `json:"invalidated"`
+	Evicted     int    `json:"evicted"`
+	Resurrected int    `json:"resurrected"`
+}
+
+// VerifyJSON is the wire form of a verification-round request: foreign
+// candidate vectors to check against the local join.
+type VerifyJSON struct {
+	R1        string      `json:"r1"`
+	R2        string      `json:"r2"`
+	K         int         `json:"k"`
+	Join      string      `json:"join,omitempty"`
+	Agg       string      `json:"agg,omitempty"`
+	Vectors   [][]float64 `json:"vectors"`
+	TimeoutMS int64       `json:"timeout_ms,omitempty"`
+}
+
+// VerifyResponseJSON reports the votes, parallel to the request vectors.
+type VerifyResponseJSON struct {
+	Dominated []bool    `json:"dominated"`
+	Versions  [2]uint64 `json:"versions"`
+	ElapsedUS int64     `json:"elapsed_us"`
+}
+
+// WatchEventJSON is the wire form of one answer delta on the NDJSON
+// stream: the initial snapshot (seq 0, all added), then one line per
+// mutation batch that touched the watched relations.
+type WatchEventJSON struct {
+	Seq      uint64     `json:"seq"`
+	Added    []PairJSON `json:"added,omitempty"`
+	Removed  []PairJSON `json:"removed,omitempty"`
+	Versions [2]uint64  `json:"versions"`
+}
+
+// handler carries the wire surface's operator-level policy: clients may
+// tighten the per-request deadline but never loosen it past maxTimeout
+// (0 = the operator disabled the bound).
+type handler struct {
+	svc        *service.Service
+	maxTimeout time.Duration
+}
+
+// NewHandler builds the ksjqd HTTP surface over svc. maxTimeout is the
+// operator's per-request deadline bound; 0 disables it.
+func NewHandler(svc *service.Service, maxTimeout time.Duration) http.Handler {
+	h := &handler{svc: svc, maxTimeout: maxTimeout}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/v1/relations", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			WriteJSON(w, http.StatusOK, map[string]any{"relations": svc.Relations()})
+		case http.MethodPost:
+			h.handleLoad(w, r)
+		case http.MethodDelete:
+			h.handleUnregister(w, r)
+		default:
+			WriteError(w, http.StatusMethodNotAllowed, errors.New("use GET, POST or DELETE"))
+		}
+	})
+	post := func(path string, fn func(http.ResponseWriter, *http.Request)) {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				WriteError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+				return
+			}
+			fn(w, r)
+		})
+	}
+	post("/v1/query", h.handleQuery)
+	post("/v1/verify", h.handleVerify)
+	post("/v1/watch", h.handleWatch)
+	post("/v1/insert", h.handleInsert)
+	post("/v1/delete", h.handleDelete)
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, svc.Stats())
+	})
+	return mux
+}
+
+// clamp applies the operator bound: a wire client may tighten the
+// deadline but never loosen it. Negative values (the service's
+// embedder-only "no deadline" escape hatch) and anything beyond the
+// bound fall back to the bound, so no client can pin a worker slot past
+// it.
+func (h *handler) clamp(timeoutMS int64) time.Duration {
+	timeout := time.Duration(timeoutMS) * time.Millisecond
+	if timeout < 0 || (h.maxTimeout > 0 && (timeout == 0 || timeout > h.maxTimeout)) {
+		timeout = h.maxTimeout
+	}
+	return timeout
+}
+
+func (h *handler) handleLoad(w http.ResponseWriter, r *http.Request) {
+	svc := h.svc
+	if r.URL.Query().Get("format") == "csv" {
+		q := r.URL.Query()
+		name := q.Get("name")
+		local, agg := atoi(q.Get("local")), atoi(q.Get("agg"))
+		hasBand := q.Get("band") != "" && q.Get("band") != "0"
+		window := time.Duration(atoi(q.Get("window_ms"))) * time.Millisecond
+		rel, err := dataset.ReadCSV(r.Body, dataset.ReadOptions{
+			Name: name, Local: local, Agg: agg, HasBand: hasBand,
+		})
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, err)
+			return
+		}
+		version, err := svc.RegisterWindow(name, rel, window)
+		if err != nil {
+			WriteServiceError(w, err)
+			return
+		}
+		h.writeLoadResponse(w, name, version)
+		return
+	}
+	var req RegisterJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	tuples := make([]dataset.Tuple, len(req.Tuples))
+	for i, t := range req.Tuples {
+		tuples[i] = t.Tuple()
+	}
+	rel, err := dataset.New(req.Name, req.Local, req.Agg, tuples)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	version, err := svc.RegisterWindow(req.Name, rel, time.Duration(req.WindowMS)*time.Millisecond)
+	if err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	h.writeLoadResponse(w, req.Name, version)
+}
+
+func (h *handler) writeLoadResponse(w http.ResponseWriter, name string, version uint64) {
+	info, err := h.svc.RelationInfo(name)
+	if err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, RegisterResponseJSON{Name: name, Version: version, Tuples: info.Tuples})
+}
+
+func (h *handler) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		WriteError(w, http.StatusBadRequest, errors.New("missing ?name="))
+		return
+	}
+	if err := h.svc.Unregister(name); err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, map[string]any{"name": name, "unregistered": true})
+}
+
+func (h *handler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	resp, err := h.svc.Query(r.Context(), service.QueryRequest{
+		R1: req.R1, R2: req.R2, K: req.K,
+		Join: req.Join, Agg: req.Agg, Algorithm: req.Algorithm,
+		Workers: req.Workers,
+		Timeout: h.clamp(req.TimeoutMS),
+		NoCache: req.NoCache,
+	})
+	if err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	out := QueryResponseJSON{
+		Skyline:   make([]PairJSON, len(resp.Skyline)),
+		Count:     len(resp.Skyline),
+		Source:    string(resp.Source),
+		Algorithm: resp.Algorithm,
+		Versions:  resp.Versions,
+		ElapsedUS: resp.Elapsed.Microseconds(),
+	}
+	for i, p := range resp.Skyline {
+		out.Skyline[i] = PairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs}
+	}
+	if st := resp.Stats; st != nil {
+		out.Stats = &StatsJSON{
+			GroupingUS:  st.GroupingTime.Microseconds(),
+			JoinUS:      st.JoinTime.Microseconds(),
+			DominatorUS: st.DominatorTime.Microseconds(),
+			RemainingUS: st.RemainingTime.Microseconds(),
+			TotalUS:     st.Total.Microseconds(),
+			Candidates:  st.Candidates,
+			YesEmitted:  st.YesEmitted,
+			DomTests:    st.DominationTests,
+		}
+	}
+	WriteJSON(w, http.StatusOK, out)
+}
+
+func (h *handler) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var req VerifyJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	resp, err := h.svc.Verify(r.Context(), service.VerifyRequest{
+		R1: req.R1, R2: req.R2, K: req.K,
+		Join: req.Join, Agg: req.Agg,
+		Vectors: req.Vectors,
+		Timeout: h.clamp(req.TimeoutMS),
+	})
+	if err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	dominated := resp.Dominated
+	if dominated == nil {
+		dominated = []bool{}
+	}
+	WriteJSON(w, http.StatusOK, VerifyResponseJSON{
+		Dominated: dominated,
+		Versions:  resp.Versions,
+		ElapsedUS: resp.Elapsed.Microseconds(),
+	})
+}
+
+// handleWatch upgrades a query into a standing subscription: the response
+// is an unbounded application/x-ndjson stream of answer deltas, one JSON
+// object per line, flushed as they happen. The stream ends when the
+// client disconnects (the request context cancels the watch) or the
+// service shuts down. The timeout clamp is deliberately not applied —
+// a watch is long-lived by design; its lifetime is the connection's.
+func (h *handler) handleWatch(w http.ResponseWriter, r *http.Request) {
+	var req QueryJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	watch, err := h.svc.Watch(r.Context(), service.QueryRequest{
+		R1: req.R1, R2: req.R2, K: req.K,
+		Join: req.Join, Agg: req.Agg, Algorithm: req.Algorithm,
+		Workers: req.Workers,
+	})
+	if err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	defer watch.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for ev := range watch.Events() {
+		out := WatchEventJSON{Seq: ev.Seq, Versions: ev.Versions}
+		for _, p := range ev.Added {
+			out.Added = append(out.Added, PairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs})
+		}
+		for _, p := range ev.Removed {
+			out.Removed = append(out.Removed, PairJSON{Left: p.Left, Right: p.Right, Attrs: p.Attrs})
+		}
+		if err := enc.Encode(out); err != nil {
+			return // client went away; the deferred Close tears down
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleInsert accepts the original single-tuple form ("tuple") and the
+// batch form ("tuples"); both run through the service's group-commit
+// ingest, a batch paying one version bump and one maintenance pass for
+// the whole set.
+func (h *handler) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var tuples []dataset.Tuple
+	switch {
+	case req.Tuple != nil && len(req.Tuples) > 0:
+		WriteError(w, http.StatusBadRequest, errors.New(`give "tuple" or "tuples", not both`))
+		return
+	case req.Tuple != nil:
+		tuples = []dataset.Tuple{req.Tuple.Tuple()}
+	default:
+		tuples = make([]dataset.Tuple, len(req.Tuples))
+		for i, t := range req.Tuples {
+			tuples[i] = t.Tuple()
+		}
+	}
+	res, err := h.svc.InsertBatch(req.Relation, tuples)
+	if err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, InsertResponseJSON{
+		ID: res.ID, Count: res.Count, Version: res.Version,
+		Maintained: res.Maintained, Invalidated: res.Invalidated,
+		Displaced: res.Displaced, Admitted: res.Admitted,
+	})
+}
+
+// handleDelete accepts a single row id ("id") or a batch ("ids"); both
+// run through the service's group-commit delete, a batch paying one
+// version bump and one maintenance pass for the whole set. Ids are the
+// rows' current indexes — surviving rows renumber after the commit, so
+// batch members are resolved against the same pre-delete numbering.
+func (h *handler) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	var ids []int
+	switch {
+	case req.ID != nil && len(req.IDs) > 0:
+		WriteError(w, http.StatusBadRequest, errors.New(`give "id" or "ids", not both`))
+		return
+	case req.ID != nil:
+		ids = []int{*req.ID}
+	default:
+		ids = req.IDs
+	}
+	res, err := h.svc.DeleteBatch(req.Relation, ids)
+	if err != nil {
+		WriteServiceError(w, err)
+		return
+	}
+	WriteJSON(w, http.StatusOK, DeleteResponseJSON{
+		Count: res.Count, Version: res.Version,
+		Maintained: res.Maintained, Invalidated: res.Invalidated,
+		Evicted: res.Evicted, Resurrected: res.Resurrected,
+	})
+}
+
+// WriteServiceError maps service errors onto HTTP status codes.
+func WriteServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrUnknownRelation):
+		WriteError(w, http.StatusNotFound, err)
+	case errors.Is(err, service.ErrDuplicateRelation):
+		WriteError(w, http.StatusConflict, err)
+	case errors.Is(err, service.ErrOverloaded):
+		WriteError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, service.ErrBadRequest):
+		WriteError(w, http.StatusBadRequest, err)
+	case errors.Is(err, service.ErrClosed):
+		WriteError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		WriteError(w, http.StatusGatewayTimeout, err)
+	default:
+		WriteError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// WriteError encodes an error as the standard {"error": "..."} body.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// WriteJSON encodes v with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// atoi parses a non-negative query parameter, treating anything else as 0
+// (schema validation downstream produces the real error message).
+func atoi(s string) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}

@@ -226,6 +226,7 @@ type Stats struct {
 	Expired        uint64 `json:"expired"`
 	Rejected       uint64 `json:"rejected"`
 	Evictions      uint64 `json:"evictions"`
+	Verifies       uint64 `json:"verifies"`
 
 	CacheEntries      int   `json:"cache_entries"`
 	MaintainedEntries int   `json:"maintained_entries"`
@@ -273,7 +274,7 @@ type Service struct {
 	queries, cacheHits, maintainedHits atomic.Uint64
 	computed, inserts, batches         atomic.Uint64
 	deletes, deleteBatches, expired    atomic.Uint64
-	rejected                           atomic.Uint64
+	rejected, verifies                 atomic.Uint64
 }
 
 // New builds a Service with the given configuration.
@@ -1291,6 +1292,7 @@ func (s *Service) Stats() Stats {
 		Expired:           s.expired.Load(),
 		Rejected:          s.rejected.Load(),
 		Evictions:         evictions,
+		Verifies:          s.verifies.Load(),
 		CacheEntries:      entries,
 		MaintainedEntries: maintained,
 		Residents:         s.residents.len(),

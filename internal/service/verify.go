@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/join"
+)
+
+// VerifyRequest asks the service to vote on foreign candidate vectors:
+// for each vector, does some joined tuple of the named local join
+// k-dominate it? This is the verification round of the distributed
+// scheme (DESIGN.md §13) served shard-side — the gateway ships surviving
+// round-1 candidates here and keeps only the vectors no peer dominates.
+// Join and Agg use the CLI spellings, exactly like QueryRequest; every
+// vector must have the joined width of (R1, R2).
+type VerifyRequest struct {
+	R1, R2  string
+	K       int
+	Join    string
+	Agg     string
+	Vectors [][]float64
+	// Timeout bounds this request (queue wait + execution); 0 defers to
+	// Config.DefaultTimeout, negative means no deadline.
+	Timeout time.Duration
+}
+
+// VerifyResponse reports the votes: Dominated is parallel to the request
+// vectors, true where the local join holds a k-dominator.
+type VerifyResponse struct {
+	Dominated []bool
+	// Versions are the (R1, R2) registry versions the votes are valid at.
+	Versions [2]uint64
+	// Elapsed is the service-side wall time for this request.
+	Elapsed time.Duration
+}
+
+// Verify answers one verification-round request. It runs through the same
+// admission scheduler as Query and holds the read lock for the duration,
+// so votes are always consistent with one registry state. Strict
+// aggregators vote through the resident index's target-set checker;
+// non-strict ones scan the materialized join (the same split
+// core.AnyDominatorsContext makes).
+func (s *Service) Verify(ctx context.Context, req VerifyRequest) (*VerifyResponse, error) {
+	start := time.Now()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.verifies.Add(1)
+	var p parsed
+	var err error
+	if p.cond, err = join.ParseCondition(req.Join); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if p.agg, err = join.ParseAggregator(req.Agg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	release, err := s.sched.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.rejected.Add(1)
+		}
+		return nil, err
+	}
+	defer release()
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	q, key, err := s.resolveLocked(QueryRequest{R1: req.R1, R2: req.R2, K: req.K}, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := join.CheckSchemas(q.R1, q.R2); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if q.K < q.KMin() || q.K > q.Width() {
+		return nil, fmt.Errorf("%w: %v: k=%d, admissible range (%d, %d]",
+			ErrBadRequest, core.ErrBadK, req.K, q.KMin()-1, q.Width())
+	}
+	for i, v := range req.Vectors {
+		if len(v) != q.Width() {
+			return nil, fmt.Errorf("%w: vector %d has %d attributes, joined width is %d",
+				ErrBadRequest, i, len(v), q.Width())
+		}
+	}
+
+	var dominated []bool
+	if q.R1.Agg == 0 || p.agg.Strict {
+		// The checker path probes the resident index, so repeated
+		// verification rounds over an unchanged partition skip the build —
+		// the same amortization the query path gets.
+		res, err := s.residents.get(residentKey{r1: key.r1, r2: key.r2, v1: key.v1, v2: key.v2, cond: key.cond}, q)
+		if err != nil {
+			return nil, err
+		}
+		dominated, err = res.AnyDominators(ctx, q, req.Vectors)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		dominated, err = core.AnyDominatorsContext(ctx, q, req.Vectors)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &VerifyResponse{
+		Dominated: dominated,
+		Versions:  [2]uint64{key.v1, key.v2},
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// Unregister removes a relation from the registry, dropping every answer
+// cached over it, its resident indexes, and any watches naming it (their
+// subscriptions end with ErrUnknownRelation). The gateway uses this when
+// a delete batch drains a shard's entire partition of a relation —
+// registered relations stay non-empty, so an empty partition must leave
+// the registry rather than linger at zero rows.
+func (s *Service) Unregister(name string) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	// Take the ingest mutex so no mutation batch is mid-absorption: every
+	// watch set is quiescent (absorbing is only set inside an ingest turn)
+	// and cache entries are reachable.
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.rels[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownRelation, name)
+	}
+	delete(s.rels, name)
+	for _, e := range s.cache.takeForRelation(name) {
+		s.cache.drop(e)
+	}
+	s.residents.dropRelation(name)
+	for wkey, ws := range s.watches {
+		if wkey.r1 != name && wkey.r2 != name {
+			continue
+		}
+		delete(s.watches, wkey)
+		ws.m.Close()
+		for sub := range ws.subs {
+			sub.terminate(fmt.Errorf("%w: %q", ErrUnknownRelation, name))
+		}
+	}
+	return nil
+}
+
+// DiffPairs computes the delta between two (Left, Right)-sorted answers:
+// pairs that entered, pairs that left, and — when an index pair survives
+// with different joined attributes (a delete renumbering a neighbor onto
+// the same key) — a remove-then-add of that key. It is the exact diff the
+// watch path publishes (see diffPairs); the gateway reuses it to emit
+// cluster-wide watch deltas from re-merged global answers.
+func DiffPairs(old, cur []join.Pair) (added, removed []join.Pair) {
+	return diffPairs(old, cur)
+}

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/join"
+)
+
+// TestVerifyMatchesCore: the service's verification endpoint must vote
+// exactly like the core primitive the simulator trusts, for both the
+// strict (resident target-set checker) and non-strict (naive scan) arms.
+func TestVerifyMatchesCore(t *testing.T) {
+	ctx := context.Background()
+	s := newTestService(t, Config{SweepInterval: -1})
+	oracle := registerPair(t, s, 60)
+
+	rng := rand.New(rand.NewSource(606))
+	width := oracle.R1.Local + oracle.R2.Local + oracle.R1.Agg
+	vectors := make([][]float64, 12)
+	for i := range vectors {
+		vectors[i] = make([]float64, width)
+		for j := range vectors[i] {
+			vectors[i][j] = rng.Float64() * 10
+		}
+	}
+	// Mix in real answer vectors so some verdicts are guaranteed "not
+	// dominated" (a skyline member has no dominator).
+	ans, err := core.Run(oracle, core.Grouping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3 && i < len(ans.Skyline); i++ {
+		vectors = append(vectors, ans.Skyline[i].Attrs)
+	}
+
+	for _, aggName := range []string{"sum", "max"} {
+		resp, err := s.Verify(ctx, VerifyRequest{
+			R1: "r1", R2: "r2", K: oracle.K, Agg: aggName, Vectors: vectors,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", aggName, err)
+		}
+		agg, err := join.ParseAggregator(aggName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := oracle
+		q.Spec.Agg = agg
+		want, err := core.AnyDominators(q, vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Dominated) != len(want) {
+			t.Fatalf("%s: %d verdicts, want %d", aggName, len(resp.Dominated), len(want))
+		}
+		sawDominated := false
+		for i := range want {
+			if resp.Dominated[i] != want[i] {
+				t.Fatalf("%s: verdict[%d] = %v, want %v", aggName, i, resp.Dominated[i], want[i])
+			}
+			sawDominated = sawDominated || want[i]
+		}
+		if !sawDominated {
+			t.Fatalf("%s: degenerate test — no vector was dominated", aggName)
+		}
+	}
+
+	st := s.Stats()
+	if st.Verifies != 2 {
+		t.Errorf("verifies counter = %d, want 2", st.Verifies)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	ctx := context.Background()
+	s := newTestService(t, Config{SweepInterval: -1})
+	registerPair(t, s, 20)
+
+	if _, err := s.Verify(ctx, VerifyRequest{R1: "nope", R2: "r2", K: 5, Vectors: [][]float64{{1}}}); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("unknown relation: %v", err)
+	}
+	if _, err := s.Verify(ctx, VerifyRequest{R1: "r1", R2: "r2", K: 5, Vectors: [][]float64{{1, 2}}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("wrong vector width: %v", err)
+	}
+	if _, err := s.Verify(ctx, VerifyRequest{R1: "r1", R2: "r2", K: 99, Vectors: [][]float64{{1, 2, 3, 4, 5, 6, 7}}}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("k out of range: %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	ctx := context.Background()
+	s := newTestService(t, Config{SweepInterval: -1})
+	oracle := registerPair(t, s, 30)
+
+	// Warm a cache entry and a watch on the doomed relation.
+	if _, err := s.Query(ctx, QueryRequest{R1: "r1", R2: "r2", K: oracle.K}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Watch(ctx, QueryRequest{R1: "r1", R2: "r2", K: oracle.K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	<-w.Events() // snapshot
+
+	if err := s.Unregister("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(ctx, QueryRequest{R1: "r1", R2: "r2", K: oracle.K}); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("query after unregister: %v", err)
+	}
+	for range w.Events() {
+	}
+	if !errors.Is(w.Err(), ErrUnknownRelation) {
+		t.Fatalf("watch should end with ErrUnknownRelation, got %v", w.Err())
+	}
+	if err := s.Unregister("r1"); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("double unregister: %v", err)
+	}
+
+	// The name is reusable, and the untouched relation survived.
+	if _, err := s.Register("r1", testRelation("r1", 25, 3, 1, 5, 99)); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	if _, err := s.Query(ctx, QueryRequest{R1: "r1", R2: "r2", K: oracle.K}); err != nil {
+		t.Fatalf("query after re-register: %v", err)
+	}
+}

@@ -1,0 +1,837 @@
+// Package shard turns the partition-by-join-key scheme of
+// internal/distributed into an actual multi-node deployment: a Gateway
+// scatter-gathers over N ksjqd shard processes speaking the
+// internal/httpapi wire surface over keep-alive HTTP.
+//
+// Placement is by consistent hash on the join-key symbol
+// (distributed.NodeOf — the same function the simulator uses), so every
+// join group lives wholly on one shard and any joined pair — candidate
+// or dominator — is local to exactly one shard. A query then runs the
+// simulator's two rounds for real:
+//
+//  1. Local round: the gateway fans the query out to every shard holding
+//     both relations; each shard answers from its own residents and
+//     maintained entries (all of PR 3–8's caching works per-shard), and
+//     the local skylines come back as candidate supersets.
+//  2. Verification round: the gateway ships each shard the foreign
+//     candidates' attribute vectors (POST /v1/verify); shards vote with
+//     the target-set checker over their resident index, and only
+//     candidates no peer dominates survive. Message and float counters —
+//     the communication cost the simulator was built to observe — are
+//     recorded per query and accumulated on the gateway.
+//
+// Ingest, deletes, and registration fan out by the same placement, with
+// the gateway keeping the authoritative global row numbering (global ids
+// mirror a single-node ksjqd over the same mutation history — the oracle
+// equivalence the tests pin). Watch re-runs the two rounds after every
+// gateway-driven mutation and publishes the diff with a gateway-side
+// sequence.
+//
+// The in-process simulator is retained verbatim as the correctness
+// oracle: sharded answer ≡ distributed.Run ≡ single-node core.Run.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/distributed"
+	"repro/internal/httpapi"
+	"repro/internal/join"
+	"repro/internal/service"
+)
+
+// ErrClosed is returned by every Gateway method after Close.
+var ErrClosed = errors.New("shard: gateway closed")
+
+// SourceSharded marks answers assembled by the gateway's two-round
+// scatter-gather; single-shard fast paths report the shard's own source.
+const SourceSharded = service.Source("sharded")
+
+// Config tunes one Gateway.
+type Config struct {
+	// ShardTimeout bounds every per-shard request leg, derived from the
+	// operator's -timeout bound exactly like the single-node wire clamp:
+	// 0 means service.DefaultRequestTimeout, negative disables the bound.
+	ShardTimeout time.Duration
+	// HTTPClient overrides the keep-alive transport (tests inject the
+	// httptest server's client). Nil uses a pooled default.
+	HTTPClient *http.Client
+}
+
+// Gateway coordinates a cluster of ksjqd shards. Create with New, share
+// freely across goroutines, Close when done.
+type Gateway struct {
+	cfg    Config
+	shards []*client
+	addrs  []string
+
+	// mu guards placement and watches. Queries hold it shared across
+	// both rounds, so placement cannot move under a scatter-gather;
+	// mutations hold it exclusively across their shard commits, so the
+	// cluster observes one linear mutation history.
+	mu      sync.RWMutex
+	rels    map[string]*relPlace
+	watches map[gwWatchKey]*gwWatchSet
+
+	// cache is the gateway's answer cache, the cluster analogue of the
+	// single-node service's: every mutation flows through the gateway
+	// and bumps the placement versions, so version equality proves an
+	// entry fresh without touching any shard. A hit skips both rounds —
+	// the scatter, the candidate exchange, and the verification — which
+	// is what makes warm repeat queries round-trip-free.
+	cacheMu sync.Mutex
+	cache   map[gwWatchKey]*gwCacheEntry
+
+	// lifeMu orders operation starts against Close: track holds it shared
+	// around the closed check + wg.Add, Close holds it exclusively while
+	// flipping closed — so once Close proceeds to wg.Wait, no new
+	// operation can slip in between the check and the Add.
+	lifeMu sync.RWMutex
+	closed atomic.Bool
+	// wg counts in-flight scatter-gathers; Close drains it so shutdown
+	// never abandons a half-merged answer.
+	wg sync.WaitGroup
+
+	queries, inserts, deletes atomic.Uint64
+	r2Messages, r2Floats      atomic.Uint64
+	cacheHits                 atomic.Uint64
+}
+
+// gwCacheEntry is one cached merged answer, valid while the relations'
+// placement versions still match. Skyline is shared and read-only.
+type gwCacheEntry struct {
+	versions  [2]uint64
+	skyline   []join.Pair
+	algorithm string
+}
+
+// gwCacheCap bounds the answer cache; at capacity an arbitrary entry is
+// evicted (the cache is correctness-free, so eviction policy only
+// affects hit rate).
+const gwCacheCap = 256
+
+func (g *Gateway) cacheGet(key gwWatchKey, versions [2]uint64) *gwCacheEntry {
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	e := g.cache[key]
+	if e == nil || e.versions != versions {
+		return nil
+	}
+	return e
+}
+
+func (g *Gateway) cachePut(key gwWatchKey, e *gwCacheEntry) {
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	if g.cache[key] == nil && len(g.cache) >= gwCacheCap {
+		for k := range g.cache {
+			delete(g.cache, k)
+			break
+		}
+	}
+	g.cache[key] = e
+}
+
+// New connects to the shard processes and verifies each is alive. The
+// shard list is fixed for the gateway's lifetime — placement hashes over
+// its length, so changing the cluster size means re-sharding, which is
+// out of scope here (DESIGN.md §13).
+func New(ctx context.Context, addrs []string, cfg Config) (*Gateway, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: no shard addresses", service.ErrBadRequest)
+	}
+	maxTimeout := cfg.ShardTimeout
+	if maxTimeout == 0 {
+		maxTimeout = service.DefaultRequestTimeout
+	} else if maxTimeout < 0 {
+		maxTimeout = 0
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	g := &Gateway{
+		cfg:     cfg,
+		addrs:   addrs,
+		rels:    make(map[string]*relPlace),
+		watches: make(map[gwWatchKey]*gwWatchSet),
+		cache:   make(map[gwWatchKey]*gwCacheEntry),
+	}
+	for _, a := range addrs {
+		g.shards = append(g.shards, newClient(a, hc, maxTimeout))
+	}
+	for _, c := range g.shards {
+		if err := c.health(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Shards lists the configured shard addresses.
+func (g *Gateway) Shards() []string { return append([]string(nil), g.addrs...) }
+
+// track registers one in-flight operation for the shutdown drain.
+func (g *Gateway) track() error {
+	g.lifeMu.RLock()
+	defer g.lifeMu.RUnlock()
+	if g.closed.Load() {
+		return ErrClosed
+	}
+	g.wg.Add(1)
+	return nil
+}
+
+// Close marks the gateway closed, drains in-flight scatter-gathers, and
+// terminates every watch subscription. Shards are left running — they
+// are independent processes.
+func (g *Gateway) Close() error {
+	g.lifeMu.Lock()
+	first := g.closed.CompareAndSwap(false, true)
+	g.lifeMu.Unlock()
+	if !first {
+		return nil
+	}
+	g.wg.Wait()
+	g.mu.Lock()
+	for key, ws := range g.watches {
+		for sub := range ws.subs {
+			sub.terminate(ErrClosed)
+		}
+		delete(g.watches, key)
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// QueryResponse is one gateway answer: the merged skyline plus the
+// distributed-round statistics the simulator was built to observe.
+type QueryResponse struct {
+	Skyline []join.Pair
+	// Source is the coldest source any shard reported in round 1
+	// (computed > maintained > cached), or SourceSharded when shards
+	// disagree in kind; repeat queries over unchanged shards report
+	// warm sources exactly like a single node would.
+	Source    service.Source
+	Algorithm string
+	// Versions are the gateway's (R1, R2) placement versions.
+	Versions [2]uint64
+	Elapsed  time.Duration
+	// Dist carries the two-round breakdown: candidates per shard and the
+	// verification round's message/float traffic.
+	Dist distributed.Stats
+	// R1Elapsed is each shard's round-1 wall clock (zero for shards that
+	// did not participate) — the balance evidence: on a multi-core
+	// deployment the round-1 latency is the maximum entry, so the closer
+	// they are, the closer the scatter gets to the ideal 1/shards.
+	R1Elapsed []time.Duration
+}
+
+// parseQuery validates the request shape against gateway metadata. It
+// mirrors the service's O(1) structural checks so malformed queries are
+// rejected identically whether they hit a shard or the gateway.
+func (g *Gateway) parseQuery(req service.QueryRequest) (cond join.Condition, agg join.Aggregator, err error) {
+	if cond, err = join.ParseCondition(req.Join); err != nil {
+		return cond, agg, fmt.Errorf("%w: %v", service.ErrBadRequest, err)
+	}
+	if agg, err = join.ParseAggregator(req.Agg); err != nil {
+		return cond, agg, fmt.Errorf("%w: %v", service.ErrBadRequest, err)
+	}
+	return cond, agg, nil
+}
+
+// checkLocked validates relations and k under the lock; returns the
+// placements.
+func (g *Gateway) checkLocked(req service.QueryRequest, cond join.Condition) (rp1, rp2 *relPlace, err error) {
+	rp1, ok := g.rels[req.R1]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", service.ErrUnknownRelation, req.R1)
+	}
+	rp2, ok = g.rels[req.R2]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", service.ErrUnknownRelation, req.R2)
+	}
+	if rp1.agg != rp2.agg {
+		return nil, nil, fmt.Errorf("%w: aggregate attribute counts differ (%d vs %d)", service.ErrBadRequest, rp1.agg, rp2.agg)
+	}
+	d1, d2 := rp1.local+rp1.agg, rp2.local+rp2.agg
+	kmin := max(d1, d2) + 1
+	width := rp1.local + rp2.local + rp1.agg
+	if req.K < kmin || req.K > width {
+		return nil, nil, fmt.Errorf("%w: k=%d, admissible range (%d, %d]", service.ErrBadRequest, req.K, kmin-1, width)
+	}
+	if cond != join.Equality && len(g.shards) > 1 {
+		return nil, nil, fmt.Errorf("%w: %v with %d shards", distributed.ErrNotShardable, cond, len(g.shards))
+	}
+	return rp1, rp2, nil
+}
+
+// shardAlgorithm maps the requested algorithm to what the shards run:
+// like distributed.LocalAlgorithm, a non-strict aggregator forces the
+// naive algorithm (target-set pruning is unsound for it, and the service
+// rejects "auto" in that combination).
+func shardAlgorithm(requested string, agg join.Aggregator) string {
+	if (requested == "" || requested == "auto") && !agg.Strict {
+		return "naive"
+	}
+	return requested
+}
+
+// Query answers one request with the two-round scatter-gather. Safe for
+// arbitrary concurrent use; holds the gateway's read lock across both
+// rounds so placement cannot move mid-query.
+func (g *Gateway) Query(ctx context.Context, req service.QueryRequest) (*QueryResponse, error) {
+	if err := g.track(); err != nil {
+		return nil, err
+	}
+	defer g.wg.Done()
+	g.queries.Add(1)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.queryLocked(ctx, req)
+}
+
+// candidate is one round-1 survivor, identified by global row ids.
+type candidate struct {
+	home        int
+	left, right int
+	attrs       []float64
+}
+
+// queryLocked runs both rounds; the caller holds g.mu (read for Query,
+// write for the mutation paths' watch refresh).
+func (g *Gateway) queryLocked(ctx context.Context, req service.QueryRequest) (*QueryResponse, error) {
+	start := time.Now()
+	cond, agg, err := g.parseQuery(req)
+	if err != nil {
+		return nil, err
+	}
+	rp1, rp2, err := g.checkLocked(req, cond)
+	if err != nil {
+		return nil, err
+	}
+	versions := [2]uint64{rp1.version, rp2.version}
+	st := distributed.Stats{Nodes: len(g.shards), CandidatesPerNode: make([]int, len(g.shards))}
+
+	cacheKey := gwWatchKey{r1: req.R1, r2: req.R2, cond: cond, agg: agg.Name, k: req.K}
+	if !req.NoCache {
+		if e := g.cacheGet(cacheKey, versions); e != nil {
+			g.cacheHits.Add(1)
+			st.Total = time.Since(start)
+			return &QueryResponse{
+				Skyline: e.skyline, Source: service.SourceCached, Algorithm: e.algorithm,
+				Versions: versions, Elapsed: time.Since(start), Dist: st,
+			}, nil
+		}
+	}
+
+	var participants []int
+	for s := range g.shards {
+		if rp1.registered[s] && rp2.registered[s] {
+			participants = append(participants, s)
+		}
+	}
+	algorithm := shardAlgorithm(req.Algorithm, agg)
+	if len(participants) == 0 {
+		// No shard holds both relations: every join group is missing one
+		// side, so the join — and the skyline — is empty.
+		return &QueryResponse{
+			Skyline: []join.Pair{}, Source: SourceSharded, Algorithm: algorithm,
+			Versions: versions, Elapsed: time.Since(start), Dist: st,
+		}, nil
+	}
+
+	// Round 1: shard-local runs, in parallel. Each shard answers from its
+	// own residents/answer cache; local pair ids map to global ids
+	// through the placement.
+	wire := httpapi.QueryJSON{
+		R1: req.R1, R2: req.R2, K: req.K,
+		Join: req.Join, Agg: req.Agg, Algorithm: algorithm,
+		Workers: req.Workers, NoCache: req.NoCache,
+		TimeoutMS: req.Timeout.Milliseconds(),
+	}
+	t0 := time.Now()
+	round1 := make([]httpapi.QueryResponseJSON, len(participants))
+	errs := make([]error, len(participants))
+	var wg sync.WaitGroup
+	for i, s := range participants {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			round1[i], errs[i] = g.shards[s].query(ctx, wire)
+		}()
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	var candidates []candidate
+	source := ""
+	r1Elapsed := make([]time.Duration, len(g.shards))
+	for i, s := range participants {
+		res := round1[i]
+		st.CandidatesPerNode[s] = res.Count
+		r1Elapsed[s] = time.Duration(res.ElapsedUS) * time.Microsecond
+		st.LocalTime += r1Elapsed[s]
+		source = colderSource(source, res.Source)
+		for _, p := range res.Skyline {
+			candidates = append(candidates, candidate{
+				home: s, left: rp1.toGlobal(s, p.Left), right: rp2.toGlobal(s, p.Right),
+				attrs: p.Attrs,
+			})
+		}
+	}
+
+	// Round 2: ship every foreign candidate's attribute vector to each
+	// verifier shard, in parallel; a candidate survives only if no peer
+	// finds a local dominator. One shard — or zero candidates — skips the
+	// round entirely: its own round-1 run already vouched for everything.
+	dominated := make([]bool, len(candidates))
+	if len(participants) > 1 && len(candidates) > 0 {
+		t0 = time.Now()
+		type verdict struct {
+			idx []int
+			dom []bool
+			err error
+		}
+		verdicts := make([]verdict, len(participants))
+		var vg sync.WaitGroup
+		for i, s := range participants {
+			var vectors [][]float64
+			var idx []int
+			for ci, c := range candidates {
+				if c.home != s {
+					vectors = append(vectors, c.attrs)
+					idx = append(idx, ci)
+				}
+			}
+			if len(vectors) == 0 {
+				continue
+			}
+			g.r2Messages.Add(2) // candidate batch in, verdict batch out
+			st.MessagesSent += 2
+			for _, v := range vectors {
+				st.FloatsShipped += len(v)
+				g.r2Floats.Add(uint64(len(v)))
+			}
+			vg.Add(1)
+			go func(i, s int, vectors [][]float64, idx []int) {
+				defer vg.Done()
+				res, err := g.shards[s].verify(ctx, httpapi.VerifyJSON{
+					R1: req.R1, R2: req.R2, K: req.K,
+					Join: req.Join, Agg: req.Agg,
+					Vectors:   vectors,
+					TimeoutMS: req.Timeout.Milliseconds(),
+				})
+				verdicts[i] = verdict{idx: idx, dom: res.Dominated, err: err}
+			}(i, s, vectors, idx)
+		}
+		vg.Wait()
+		for _, v := range verdicts {
+			if v.err != nil {
+				return nil, v.err
+			}
+			for bi, d := range v.dom {
+				if d {
+					dominated[v.idx[bi]] = true
+				}
+			}
+		}
+		st.VerifyTime = time.Since(t0)
+	}
+
+	skyline := make([]join.Pair, 0, len(candidates))
+	for ci, c := range candidates {
+		if !dominated[ci] {
+			skyline = append(skyline, join.Pair{Left: c.left, Right: c.right, Attrs: c.attrs})
+		}
+	}
+	distributed.SortPairs(skyline)
+	st.Total = time.Since(start)
+
+	src := service.Source(source)
+	if src == "" {
+		src = SourceSharded
+	}
+	g.cachePut(cacheKey, &gwCacheEntry{
+		versions: versions, skyline: skyline, algorithm: round1[0].Algorithm,
+	})
+	return &QueryResponse{
+		Skyline: skyline, Source: src, Algorithm: round1[0].Algorithm,
+		Versions: versions, Elapsed: time.Since(start), Dist: st,
+		R1Elapsed: r1Elapsed,
+	}, nil
+}
+
+// colderSource merges round-1 sources: a scatter-gather is only as warm
+// as its coldest shard.
+func colderSource(a, b string) string {
+	rank := func(s string) int {
+		switch service.Source(s) {
+		case service.SourceComputed:
+			return 3
+		case service.SourceMaintained:
+			return 2
+		case service.SourceCached:
+			return 1
+		}
+		return 0
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Register places a relation across the cluster: tuples are partitioned
+// by join key and registered on every shard that owns at least one. A
+// shard failing mid-registration rolls the others back (best effort), so
+// the relation either exists cluster-wide or not at all. Windowed
+// relations are not supported in gateway mode — shard-side expiry would
+// renumber rows without the gateway's mapping hearing about it.
+func (g *Gateway) Register(ctx context.Context, name string, local, agg int, ts []dataset.Tuple) (uint64, error) {
+	if err := g.track(); err != nil {
+		return 0, err
+	}
+	defer g.wg.Done()
+	if name == "" {
+		return 0, fmt.Errorf("%w: empty relation name", service.ErrBadRequest)
+	}
+	// Full single-node validation up front: a batch that one ksjqd would
+	// reject must not be half-registered across several.
+	if _, err := dataset.New(name, local, agg, ts); err != nil {
+		return 0, fmt.Errorf("%w: %v", service.ErrBadRequest, err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.rels[name]; ok {
+		return 0, fmt.Errorf("%w: %q", service.ErrDuplicateRelation, name)
+	}
+	rp := newRelPlace(name, local, agg, len(g.shards))
+	batches := rp.planInsert(ts)
+	ok := make([]bool, len(g.shards))
+	for s, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		wire := make([]httpapi.TupleJSON, len(batch))
+		for i, t := range batch {
+			wire[i] = httpapi.FromTuple(t)
+		}
+		if _, err := g.shards[s].register(ctx, httpapi.RegisterJSON{
+			Name: name, Local: local, Agg: agg, Tuples: wire,
+		}); err != nil {
+			for s2, done := range ok {
+				if done {
+					_ = g.shards[s2].unregister(context.WithoutCancel(ctx), name)
+				}
+			}
+			return 0, err
+		}
+		ok[s] = true
+		rp.registered[s] = true
+	}
+	rp.applyInsert(ts, ok)
+	g.rels[name] = rp
+	return rp.version, nil
+}
+
+// Unregister removes a relation cluster-wide. Watches naming it end with
+// ErrUnknownRelation, like the single-node service.
+func (g *Gateway) Unregister(ctx context.Context, name string) error {
+	if err := g.track(); err != nil {
+		return err
+	}
+	defer g.wg.Done()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rp, ok := g.rels[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", service.ErrUnknownRelation, name)
+	}
+	var firstErr error
+	for s, reg := range rp.registered {
+		if !reg {
+			continue
+		}
+		if err := g.shards[s].unregister(ctx, name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	delete(g.rels, name)
+	g.dropWatchesLocked(name, fmt.Errorf("%w: %q", service.ErrUnknownRelation, name))
+	return firstErr
+}
+
+// Relations lists the cluster placement, sorted by name.
+func (g *Gateway) Relations() []RelationPlacement {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]RelationPlacement, 0, len(g.rels))
+	for name, rp := range g.rels {
+		info := RelationPlacement{
+			Name: name, Version: rp.version, Tuples: rp.size(),
+			Local: rp.local, Agg: rp.agg,
+			PerShard: make([]int, len(rp.perShard)),
+		}
+		for s := range rp.perShard {
+			info.PerShard[s] = rp.rows(s)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RelationPlacement is one relation's cluster-wide metadata.
+type RelationPlacement struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Tuples   int    `json:"tuples"`
+	Local    int    `json:"local"`
+	Agg      int    `json:"agg"`
+	PerShard []int  `json:"per_shard"`
+}
+
+// InsertResult mirrors the single-node InsertResult's geometry fields.
+type InsertResult struct {
+	ID      int
+	Count   int
+	Version uint64
+}
+
+// InsertBatch appends a batch through the placement: tuples group by
+// owning shard, each group commits as one shard-side group commit, and
+// the mapping extends with what actually landed. First tuples for a
+// shard register the relation there (lazy registration keeps empty
+// partitions off the registry — shards reject empty relations).
+//
+// Failure semantics: shards commit sequentially; a failing shard keeps
+// its group un-applied while earlier groups stay committed, the mapping
+// reflects exactly the surviving state, and the error (naming the shard)
+// reports the batch as partially applied. Cross-shard atomicity would
+// need a transaction protocol the scheme deliberately avoids.
+func (g *Gateway) InsertBatch(ctx context.Context, name string, ts []dataset.Tuple) (*InsertResult, error) {
+	if err := g.track(); err != nil {
+		return nil, err
+	}
+	defer g.wg.Done()
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", service.ErrBadRequest)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rp, ok := g.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", service.ErrUnknownRelation, name)
+	}
+	// Validate the whole batch before any shard sees any of it.
+	for i, t := range ts {
+		if len(t.Attrs) != rp.local+rp.agg {
+			return nil, fmt.Errorf("%w: tuple %d has %d attributes, want %d", service.ErrBadRequest, i, len(t.Attrs), rp.local+rp.agg)
+		}
+	}
+	batches := rp.planInsert(ts)
+	okShards := make([]bool, len(g.shards))
+	var commitErr error
+	for s, batch := range batches {
+		if len(batch) == 0 {
+			continue
+		}
+		wire := make([]httpapi.TupleJSON, len(batch))
+		for i, t := range batch {
+			wire[i] = httpapi.FromTuple(t)
+		}
+		var err error
+		if !rp.registered[s] {
+			_, err = g.shards[s].register(ctx, httpapi.RegisterJSON{
+				Name: name, Local: rp.local, Agg: rp.agg, Tuples: wire,
+			})
+			if err == nil {
+				rp.registered[s] = true
+			}
+		} else {
+			_, err = g.shards[s].insert(ctx, httpapi.InsertJSON{Relation: name, Tuples: wire})
+		}
+		if err != nil {
+			commitErr = err
+			break
+		}
+		okShards[s] = true
+	}
+	first := rp.size()
+	applied := 0
+	for s, done := range okShards {
+		if done {
+			applied += len(batches[s])
+		}
+	}
+	if applied == 0 {
+		return nil, commitErr
+	}
+	rp.applyInsert(ts, okShards)
+	rp.version++
+	g.inserts.Add(1)
+	g.refreshWatchesLocked(ctx, name)
+	res := &InsertResult{ID: first, Count: applied, Version: rp.version}
+	return res, commitErr
+}
+
+// DeleteResult mirrors the single-node DeleteResult's geometry fields.
+type DeleteResult struct {
+	Count   int
+	Version uint64
+}
+
+// DeleteBatch removes rows by global id through the placement. A batch
+// that drains a shard's entire partition unregisters the relation there
+// instead (shards keep registered relations non-empty); the shard
+// re-registers lazily on the next insert that hashes to it. Failure
+// semantics mirror InsertBatch: per-shard groups commit sequentially and
+// the mapping keeps exactly what survived.
+func (g *Gateway) DeleteBatch(ctx context.Context, name string, ids []int) (*DeleteResult, error) {
+	if err := g.track(); err != nil {
+		return nil, err
+	}
+	defer g.wg.Done()
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", service.ErrBadRequest)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rp, ok := g.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", service.ErrUnknownRelation, name)
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	n := rp.size()
+	for i, id := range sorted {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("%w: delete index %d out of range [0,%d)", service.ErrBadRequest, id, n)
+		}
+		if i > 0 && sorted[i-1] == id {
+			return nil, fmt.Errorf("%w: duplicate delete index %d", service.ErrBadRequest, id)
+		}
+	}
+	if len(sorted) >= n {
+		return nil, fmt.Errorf("%w: cannot delete all %d rows of %q (registered relations stay non-empty)", service.ErrBadRequest, n, name)
+	}
+	del := rp.planRemove(sorted)
+	okShards := make([]bool, len(g.shards))
+	var commitErr error
+	for s, batch := range del {
+		if len(batch) == 0 {
+			continue
+		}
+		var err error
+		if len(batch) == rp.rows(s) {
+			// The batch drains this shard's whole partition; an empty
+			// relation cannot stay registered, so drop it shard-side.
+			err = g.shards[s].unregister(ctx, name)
+			if err == nil {
+				rp.registered[s] = false
+			}
+		} else {
+			_, err = g.shards[s].delete(ctx, httpapi.DeleteJSON{Relation: name, IDs: batch})
+		}
+		if err != nil {
+			commitErr = err
+			break
+		}
+		okShards[s] = true
+	}
+	applied := 0
+	for s, done := range okShards {
+		if done {
+			applied += len(del[s])
+		}
+	}
+	if applied == 0 {
+		return nil, commitErr
+	}
+	rp.applyRemove(sorted, okShards)
+	rp.version++
+	g.deletes.Add(1)
+	g.refreshWatchesLocked(ctx, name)
+	res := &DeleteResult{Count: applied, Version: rp.version}
+	return res, commitErr
+}
+
+// ShardStats is one shard's counter snapshot (or the error that kept it
+// from answering).
+type ShardStats struct {
+	Addr  string         `json:"addr"`
+	Error string         `json:"error,omitempty"`
+	Stats *service.Stats `json:"stats,omitempty"`
+}
+
+// Stats is the cluster-wide counter snapshot: the gateway's own counters
+// — including the round-2 message/float traffic promoted from
+// distributed.Stats — plus each shard's service counters.
+type Stats struct {
+	Queries    uint64 `json:"queries"`
+	Inserts    uint64 `json:"insert_batches"`
+	Deletes    uint64 `json:"delete_batches"`
+	R2Messages uint64 `json:"r2_messages"`
+	R2Floats   uint64 `json:"r2_floats_shipped"`
+	CacheHits  uint64 `json:"answer_cache_hits"`
+	Watches    int    `json:"watches"`
+
+	Relations []RelationPlacement `json:"relations"`
+	Shards    []ShardStats        `json:"shards"`
+}
+
+// Stats snapshots the gateway counters and fans /v1/stats out to every
+// shard. A shard that cannot answer is reported with its error rather
+// than failing the whole snapshot.
+func (g *Gateway) Stats(ctx context.Context) Stats {
+	out := Stats{
+		Queries:    g.queries.Load(),
+		Inserts:    g.inserts.Load(),
+		Deletes:    g.deletes.Load(),
+		R2Messages: g.r2Messages.Load(),
+		R2Floats:   g.r2Floats.Load(),
+		CacheHits:  g.cacheHits.Load(),
+		Relations:  g.Relations(),
+		Shards:     make([]ShardStats, len(g.shards)),
+	}
+	g.mu.RLock()
+	for _, ws := range g.watches {
+		out.Watches += len(ws.subs)
+	}
+	g.mu.RUnlock()
+	var wg sync.WaitGroup
+	for i, c := range g.shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := c.stats(ctx)
+			out.Shards[i] = ShardStats{Addr: c.addr}
+			if err != nil {
+				out.Shards[i].Error = err.Error()
+				return
+			}
+			out.Shards[i].Stats = &st
+		}()
+	}
+	wg.Wait()
+	return out
+}

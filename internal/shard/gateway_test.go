@@ -1,0 +1,742 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distributed"
+	"repro/internal/httpapi"
+	"repro/internal/join"
+	"repro/internal/service"
+)
+
+// cluster is an in-process deployment: n real service.Service shards
+// behind real HTTP servers, plus a gateway over them. Everything the
+// gateway sees crosses a genuine TCP connection and the genuine JSON
+// codec — only the processes are shared.
+type cluster struct {
+	gw      *Gateway
+	svcs    []*service.Service
+	servers []*httptest.Server
+	urls    []string
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	c := &cluster{}
+	for i := 0; i < n; i++ {
+		svc := service.New(service.Config{SweepInterval: -1})
+		srv := httptest.NewServer(httpapi.NewHandler(svc, 0))
+		t.Cleanup(srv.Close)
+		t.Cleanup(func() { svc.Close() })
+		c.svcs = append(c.svcs, svc)
+		c.servers = append(c.servers, srv)
+		c.urls = append(c.urls, srv.URL)
+	}
+	gw, err := New(context.Background(), c.urls, Config{})
+	if err != nil {
+		t.Fatalf("connecting gateway: %v", err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	c.gw = gw
+	return c
+}
+
+// newMirror is the single-node oracle the gateway must be
+// indistinguishable from.
+func newMirror(t *testing.T) *service.Service {
+	t.Helper()
+	svc := service.New(service.Config{SweepInterval: -1})
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+// genTuples synthesizes keyed, banded tuples so every join condition is
+// exercisable (datagen has no band support).
+func genTuples(rng *rand.Rand, n, local, agg, groups int) []dataset.Tuple {
+	ts := make([]dataset.Tuple, n)
+	for i := range ts {
+		attrs := make([]float64, local+agg)
+		for j := range attrs {
+			attrs[j] = math.Round(rng.Float64()*1000) / 10
+		}
+		ts[i] = dataset.Tuple{
+			Key:   fmt.Sprintf("g%d", rng.Intn(groups)),
+			Band:  float64(rng.Intn(40)),
+			Attrs: attrs,
+		}
+	}
+	return ts
+}
+
+func mustRelation(t *testing.T, name string, local, agg int, ts []dataset.Tuple) *dataset.Relation {
+	t.Helper()
+	rel, err := dataset.New(name, local, agg, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func samePairs(t *testing.T, label string, got, want []join.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d\n got=%v\nwant=%v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Left != w.Left || g.Right != w.Right {
+			t.Fatalf("%s: pair[%d] = (%d,%d), want (%d,%d)", label, i, g.Left, g.Right, w.Left, w.Right)
+		}
+		if len(g.Attrs) != len(w.Attrs) {
+			t.Fatalf("%s: pair[%d] has %d attrs, want %d", label, i, len(g.Attrs), len(w.Attrs))
+		}
+		for j := range w.Attrs {
+			if g.Attrs[j] != w.Attrs[j] {
+				t.Fatalf("%s: pair[%d].attrs[%d] = %v, want %v", label, i, j, g.Attrs[j], w.Attrs[j])
+			}
+		}
+	}
+}
+
+// TestShardedMatchesSimulator is the oracle triangle: for every shard
+// count, condition, and aggregator, the real cluster's answer must be
+// byte-identical to the in-process simulator's (distributed.Run over the
+// same node count) and to a single-node service over the same data.
+func TestShardedMatchesSimulator(t *testing.T) {
+	ctx := context.Background()
+	const local, agg, groups = 2, 1, 6
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(900 + shards)))
+			t1 := genTuples(rng, 40, local, agg, groups)
+			t2 := genTuples(rng, 45, local, agg, groups)
+
+			c := newCluster(t, shards)
+			if _, err := c.gw.Register(ctx, "r1", local, agg, t1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.gw.Register(ctx, "r2", local, agg, t2); err != nil {
+				t.Fatal(err)
+			}
+			mirror := newMirror(t)
+			if _, err := mirror.Register("r1", mustRelation(t, "r1", local, agg, t1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mirror.Register("r2", mustRelation(t, "r2", local, agg, t2)); err != nil {
+				t.Fatal(err)
+			}
+
+			// Non-equality conditions co-locate everything, so they are
+			// only shardable at one node; multi-shard runs cover equality.
+			conds := []string{"eq"}
+			if shards == 1 {
+				conds = []string{"eq", "cross", "lt", "le", "gt", "ge"}
+			}
+			d1, d2 := local+agg, local+agg
+			kmin, width := max(d1, d2)+1, local+local+agg
+			for _, cond := range conds {
+				for _, aggName := range []string{"sum", "max"} {
+					for k := kmin; k <= width; k++ {
+						label := fmt.Sprintf("%s/%s/k=%d", cond, aggName, k)
+						req := service.QueryRequest{
+							R1: "r1", R2: "r2", K: k, Join: cond, Agg: aggName,
+						}
+						gresp, err := c.gw.Query(ctx, req)
+						if err != nil {
+							t.Fatalf("%s: gateway: %v", label, err)
+						}
+
+						// Oracle 1: single-node service. Non-strict
+						// aggregators need the explicit naive algorithm
+						// there; the gateway does that mapping itself.
+						mreq := req
+						if aggName != "sum" {
+							mreq.Algorithm = "naive"
+						}
+						mresp, err := mirror.Query(ctx, mreq)
+						if err != nil {
+							t.Fatalf("%s: mirror: %v", label, err)
+						}
+						samePairs(t, label+" vs single-node", gresp.Skyline, mresp.Skyline)
+
+						// Oracle 2: the in-process simulator at the same
+						// node count.
+						jcond, err := join.ParseCondition(cond)
+						if err != nil {
+							t.Fatal(err)
+						}
+						jagg, err := join.ParseAggregator(aggName)
+						if err != nil {
+							t.Fatal(err)
+						}
+						q := core.Query{
+							R1:   mustRelation(t, "r1", local, agg, t1),
+							R2:   mustRelation(t, "r2", local, agg, t2),
+							Spec: join.Spec{Cond: jcond, Agg: jagg},
+							K:    k,
+						}
+						sim, err := distributed.Run(q, shards)
+						if err != nil {
+							t.Fatalf("%s: simulator: %v", label, err)
+						}
+						samePairs(t, label+" vs simulator", gresp.Skyline, sim.Skyline)
+
+						// The live round-2 traffic counters must behave
+						// like the simulator's: single shard ships
+						// nothing, message counts come in pairs.
+						if shards == 1 && (gresp.Dist.MessagesSent != 0 || gresp.Dist.FloatsShipped != 0) {
+							t.Fatalf("%s: single shard shipped %d msgs / %d floats",
+								label, gresp.Dist.MessagesSent, gresp.Dist.FloatsShipped)
+						}
+						if gresp.Dist.MessagesSent%2 != 0 {
+							t.Fatalf("%s: odd message count %d", label, gresp.Dist.MessagesSent)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGatewayMutationsMatchSingleNode replays a mixed insert/delete
+// script through the gateway and a single-node mirror, checking after
+// every batch that both report the same answer for both aggregator
+// classes — the PR 8 mutation-oracle style, now across processes.
+func TestGatewayMutationsMatchSingleNode(t *testing.T) {
+	ctx := context.Background()
+	const local, agg, groups = 2, 1, 5
+	rng := rand.New(rand.NewSource(412))
+	t1 := genTuples(rng, 20, local, agg, groups)
+	t2 := genTuples(rng, 20, local, agg, groups)
+
+	c := newCluster(t, 2)
+	mirror := newMirror(t)
+	if _, err := c.gw.Register(ctx, "r1", local, agg, t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gw.Register(ctx, "r2", local, agg, t2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.Register("r1", mustRelation(t, "r1", local, agg, t1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mirror.Register("r2", mustRelation(t, "r2", local, agg, t2)); err != nil {
+		t.Fatal(err)
+	}
+
+	sizes := map[string]int{"r1": len(t1), "r2": len(t2)}
+	check := func(step int) {
+		t.Helper()
+		for _, aggName := range []string{"sum", "max"} {
+			req := service.QueryRequest{R1: "r1", R2: "r2", K: 4, Join: "eq", Agg: aggName}
+			gresp, err := c.gw.Query(ctx, req)
+			if err != nil {
+				t.Fatalf("step %d %s: gateway: %v", step, aggName, err)
+			}
+			if aggName != "sum" {
+				req.Algorithm = "naive"
+			}
+			mresp, err := mirror.Query(ctx, req)
+			if err != nil {
+				t.Fatalf("step %d %s: mirror: %v", step, aggName, err)
+			}
+			samePairs(t, fmt.Sprintf("step %d %s", step, aggName), gresp.Skyline, mresp.Skyline)
+		}
+	}
+	check(-1)
+
+	for step := 0; step < 30; step++ {
+		name := "r1"
+		if rng.Intn(2) == 1 {
+			name = "r2"
+		}
+		if rng.Intn(3) < 2 || sizes[name] < 6 {
+			batch := genTuples(rng, 1+rng.Intn(4), local, agg, groups)
+			gres, err := c.gw.InsertBatch(ctx, name, batch)
+			if err != nil {
+				t.Fatalf("step %d: gateway insert: %v", step, err)
+			}
+			if gres.ID != sizes[name] || gres.Count != len(batch) {
+				t.Fatalf("step %d: insert geometry id=%d count=%d, want id=%d count=%d",
+					step, gres.ID, gres.Count, sizes[name], len(batch))
+			}
+			if _, err := mirror.InsertBatch(name, batch); err != nil {
+				t.Fatalf("step %d: mirror insert: %v", step, err)
+			}
+			sizes[name] += len(batch)
+		} else {
+			n := sizes[name]
+			count := 1 + rng.Intn(3)
+			ids := rng.Perm(n)[:count]
+			if _, err := c.gw.DeleteBatch(ctx, name, ids); err != nil {
+				t.Fatalf("step %d: gateway delete %v: %v", step, ids, err)
+			}
+			if _, err := mirror.DeleteBatch(name, ids); err != nil {
+				t.Fatalf("step %d: mirror delete: %v", step, err)
+			}
+			sizes[name] -= count
+		}
+		check(step)
+	}
+}
+
+// TestGatewayDrainAndRefill deletes every row a shard holds (the
+// partition drains, the shard-side relation is unregistered) and then
+// inserts rows that hash back to it (lazy re-registration) — the answer
+// must track the single-node mirror throughout.
+func TestGatewayDrainAndRefill(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	rng := rand.New(rand.NewSource(77))
+	t1 := genTuples(rng, 16, local, agg, 4)
+	t2 := genTuples(rng, 16, local, agg, 4)
+
+	c := newCluster(t, 2)
+	mirror := newMirror(t)
+	for name, ts := range map[string][]dataset.Tuple{"r1": t1, "r2": t2} {
+		if _, err := c.gw.Register(ctx, name, local, agg, ts); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mirror.Register(name, mustRelation(t, name, local, agg, ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Find the rows of r1 living on shard 1 and delete exactly those.
+	var drain []int
+	for i, tp := range t1 {
+		if distributed.NodeOf(tp.Key, 2) == 1 {
+			drain = append(drain, i)
+		}
+	}
+	if len(drain) == 0 || len(drain) == len(t1) {
+		t.Fatalf("seed does not split r1 across shards: %d/%d", len(drain), len(t1))
+	}
+	if _, err := c.gw.DeleteBatch(ctx, "r1", drain); err != nil {
+		t.Fatalf("draining delete: %v", err)
+	}
+	if _, err := mirror.DeleteBatch("r1", drain); err != nil {
+		t.Fatal(err)
+	}
+	req := service.QueryRequest{R1: "r1", R2: "r2", K: 4, Join: "eq", Agg: "sum"}
+	gresp, err := c.gw.Query(ctx, req)
+	if err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	mresp, err := mirror.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "after drain", gresp.Skyline, mresp.Skyline)
+
+	// Refill: new tuples, some of which hash back to the drained shard.
+	refill := genTuples(rng, 12, local, agg, 4)
+	if _, err := c.gw.InsertBatch(ctx, "r1", refill); err != nil {
+		t.Fatalf("refill insert: %v", err)
+	}
+	if _, err := mirror.InsertBatch("r1", refill); err != nil {
+		t.Fatal(err)
+	}
+	gresp, err = c.gw.Query(ctx, req)
+	if err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	mresp, err = mirror.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePairs(t, "after refill", gresp.Skyline, mresp.Skyline)
+}
+
+// TestGatewayShardDown kills one shard process and checks the failure
+// surfaces as ErrShardDown naming the dead shard — and as a 503 through
+// the gateway's own HTTP surface.
+func TestGatewayShardDown(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	rng := rand.New(rand.NewSource(31))
+	c := newCluster(t, 2)
+	if _, err := c.gw.Register(ctx, "r1", local, agg, genTuples(rng, 30, local, agg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gw.Register(ctx, "r2", local, agg, genTuples(rng, 30, local, agg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range c.gw.Relations() {
+		for s, n := range rel.PerShard {
+			if n == 0 {
+				t.Fatalf("seed leaves shard %d empty for %s; pick a different seed", s, rel.Name)
+			}
+		}
+	}
+	gwsrv := httptest.NewServer(NewHandler(c.gw, 0))
+	t.Cleanup(gwsrv.Close)
+
+	c.servers[1].Close() // the outage
+
+	_, err := c.gw.Query(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4, Join: "eq", Agg: "sum"})
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("want ErrShardDown, got %v", err)
+	}
+	var de *DownError
+	if !errors.As(err, &de) || de.Addr != c.urls[1] {
+		t.Fatalf("error does not name the dead shard %s: %v", c.urls[1], err)
+	}
+
+	resp, err := http.Post(gwsrv.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"r1":"r1","r2":"r2","k":4,"join":"eq","agg":"sum"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 from gateway surface, got %d", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, c.urls[1]) {
+		t.Fatalf("503 body does not name the dead shard: %q", body.Error)
+	}
+}
+
+// TestGatewayRetriesTransientReads: a shard that 500s once must not fail
+// a read-only call (single retry), but must fail a mutation (which is
+// not retried — it is not idempotent).
+func TestGatewayRetriesTransientReads(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	svc := service.New(service.Config{SweepInterval: -1})
+	t.Cleanup(func() { svc.Close() })
+	inner := httpapi.NewHandler(svc, 0)
+	var failQuery, failInsert atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/query" && failQuery.CompareAndSwap(true, false) {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Path == "/v1/insert" && failInsert.CompareAndSwap(true, false) {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+
+	gw, err := New(ctx, []string{srv.URL}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	rng := rand.New(rand.NewSource(5))
+	if _, err := gw.Register(ctx, "r1", local, agg, genTuples(rng, 10, local, agg, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Register(ctx, "r2", local, agg, genTuples(rng, 10, local, agg, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	failQuery.Store(true)
+	if _, err := gw.Query(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4, Join: "eq", Agg: "sum"}); err != nil {
+		t.Fatalf("read-only call not retried past a transient failure: %v", err)
+	}
+
+	failInsert.Store(true)
+	_, err = gw.InsertBatch(ctx, "r1", genTuples(rng, 1, local, agg, 3))
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("mutation must surface the failure un-retried, got %v", err)
+	}
+}
+
+// TestGatewayWatch subscribes through the gateway, mutates through the
+// gateway, and checks the delta stream reconstructs the live answer.
+func TestGatewayWatch(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	rng := rand.New(rand.NewSource(19))
+	c := newCluster(t, 2)
+	if _, err := c.gw.Register(ctx, "r1", local, agg, genTuples(rng, 15, local, agg, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gw.Register(ctx, "r2", local, agg, genTuples(rng, 15, local, agg, 4)); err != nil {
+		t.Fatal(err)
+	}
+	req := service.QueryRequest{R1: "r1", R2: "r2", K: 4, Join: "eq", Agg: "sum"}
+	w, err := c.gw.Watch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	recv := func() service.WatchEvent {
+		t.Helper()
+		select {
+		case ev, ok := <-w.Events():
+			if !ok {
+				t.Fatalf("watch closed early: %v", w.Err())
+			}
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for watch event")
+		}
+		panic("unreachable")
+	}
+
+	ev := recv()
+	if ev.Seq != 0 || len(ev.Removed) != 0 {
+		t.Fatalf("snapshot event malformed: %+v", ev)
+	}
+	answer := append([]join.Pair(nil), ev.Added...)
+
+	apply := func(ev service.WatchEvent) {
+		t.Helper()
+		next := answer[:0:0]
+		for _, p := range answer {
+			removed := false
+			for _, r := range ev.Removed {
+				if r.Left == p.Left && r.Right == p.Right {
+					removed = true
+					break
+				}
+			}
+			if !removed {
+				next = append(next, p)
+			}
+		}
+		next = append(next, ev.Added...)
+		distributed.SortPairs(next)
+		answer = next
+	}
+
+	var seq uint64
+	for step := 0; step < 6; step++ {
+		if step%2 == 0 {
+			if _, err := c.gw.InsertBatch(ctx, "r1", genTuples(rng, 2, local, agg, 4)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := c.gw.DeleteBatch(ctx, "r2", []int{rng.Intn(10)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ev := recv()
+		seq++
+		if ev.Seq != seq {
+			t.Fatalf("step %d: seq %d, want %d", step, ev.Seq, seq)
+		}
+		apply(ev)
+		cur, err := c.gw.Query(ctx, service.QueryRequest{
+			R1: "r1", R2: "r2", K: 4, Join: "eq", Agg: "sum", NoCache: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePairs(t, fmt.Sprintf("step %d: replayed watch deltas", step), answer, cur.Skyline)
+	}
+}
+
+// TestGatewayErrors covers the request-validation and topology error
+// taxonomy.
+func TestGatewayErrors(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	rng := rand.New(rand.NewSource(8))
+	c := newCluster(t, 2)
+	ts := genTuples(rng, 12, local, agg, 4)
+	if _, err := c.gw.Register(ctx, "r1", local, agg, ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gw.Register(ctx, "r2", local, agg, genTuples(rng, 12, local, agg, 4)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.gw.Register(ctx, "r1", local, agg, ts); !errors.Is(err, service.ErrDuplicateRelation) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	if _, err := c.gw.Query(ctx, service.QueryRequest{R1: "nope", R2: "r2", K: 4}); !errors.Is(err, service.ErrUnknownRelation) {
+		t.Fatalf("unknown relation: %v", err)
+	}
+	if _, err := c.gw.Query(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 99}); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("bad k: %v", err)
+	}
+	if _, err := c.gw.Query(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4, Join: "cross"}); !errors.Is(err, distributed.ErrNotShardable) {
+		t.Fatalf("cross join on 2 shards: %v", err)
+	}
+	all := make([]int, 12)
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := c.gw.DeleteBatch(ctx, "r1", all); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("delete-all: %v", err)
+	}
+	if _, err := c.gw.Watch(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4, Agg: "max"}); !errors.Is(err, service.ErrBadRequest) {
+		t.Fatalf("non-strict watch: %v", err)
+	}
+
+	// The wire surface: windows are rejected in gateway mode.
+	gwsrv := httptest.NewServer(NewHandler(c.gw, 0))
+	t.Cleanup(gwsrv.Close)
+	resp, err := http.Post(gwsrv.URL+"/v1/relations", "application/json",
+		strings.NewReader(`{"name":"w1","local":1,"agg":0,"window_ms":5000,"tuples":[{"key":"a","attrs":[1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("window_ms through gateway: want 400, got %d", resp.StatusCode)
+	}
+
+	// A non-shardable query is the client's mistake, not a server fault.
+	resp, err = http.Post(gwsrv.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"r1":"r1","r2":"r2","k":4,"join":"cross","no_cache":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-shardable through gateway: want 400, got %d", resp.StatusCode)
+	}
+
+	// Unregister ends watches with ErrUnknownRelation and frees the name.
+	w, err := c.gw.Watch(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4, Agg: "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-w.Events() // snapshot
+	if err := c.gw.Unregister(ctx, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	for range w.Events() {
+	}
+	if !errors.Is(w.Err(), service.ErrUnknownRelation) {
+		t.Fatalf("watch after unregister: %v", w.Err())
+	}
+	if err := c.gw.Unregister(ctx, "r1"); !errors.Is(err, service.ErrUnknownRelation) {
+		t.Fatalf("double unregister: %v", err)
+	}
+	if _, err := c.gw.Register(ctx, "r1", local, agg, ts); err != nil {
+		t.Fatalf("re-register after unregister: %v", err)
+	}
+}
+
+// TestGatewayCloseDrains: Close must refuse new work and wait for
+// in-flight scatter-gathers.
+func TestGatewayCloseDrains(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	rng := rand.New(rand.NewSource(3))
+	c := newCluster(t, 2)
+	if _, err := c.gw.Register(ctx, "r1", local, agg, genTuples(rng, 10, local, agg, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gw.Register(ctx, "r2", local, agg, genTuples(rng, 10, local, agg, 3)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := c.gw.Query(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4, Agg: "sum", NoCache: true})
+			done <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := c.gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("in-flight query neither drained nor refused cleanly: %v", err)
+		}
+	}
+	if _, err := c.gw.Query(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: %v", err)
+	}
+}
+
+// TestGatewayStats checks the promoted round-2 counters and the cluster
+// fan-out snapshot.
+func TestGatewayStats(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	rng := rand.New(rand.NewSource(44))
+	c := newCluster(t, 2)
+	if _, err := c.gw.Register(ctx, "r1", local, agg, genTuples(rng, 30, local, agg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gw.Register(ctx, "r2", local, agg, genTuples(rng, 30, local, agg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.gw.Query(ctx, service.QueryRequest{R1: "r1", R2: "r2", K: 4, Agg: "sum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.gw.Stats(ctx)
+	if st.Queries != 1 {
+		t.Errorf("queries = %d, want 1", st.Queries)
+	}
+	if uint64(resp.Dist.MessagesSent) != st.R2Messages {
+		t.Errorf("gateway counter %d != query stats %d", st.R2Messages, resp.Dist.MessagesSent)
+	}
+	if uint64(resp.Dist.FloatsShipped) != st.R2Floats {
+		t.Errorf("floats counter %d != query stats %d", st.R2Floats, resp.Dist.FloatsShipped)
+	}
+	if resp.Dist.MessagesSent == 0 {
+		t.Error("two shards with shared groups must exchange candidates")
+	}
+	if len(st.Shards) != 2 {
+		t.Fatalf("stats cover %d shards, want 2", len(st.Shards))
+	}
+	for i, ss := range st.Shards {
+		if ss.Error != "" || ss.Stats == nil {
+			t.Errorf("shard %d stats missing: %+v", i, ss)
+		} else if ss.Stats.Verifies == 0 {
+			t.Errorf("shard %d served no verifies despite round 2", i)
+		}
+	}
+}
+
+// TestGatewayWarmRepeat: a repeated identical query must be answered
+// from the shards' answer caches — reported via the coldest-wins source.
+func TestGatewayWarmRepeat(t *testing.T) {
+	ctx := context.Background()
+	const local, agg = 2, 1
+	rng := rand.New(rand.NewSource(21))
+	c := newCluster(t, 2)
+	if _, err := c.gw.Register(ctx, "r1", local, agg, genTuples(rng, 30, local, agg, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gw.Register(ctx, "r2", local, agg, genTuples(rng, 30, local, agg, 6)); err != nil {
+		t.Fatal(err)
+	}
+	req := service.QueryRequest{R1: "r1", R2: "r2", K: 4, Agg: "sum"}
+	cold, err := c.gw.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Source != service.SourceComputed {
+		t.Fatalf("first query source %q, want computed", cold.Source)
+	}
+	warm, err := c.gw.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Source == service.SourceComputed {
+		t.Fatalf("repeat query recomputed (source %q)", warm.Source)
+	}
+	samePairs(t, "warm repeat", warm.Skyline, cold.Skyline)
+}

@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/distributed"
+)
+
+// refModel is the trivial single-node reference: a flat slice of keys in
+// global row order.
+type refModel []string
+
+func (m refModel) insert(ts []dataset.Tuple) refModel {
+	for _, t := range ts {
+		m = append(m, t.Key)
+	}
+	return m
+}
+
+func (m refModel) remove(sorted []int) refModel {
+	out := m[:0:0]
+	j := 0
+	for i, k := range m {
+		if j < len(sorted) && sorted[j] == i {
+			j++
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// checkInvariants verifies the placement's bidirectional mapping against
+// the reference: global order matches, perShard is the strictly
+// increasing subsequence of global ids per shard, and local ids are
+// dense per shard.
+func checkInvariants(t *testing.T, rp *relPlace, ref refModel, shards int) {
+	t.Helper()
+	if rp.size() != len(ref) {
+		t.Fatalf("size %d, want %d", rp.size(), len(ref))
+	}
+	counts := make([]int, shards)
+	for g, loc := range rp.global {
+		wantShard := distributed.NodeOf(ref[g], shards)
+		if int(loc.shard) != wantShard {
+			t.Fatalf("row %d (%s) on shard %d, want %d", g, ref[g], loc.shard, wantShard)
+		}
+		if int(loc.local) != counts[loc.shard] {
+			t.Fatalf("row %d local id %d, want %d (dense per-shard order)", g, loc.local, counts[loc.shard])
+		}
+		counts[loc.shard]++
+		if rp.toGlobal(int(loc.shard), int(loc.local)) != g {
+			t.Fatalf("toGlobal(%d,%d) != %d", loc.shard, loc.local, g)
+		}
+	}
+	for s := range counts {
+		if rp.rows(s) != counts[s] {
+			t.Fatalf("shard %d rows %d, want %d", s, rp.rows(s), counts[s])
+		}
+		if !sort.IntsAreSorted(rp.perShard[s]) {
+			t.Fatalf("perShard[%d] not increasing: %v", s, rp.perShard[s])
+		}
+	}
+}
+
+func keyTuples(rng *rand.Rand, n, groups int) []dataset.Tuple {
+	ts := make([]dataset.Tuple, n)
+	for i := range ts {
+		ts[i] = dataset.Tuple{Key: fmt.Sprintf("g%d", rng.Intn(groups)), Attrs: []float64{1}}
+	}
+	return ts
+}
+
+func allOK(n int) []bool {
+	ok := make([]bool, n)
+	for i := range ok {
+		ok[i] = true
+	}
+	return ok
+}
+
+func TestPlacementMirrorsSingleNodeNumbering(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5} {
+		rng := rand.New(rand.NewSource(int64(shards)))
+		rp := newRelPlace("r", 1, 0, shards)
+		var ref refModel
+		for step := 0; step < 200; step++ {
+			if rng.Intn(3) < 2 || rp.size() < 4 {
+				batch := keyTuples(rng, 1+rng.Intn(5), 7)
+				rp.applyInsert(batch, allOK(shards))
+				ref = ref.insert(batch)
+			} else {
+				count := 1 + rng.Intn(rp.size()/2)
+				sorted := rng.Perm(rp.size())[:count]
+				sort.Ints(sorted)
+				rp.applyRemove(sorted, allOK(shards))
+				ref = ref.remove(sorted)
+			}
+			checkInvariants(t, rp, ref, shards)
+		}
+	}
+}
+
+func TestPlacementPlanPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const shards = 3
+	rp := newRelPlace("r", 1, 0, shards)
+	batch := keyTuples(rng, 50, 9)
+	plan := rp.planInsert(batch)
+	total := 0
+	for s, part := range plan {
+		total += len(part)
+		for _, tp := range part {
+			if distributed.NodeOf(tp.Key, shards) != s {
+				t.Fatalf("tuple %q planned on shard %d, hashes to %d", tp.Key, s, distributed.NodeOf(tp.Key, shards))
+			}
+		}
+	}
+	if total != len(batch) {
+		t.Fatalf("plan covers %d tuples, want %d", total, len(batch))
+	}
+	rp.applyInsert(batch, allOK(shards))
+	sorted := []int{0, 7, 23, 49}
+	del := rp.planRemove(sorted)
+	covered := 0
+	for s, part := range del {
+		covered += len(part)
+		if !sort.IntsAreSorted(part) {
+			t.Fatalf("shard %d delete batch unsorted: %v", s, part)
+		}
+		for _, local := range part {
+			g := rp.toGlobal(s, local)
+			if i := sort.SearchInts(sorted, g); i == len(sorted) || sorted[i] != g {
+				t.Fatalf("shard %d local %d maps to global %d, not in batch %v", s, local, g, sorted)
+			}
+		}
+	}
+	if covered != len(sorted) {
+		t.Fatalf("remove plan covers %d rows, want %d", covered, len(sorted))
+	}
+}
+
+// TestPlacementPartialFailure: apply must fold in only the shards whose
+// commits succeeded, leaving a mapping that matches a reference where
+// the failed shard's sub-batch simply never happened.
+func TestPlacementPartialFailure(t *testing.T) {
+	const shards = 3
+	rng := rand.New(rand.NewSource(13))
+	rp := newRelPlace("r", 1, 0, shards)
+	seed := keyTuples(rng, 40, 8)
+	rp.applyInsert(seed, allOK(shards))
+	ref := refModel{}.insert(seed)
+	checkInvariants(t, rp, ref, shards)
+
+	// Insert where shard 1 fails: its tuples must not enter the mapping.
+	batch := keyTuples(rng, 20, 8)
+	ok := allOK(shards)
+	ok[1] = false
+	rp.applyInsert(batch, ok)
+	for _, tp := range batch {
+		if distributed.NodeOf(tp.Key, shards) != 1 {
+			ref = append(ref, tp.Key)
+		}
+	}
+	checkInvariants(t, rp, ref, shards)
+
+	// Delete where shard 2 fails: its rows must survive in the mapping.
+	sorted := rng.Perm(rp.size())[:10]
+	sort.Ints(sorted)
+	ok = allOK(shards)
+	ok[2] = false
+	var applied []int
+	for _, g := range sorted {
+		if distributed.NodeOf(ref[g], shards) != 2 {
+			applied = append(applied, g)
+		}
+	}
+	rp.applyRemove(sorted, ok)
+	ref = ref.remove(applied)
+	checkInvariants(t, rp, ref, shards)
+}

@@ -46,6 +46,13 @@ type (
 	// genuine Removed deltas — evicted members plus renumbered survivors —
 	// alongside any resurrection Added deltas.
 	WatchEvent = service.WatchEvent
+	// VerifyRequest asks which of a batch of attribute vectors are
+	// k-dominated by some local join pair — the shard-side primitive of
+	// round 2 of the distributed scheme (peers vote on each other's
+	// round-1 candidates). Served by Service.Verify.
+	VerifyRequest = service.VerifyRequest
+	// VerifyResponse is the per-vector dominated/clean verdict.
+	VerifyResponse = service.VerifyResponse
 )
 
 // Answer provenance values.

@@ -21,7 +21,11 @@ fi
 out=$1
 benchtime=${BENCHTIME:-3x}
 count=${COUNT:-5}
-pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert|BenchmarkInsertLoop|BenchmarkInsertBatch|BenchmarkResidentExtend|BenchmarkResidentRebuild|BenchmarkMaintainedDelete|BenchmarkDeleteRecompute|BenchmarkWindowSweep)$'
+pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert|BenchmarkInsertLoop|BenchmarkInsertBatch|BenchmarkResidentExtend|BenchmarkResidentRebuild|BenchmarkMaintainedDelete|BenchmarkDeleteRecompute|BenchmarkWindowSweep|BenchmarkShardedQuery)$'
+# Benchmarks tracked outside the root package: the scheduling acceptance
+# benchmark (ROADMAP item 3) lives with the verification kernel.
+extra_pkg='./internal/core'
+extra_pattern='^BenchmarkSkewedCell$'
 
 goversion=$(go version)
 loadavg=$(cut -d' ' -f1-3 /proc/loadavg 2>/dev/null || sysctl -n vm.loadavg 2>/dev/null || echo unknown)
@@ -30,6 +34,7 @@ ncpu=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo unknown)
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 go test -run xxx -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem . | tee "$tmp"
+go test -run xxx -bench "$extra_pattern" -benchtime "$benchtime" -count "$count" -benchmem "$extra_pkg" | tee -a "$tmp"
 
 awk -v benchtime="$benchtime" -v count="$count" \
     -v goversion="$goversion" -v loadavg="$loadavg" -v ncpu="$ncpu" '
@@ -41,14 +46,16 @@ awk -v benchtime="$benchtime" -v count="$count" \
     # custom metric (b.ReportMetric) inserts extra "<value> <unit>" pairs
     # between ns/op and the -benchmem columns.
     name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
-    ns = ""; by = 0; al = 0
+    ns = ""; by = 0; al = 0; im = ""
     for (f = 3; f <= NF; f++) {
         if ($f == "ns/op") ns = $(f - 1)
         else if ($f == "B/op") by = $(f - 1)
         else if ($f == "allocs/op") al = $(f - 1)
+        else if ($f == "r1_imbalance") im = $(f - 1)
     }
     if (ns != "" && (!(name in best) || ns + 0 < best[name] + 0)) {
         best[name] = ns; iter[name] = $2; bytes[name] = by; allocs[name] = al
+        imbal[name] = im
     }
     if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
 }
@@ -67,8 +74,9 @@ END {
     printf "  \"benchmarks\": [\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
-        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
-               name, iter[name], best[name], bytes[name], allocs[name], (i < n ? "," : "")
+        extra = (imbal[name] != "" ? sprintf(", \"r1_imbalance\": %s", imbal[name]) : "")
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}%s\n",
+               name, iter[name], best[name], bytes[name], allocs[name], extra, (i < n ? "," : "")
     }
     printf "  ]\n}\n"
 }' "$tmp" > "$out"
