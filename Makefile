@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare coverage docs-check examples staticcheck apicheck shuffle shard-smoke ci
+.PHONY: build test race bench bench-compare coverage docs-check examples staticcheck apicheck shuffle shard-smoke persist-smoke ci
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ examples:
 # Snapshot the tracked benchmarks (best-of-COUNT, default 5) into the
 # current PR's trajectory record.
 bench:
-	./scripts/bench_snapshot.sh BENCH_pr9.json
+	./scripts/bench_snapshot.sh BENCH_pr10.json
 
 # Noise-robust regression gate: fresh best-of-N snapshot vs the newest
 # checked-in BENCH_pr*.json; fails on >25% ns/op regression (THRESHOLD to
@@ -52,6 +52,12 @@ shuffle:
 shard-smoke:
 	./scripts/smoke_shard.sh
 
+# Durability smoke: boot ksjqd with -data, insert a batch, kill -9, restart
+# from the same directory, check the recovered answer against both the
+# pre-crash maintained answer and a cold recompute.
+persist-smoke:
+	./scripts/smoke_persist.sh
+
 # Static analysis. CI installs staticcheck; locally this uses whatever is
 # on PATH and explains itself if nothing is.
 staticcheck:
@@ -59,4 +65,4 @@ staticcheck:
 		echo "staticcheck not installed; run: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
 	staticcheck ./...
 
-ci: build test race shuffle apicheck coverage examples docs-check shard-smoke
+ci: build test race shuffle apicheck coverage examples docs-check shard-smoke persist-smoke

@@ -1,0 +1,122 @@
+// Durable-boot benchmarks (DESIGN.md §14): BenchmarkWarmRestart opens a
+// checkpointed data directory — the restart path ksjqd takes with -data —
+// and BenchmarkCSVReingest is the boot it replaces, re-parsing the -load
+// CSVs and re-registering the relations on every start. Both stop at
+// "relations registered" (no join indexes built on either side), so the
+// ratio isolates the storage format: columnar segment decode vs CSV parse
+// at n=32000 per relation. The acceptance criterion is warm restart >=5x
+// faster; BENCH_pr10.json records both.
+package repro_test
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/service"
+)
+
+const persistN = 32000
+
+// persistCSV renders a relation in ksjqd's -load CSV layout (key, band,
+// attrs) at full float precision, so re-ingesting it reproduces the
+// durable relation's contents exactly.
+func persistCSV(rel *dataset.Relation) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("key,band")
+	d := rel.D()
+	for j := 0; j < d; j++ {
+		buf.WriteString(",a")
+		buf.Write(strconv.AppendInt(nil, int64(j), 10))
+	}
+	buf.WriteByte('\n')
+	for i := 0; i < rel.Len(); i++ {
+		buf.WriteString(rel.Key(i))
+		buf.WriteByte(',')
+		buf.Write(strconv.AppendFloat(nil, rel.Band(i), 'g', -1, 64))
+		for _, a := range rel.Attrs(i) {
+			buf.WriteByte(',')
+			buf.Write(strconv.AppendFloat(nil, a, 'g', -1, 64))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// benchConfig disables the background sweeper and checkpointer so the
+// loop measures boot work, not goroutine scheduling.
+func benchConfig() service.Config {
+	return service.Config{SweepInterval: -1, CheckpointInterval: -1}
+}
+
+// BenchmarkWarmRestart measures service.Open on a data directory whose
+// WAL was fully folded into segment files by a clean shutdown — the
+// steady-state restart. Closing the reopened service (which re-checkpoints)
+// is excluded from the timing.
+func BenchmarkWarmRestart(b *testing.B) {
+	q := defaultQuery(persistN)
+	dir := b.TempDir()
+	svc, err := service.Open(benchConfig(), dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.Register("r1", q.R1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.Register("r2", q.R2); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := service.Open(benchConfig(), dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		info, err := svc.RelationInfo("r1")
+		if err != nil || info.Tuples != persistN {
+			b.Fatalf("recovered r1: %+v, %v", info, err)
+		}
+		if err := svc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCSVReingest is the pre-durability boot: parse both -load CSVs
+// and register the relations into a fresh in-memory service, exactly the
+// work ksjqd's preload path repeats on every start without -data.
+func BenchmarkCSVReingest(b *testing.B) {
+	q := defaultQuery(persistN)
+	csv1 := persistCSV(q.R1)
+	csv2 := persistCSV(q.R2)
+	opts := dataset.ReadOptions{Local: q.R1.Local, Agg: q.R1.Agg, HasBand: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := service.New(benchConfig())
+		for name, raw := range map[string][]byte{"r1": csv1, "r2": csv2} {
+			opts.Name = name
+			rel, err := dataset.ReadCSV(bytes.NewReader(raw), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.Register(name, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		info, err := svc.RelationInfo("r1")
+		if err != nil || info.Tuples != persistN {
+			b.Fatalf("ingested r1: %+v, %v", info, err)
+		}
+		if err := svc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+)
+
+// Columns is the raw columnar snapshot of a relation: exactly the storage
+// DESIGN.md §8 describes, surfaced as plain slices so a serializer (the
+// durable store's segment codec) can dump and reload a relation without
+// round-tripping through row-shaped tuples. Attrs is the row-major
+// attribute block strided by Local+Agg; Keys and Keys2 index Symbols.
+type Columns struct {
+	Name    string
+	Local   int
+	Agg     int
+	Attrs   []float64
+	Band    []float64
+	Keys    []int32
+	Keys2   []int32
+	Symbols []string
+}
+
+// Rows returns the row count the column lengths imply.
+func (c *Columns) Rows() int { return len(c.Band) }
+
+// SnapshotColumns returns the relation's columns as views into its live
+// storage (no copying): the caller must treat every slice as read-only and
+// must not hold the views across a mutation of the relation. The store's
+// checkpoint writer uses it to stream a relation to disk straight from the
+// resident columns.
+func (r *Relation) SnapshotColumns() Columns {
+	return Columns{
+		Name:    r.Name,
+		Local:   r.Local,
+		Agg:     r.Agg,
+		Attrs:   r.attrs[:r.n*r.D()],
+		Band:    r.band[:r.n],
+		Keys:    r.keys[:r.n],
+		Keys2:   r.keys2[:r.n],
+		Symbols: r.syms.Strings(),
+	}
+}
+
+// NewFromColumns rebuilds a relation from a columnar snapshot, taking
+// ownership of the slices (callers that retain them must copy first). It
+// re-derives the symbol table from the snapshot's string list and runs the
+// full Validate pass, so a corrupt or hand-built snapshot cannot smuggle
+// invariant-breaking rows (NaN bands, out-of-table symbols, inconsistent
+// column lengths) past the checks New enforces on the row-shaped path.
+func NewFromColumns(c Columns) (*Relation, error) {
+	d := c.Local + c.Agg
+	if c.Local < 0 || c.Agg < 0 || d == 0 {
+		return nil, fmt.Errorf("%w: local=%d agg=%d", ErrBadSchema, c.Local, c.Agg)
+	}
+	n := len(c.Band)
+	if len(c.Attrs) != n*d || len(c.Keys) != n || len(c.Keys2) != n {
+		return nil, fmt.Errorf("%w: %s: column lengths (attrs=%d band=%d keys=%d keys2=%d) inconsistent with %d rows of width %d",
+			ErrBadSchema, c.Name, len(c.Attrs), len(c.Band), len(c.Keys), len(c.Keys2), n, d)
+	}
+	syms, err := SymbolTableFromStrings(c.Symbols)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrBadSchema, c.Name, err)
+	}
+	r := &Relation{
+		Name:  c.Name,
+		Local: c.Local,
+		Agg:   c.Agg,
+		n:     n,
+		attrs: c.Attrs,
+		band:  c.Band,
+		keys:  c.Keys,
+		keys2: c.Keys2,
+		syms:  syms,
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// EqualContents reports whether two relations hold byte-identical columns
+// (schema, every attribute, band, and join-key string, in the same row
+// order). Symbol IDs are compared through their strings, so two relations
+// that interned keys in different orders still compare equal when the rows
+// agree. Recovery tests use it as the "nothing drifted" oracle.
+func (r *Relation) EqualContents(o *Relation) bool {
+	if r.Local != o.Local || r.Agg != o.Agg || r.n != o.n {
+		return false
+	}
+	d := r.D()
+	for i := 0; i < r.n*d; i++ {
+		if r.attrs[i] != o.attrs[i] && !(math.IsNaN(r.attrs[i]) && math.IsNaN(o.attrs[i])) {
+			return false
+		}
+	}
+	for i := 0; i < r.n; i++ {
+		if r.band[i] != o.band[i] || r.Key(i) != o.Key(i) || r.Key2(i) != o.Key2(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Strings returns the table's interned strings in symbol-ID order (index i
+// is the string for ID i). The returned slice is a copy.
+func (st *SymbolTable) Strings() []string {
+	return append([]string(nil), st.strs...)
+}
+
+// SymbolTableFromStrings rebuilds a table whose IDs are the slice indexes.
+// Duplicate strings are rejected: two IDs for one string would break the
+// "equal key ⇔ equal symbol" contract every join structure relies on.
+func SymbolTableFromStrings(strs []string) (*SymbolTable, error) {
+	st := &SymbolTable{
+		ids:  make(map[string]int32, len(strs)),
+		strs: append([]string(nil), strs...),
+	}
+	for i, s := range strs {
+		if prev, ok := st.ids[s]; ok {
+			return nil, fmt.Errorf("dataset: duplicate symbol %q (ids %d and %d)", s, prev, i)
+		}
+		st.ids[s] = int32(i)
+	}
+	return st, nil
+}

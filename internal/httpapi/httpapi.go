@@ -495,7 +495,9 @@ func WriteServiceError(w http.ResponseWriter, err error) {
 		WriteError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, service.ErrBadRequest):
 		WriteError(w, http.StatusBadRequest, err)
-	case errors.Is(err, service.ErrClosed):
+	case errors.Is(err, service.ErrClosed), errors.Is(err, service.ErrDurability):
+		// Both mean "this process can't take mutations anymore; restart":
+		// 503 tells well-behaved clients to back off, not retry in place.
 		WriteError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		WriteError(w, http.StatusGatewayTimeout, err)

@@ -153,6 +153,18 @@ func (rc *residentCache) dropRelation(name string) {
 	}
 }
 
+// keys lists the live combo keys; the checkpointer records them (version
+// free) so recovery knows which resident indexes to rebuild eagerly.
+func (rc *residentCache) keys() []residentKey {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]residentKey, 0, len(rc.residents))
+	for k := range rc.residents {
+		out = append(out, k)
+	}
+	return out
+}
+
 func (rc *residentCache) len() int {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()

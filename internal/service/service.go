@@ -67,6 +67,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/join"
 	"repro/internal/planner"
+	"repro/internal/store"
 )
 
 // Service errors (beyond the registry's and scheduler's).
@@ -77,6 +78,11 @@ var (
 	// schema violations, k out of range) so transports can map them to
 	// client errors (HTTP 400) rather than server faults.
 	ErrBadRequest = errors.New("service: bad request")
+	// ErrDurability is returned by every mutation after a WAL write has
+	// failed on a durable service: the in-memory state may be ahead of the
+	// log, so accepting further mutations would let acknowledged data
+	// silently miss recovery. Queries keep working; restart to recover.
+	ErrDurability = errors.New("service: durability failure, mutations disabled (restart to recover)")
 )
 
 // DefaultRequestTimeout is the per-request deadline applied when neither
@@ -102,6 +108,15 @@ type Config struct {
 	// disables the sweeper entirely — tests drive expiry deterministically
 	// through Sweep instead.
 	SweepInterval time.Duration
+	// CheckpointInterval is how often a durable service (Open) folds the
+	// WAL into fresh segment files. 0 means 60s; negative disables the
+	// background checkpointer — tests drive it through Checkpoint instead.
+	// Ignored by New (no data dir, nothing to checkpoint).
+	CheckpointInterval time.Duration
+	// CheckpointWALBytes triggers an early checkpoint once the live WAL
+	// outgrows this size, bounding recovery's replay work independent of
+	// the interval. 0 means 64 MiB; negative disables the size trigger.
+	CheckpointWALBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +131,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = time.Minute
+	}
+	if c.CheckpointWALBytes == 0 {
+		c.CheckpointWALBytes = 64 << 20
 	}
 	return c
 }
@@ -235,6 +256,19 @@ type Stats struct {
 	Busy              int   `json:"busy"`
 	Queued            int64 `json:"queued"`
 
+	// Durability counters (DESIGN.md §14). Durable is false for a purely
+	// in-memory service, and the rest stay zero. WALRecords/WALBytes
+	// measure the live WAL since the last checkpoint — together they bound
+	// how much replay a crash now would cost. LastCheckpointMS is
+	// milliseconds since the last completed checkpoint (-1: none yet), so
+	// recovery lag is observable from /v1/stats alone.
+	Durable          bool   `json:"durable"`
+	WALRecords       uint64 `json:"wal_records"`
+	WALBytes         int64  `json:"wal_bytes"`
+	Segments         int    `json:"segments"`
+	Checkpoints      uint64 `json:"checkpoints"`
+	LastCheckpointMS int64  `json:"last_checkpoint_ms"`
+
 	Relations []RelationInfo `json:"relations"`
 }
 
@@ -271,16 +305,46 @@ type Service struct {
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 
+	// store is the durability subsystem (nil for a purely in-memory
+	// service built with New). Every acknowledged mutation appends a WAL
+	// record before the commit's exclusive section ends and fsyncs before
+	// the caller is acknowledged; the checkpointer periodically folds the
+	// WAL into columnar segment files (see Open and DESIGN.md §14).
+	store *store.Store
+	// replaying is true while Open replays recovered state through the
+	// normal mutation paths; the logging hooks skip so recovery does not
+	// re-log its own input. Set and cleared before any other goroutine can
+	// observe the service.
+	replaying bool
+	// storeBroken latches after a WAL append or sync failure; every
+	// subsequent mutation fails with ErrDurability (see durable.go).
+	storeBroken atomic.Bool
+	// ckptStop/ckptDone/ckptKick run the background checkpointer; nil
+	// when the service is not durable or the interval disabled it.
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	ckptKick chan struct{}
+
 	queries, cacheHits, maintainedHits atomic.Uint64
 	computed, inserts, batches         atomic.Uint64
 	deletes, deleteBatches, expired    atomic.Uint64
 	rejected, verifies                 atomic.Uint64
 }
 
-// New builds a Service with the given configuration.
+// New builds a Service with the given configuration. State lives only in
+// memory and dies with the process; Open builds the durable variant.
 func New(cfg Config) *Service {
+	s := newService(cfg)
+	s.startBackground()
+	return s
+}
+
+// newService builds the service without starting background goroutines,
+// so Open can replay recovered state before the sweeper (whose expiry
+// deletes must be logged, not replayed) observes it.
+func newService(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	s := &Service{
+	return &Service{
 		cfg:       cfg,
 		sched:     newScheduler(cfg.MaxConcurrent, cfg.MaxQueue),
 		cache:     newAnswerCache(cfg.CacheEntries),
@@ -289,8 +353,13 @@ func New(cfg Config) *Service {
 		watches:   make(map[watchKey]*watchSet),
 		now:       time.Now,
 	}
-	if cfg.SweepInterval >= 0 {
-		iv := cfg.SweepInterval
+}
+
+// startBackground launches the sweeper and (durable services only) the
+// checkpointer, honoring the configured intervals.
+func (s *Service) startBackground() {
+	if s.cfg.SweepInterval >= 0 {
+		iv := s.cfg.SweepInterval
 		if iv == 0 {
 			iv = time.Second
 		}
@@ -298,7 +367,12 @@ func New(cfg Config) *Service {
 		s.sweepDone = make(chan struct{})
 		go s.sweepLoop(iv)
 	}
-	return s
+	if s.store != nil && s.cfg.CheckpointInterval >= 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		s.ckptKick = make(chan struct{}, 1)
+		go s.checkpointLoop(s.cfg.CheckpointInterval)
+	}
 }
 
 // Register adds a relation to the registry at version 1. The service owns
@@ -321,6 +395,9 @@ func (s *Service) RegisterWindow(name string, r *dataset.Relation, window time.D
 	}
 	if s.closed.Load() {
 		return 0, ErrClosed
+	}
+	if err := s.durableOK(); err != nil {
+		return 0, err
 	}
 	if name == "" {
 		return 0, fmt.Errorf("%w: empty relation name", ErrBadRequest)
@@ -348,6 +425,14 @@ func (s *Service) RegisterWindow(name string, r *dataset.Relation, window time.D
 		if rr.rel == r {
 			return 0, fmt.Errorf("%w: relation already registered as %q", ErrDuplicateRelation, other)
 		}
+	}
+	// Registration is durable before it is visible: the WAL record (full
+	// columnar payload, so a relation registered after the last checkpoint
+	// recovers from the log alone) is appended and fsync'd while the
+	// exclusive lock is still held. A failed log leaves the registry
+	// untouched.
+	if err := s.logSynced(store.Record{Type: store.RecRegister, Relation: name, Rel: r, Window: window}); err != nil {
+		return 0, err
 	}
 	rr := &regRelation{rel: r, version: 1, window: window}
 	if window > 0 {
@@ -683,6 +768,9 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	if err := s.durableOK(); err != nil {
+		return nil, err
+	}
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
 	}
@@ -724,7 +812,14 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 	out := &InsertResult{ID: first, Count: len(ts), Version: newV}
 	plan, invalidated := s.takeAffectedLocked(name, oldV, newV)
 	out.Invalidated += invalidated
+	// WAL append happens inside the exclusive section so the log order is
+	// the commit order; the fsync (the durability point the ack waits on)
+	// runs after the lock drops, overlapping the absorption phase.
+	walSeq, walErr := s.logAppend(store.Record{Type: store.RecInsert, Relation: name, Tuples: ts})
 	s.mu.Unlock()
+	if walErr == nil {
+		walErr = s.logSync(walSeq)
+	}
 
 	// Phase 2 — absorb with no service lock held. Everything touched here
 	// (taken entries, watch maintainers, reclaimed residents) is
@@ -777,6 +872,12 @@ func (s *Service) InsertBatch(name string, ts []dataset.Tuple) (*InsertResult, e
 	out.Invalidated += invalidated
 	out.Displaced += displaced
 	out.Admitted += admitted
+	if walErr != nil {
+		// The batch is applied in memory (phases ran, so resident state
+		// stays coherent) but its durability is unknown — refuse the ack.
+		// logAppend/logSync already latched storeBroken.
+		return nil, walErr
+	}
 	return out, nil
 }
 
@@ -1006,6 +1107,9 @@ func (s *Service) DeleteBatch(name string, ids []int) (*DeleteResult, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	if err := s.durableOK(); err != nil {
+		return nil, err
+	}
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
 	}
@@ -1085,7 +1189,15 @@ func (s *Service) deleteBatchLocked(name string, ids []int, expiry bool) (*Delet
 	out := &DeleteResult{Count: len(sorted), Version: newV}
 	plan, invalidated := s.takeAffectedLocked(name, oldV, newV)
 	out.Invalidated += invalidated
+	// Log inside the exclusive section (commit order), fsync after it
+	// (overlapping retraction). Expiry-driven deletes are logged like any
+	// other: replay reproduces them verbatim instead of re-deriving them
+	// from a clock that no longer matches the rows' arrival times.
+	walSeq, walErr := s.logAppend(store.Record{Type: store.RecDelete, Relation: name, IDs: sorted, Expiry: expiry})
 	s.mu.Unlock()
+	if walErr == nil {
+		walErr = s.logSync(walSeq)
+	}
 
 	// Phase 2 — retract with no service lock held. Reclaimed residents
 	// compact in place (O(survivors)); a failed retract falls back to a
@@ -1156,6 +1268,9 @@ func (s *Service) deleteBatchLocked(name string, ids []int, expiry bool) (*Delet
 	out.Invalidated += invalidated
 	out.Evicted += evicted
 	out.Resurrected += resurrected
+	if walErr != nil {
+		return nil, walErr // applied in memory, durability unknown — no ack
+	}
 	return out, nil
 }
 
@@ -1165,7 +1280,7 @@ func (s *Service) deleteBatchLocked(name string, ids []int, expiry bool) (*Delet
 // sweeper (negative Config.SweepInterval) call it to drive expiry
 // deterministically.
 func (s *Service) Sweep() int {
-	if s.closed.Load() {
+	if s.closed.Load() || s.durableOK() != nil {
 		return 0
 	}
 	s.ingestMu.Lock()
@@ -1280,7 +1395,7 @@ func (s *Service) Stats() Stats {
 		watches += len(ws.subs)
 	}
 	s.mu.RUnlock()
-	return Stats{
+	out := Stats{
 		Queries:           s.queries.Load(),
 		CacheHits:         s.cacheHits.Load(),
 		MaintainedHits:    s.maintainedHits.Load(),
@@ -1299,8 +1414,21 @@ func (s *Service) Stats() Stats {
 		Watches:           watches,
 		Busy:              s.sched.busy(),
 		Queued:            s.sched.queued(),
+		LastCheckpointMS:  -1,
 		Relations:         rels,
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		out.Durable = true
+		out.WALRecords = ss.WALRecords
+		out.WALBytes = ss.WALBytes
+		out.Segments = ss.Segments
+		out.Checkpoints = ss.Checkpoints
+		if !ss.LastCheckpoint.IsZero() {
+			out.LastCheckpointMS = time.Since(ss.LastCheckpoint).Milliseconds()
+		}
+	}
+	return out
 }
 
 // Close marks the service closed, waits for in-flight queries, and
@@ -1310,10 +1438,14 @@ func (s *Service) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Stop the sweeper's ticker first; a sweep already past the closed
-	// check just rides out its ingest turn like any in-flight batch.
+	// Stop the background tickers first; a sweep or checkpoint already past
+	// the closed check just rides out its ingest turn like any in-flight
+	// batch.
 	if s.sweepStop != nil {
 		close(s.sweepStop)
+	}
+	if s.ckptStop != nil {
+		close(s.ckptStop)
 	}
 	// Wait out any in-flight batch (a batch that started before the CAS is
 	// entitled to publish its phase 3), then let the exclusive lock drain
@@ -1321,16 +1453,32 @@ func (s *Service) Close() error {
 	// go away.
 	s.ingestMu.Lock()
 	s.mu.Lock()
+	// Final checkpoint while the registry is still intact, so a clean
+	// shutdown restarts from segments alone with an empty WAL. Best effort:
+	// on failure the WAL still holds everything, recovery just replays.
+	var ckptErr error
+	if s.store != nil && !s.storeBroken.Load() {
+		ckptErr = s.checkpointLocked()
+	}
 	s.cache.closeAll()
 	s.closeWatchesLocked() // every subscription ends with ErrClosed
 	s.residents.clear()    // resident indexes pin O(n) per pair — release them
 	s.rels = make(map[string]*regRelation)
 	s.mu.Unlock()
 	s.ingestMu.Unlock()
-	// Only join the sweeper after releasing the locks — it may be blocked
-	// on ingestMu inside a final Sweep, which will see closed and bail.
+	// Only join the background goroutines after releasing the locks — they
+	// may be blocked on ingestMu inside a final turn, which will see closed
+	// and bail.
 	if s.sweepDone != nil {
 		<-s.sweepDone
 	}
-	return nil
+	if s.ckptDone != nil {
+		<-s.ckptDone
+	}
+	if s.store != nil {
+		if err := s.store.Close(); ckptErr == nil {
+			ckptErr = err
+		}
+	}
+	return ckptErr
 }

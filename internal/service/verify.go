@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/store"
 )
 
 // VerifyRequest asks the service to vote on foreign candidate vectors:
@@ -136,6 +137,9 @@ func (s *Service) Unregister(name string) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if err := s.durableOK(); err != nil {
+		return err
+	}
 	// Take the ingest mutex so no mutation batch is mid-absorption: every
 	// watch set is quiescent (absorbing is only set inside an ingest turn)
 	// and cache entries are reachable.
@@ -148,6 +152,11 @@ func (s *Service) Unregister(name string) error {
 	defer s.mu.Unlock()
 	if _, ok := s.rels[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownRelation, name)
+	}
+	// Durable before visible, like RegisterWindow: a failed log leaves the
+	// registry untouched.
+	if err := s.logSynced(store.Record{Type: store.RecUnregister, Relation: name}); err != nil {
+		return err
 	}
 	delete(s.rels, name)
 	for _, e := range s.cache.takeForRelation(name) {

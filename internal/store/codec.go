@@ -1,0 +1,188 @@
+// Package store is ksjqd's durability subsystem (DESIGN.md §14): an
+// append-only write-ahead log of acknowledged mutations, columnar segment
+// files holding relation snapshots, and a manifest that binds a segment
+// generation to the WAL that continues it. The service layer owns the
+// policy (what to log, when to checkpoint, how to replay); this package
+// owns the files and their formats.
+//
+// Every on-disk structure is length-prefixed and checksummed, and every
+// multi-file transition (checkpoint) goes through write-temp-then-rename
+// with the manifest rename as the commit point, so a crash at any instant
+// leaves either the old generation or the new one — never a blend.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is the base error for every decode failure: short buffers,
+// bad magic, checksum mismatches, impossible lengths. Decoders return it
+// (wrapped with context) rather than panicking, whatever the input bytes —
+// FuzzWALDecode holds them to that.
+var ErrCorrupt = errors.New("store: corrupt data")
+
+// buf is the append-side codec: little-endian fixed-width numbers and
+// uvarint-length-prefixed strings over a plain byte slice.
+type buf struct{ b []byte }
+
+func (w *buf) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *buf) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *buf) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *buf) i64(v int64)   { w.u64(uint64(v)) }
+func (w *buf) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *buf) uvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+func (w *buf) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *buf) f64s(vs []float64) {
+	w.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+func (w *buf) i32s(vs []int32) {
+	w.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.u32(uint32(v))
+	}
+}
+func (w *buf) strs(vs []string) {
+	w.uvarint(uint64(len(vs)))
+	for _, v := range vs {
+		w.str(v)
+	}
+}
+
+// rbuf is the decode-side codec. Every read checks the remaining length
+// and flips err instead of slicing out of range; once err is set all
+// subsequent reads return zero values, so decoders can read a whole
+// structure and check err once.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, r.off)
+	}
+}
+
+func (r *rbuf) remaining() int { return len(r.b) - r.off }
+
+func (r *rbuf) u8() uint8 {
+	if r.err != nil || r.remaining() < 1 {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || r.remaining() < 4 {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.err != nil || r.remaining() < 8 {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) i64() int64   { return int64(r.u64()) }
+func (r *rbuf) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *rbuf) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// length reads a uvarint count of elements each at least elemSize bytes
+// wide and rejects counts the remaining buffer cannot possibly hold, so a
+// corrupted length cannot drive a multi-gigabyte allocation.
+func (r *rbuf) length(elemSize int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if v > uint64(r.remaining()/elemSize) {
+		r.fail("length prefix")
+		return 0
+	}
+	return int(v)
+}
+
+func (r *rbuf) str() string {
+	n := r.length(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *rbuf) f64s() []float64 {
+	n := r.length(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *rbuf) i32s() []int32 {
+	n := r.length(4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.u32())
+	}
+	return out
+}
+
+func (r *rbuf) strs() []string {
+	n := r.length(1)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}

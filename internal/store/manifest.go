@@ -1,0 +1,122 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestName is the one file a reader starts from. It is replaced
+// atomically (write-temp-then-rename), making the rename the commit point
+// of every checkpoint: a crash at any instant leaves a manifest that names
+// either the old generation's files or the new one's, both complete.
+const manifestName = "MANIFEST"
+
+// manifestRelation is one relation's entry: which segment file holds its
+// snapshot and the registry state recorded in it (duplicated here for
+// listing without opening segments).
+type manifestRelation struct {
+	Name    string `json:"name"`
+	Segment string `json:"segment"`
+	Version uint64 `json:"version"`
+	Rows    int    `json:"rows"`
+	// WindowNS is the sliding window in nanoseconds (0 = unwindowed).
+	WindowNS int64 `json:"window_ns,omitempty"`
+}
+
+// manifestResident is one resident index combo that was warm at checkpoint
+// time. Recovery rebuilds exactly these, so a restarted server answers its
+// pre-crash working set without a cold build.
+type manifestResident struct {
+	R1   string `json:"r1"`
+	R2   string `json:"r2"`
+	Cond string `json:"cond"`
+}
+
+// manifest is the store's root structure.
+type manifest struct {
+	// Seq is the checkpoint generation; file names embed it so one
+	// generation's files never collide with the next.
+	Seq uint64 `json:"seq"`
+	// WAL is the live WAL file continuing from the segments.
+	WAL string `json:"wal"`
+	// Relations lists the current segment per relation.
+	Relations []manifestRelation `json:"relations"`
+	// Residents lists the resident-index combos to rebuild eagerly.
+	Residents []manifestResident `json:"residents,omitempty"`
+}
+
+func walFileName(seq uint64) string { return fmt.Sprintf("wal-%06d.log", seq) }
+
+func segmentFileName(seq uint64, idx int) string {
+	return fmt.Sprintf("seg-%06d-%03d.seg", seq, idx)
+}
+
+// readManifest loads dir's manifest; a missing file returns an empty
+// manifest for generation 0 (a fresh data dir).
+func readManifest(dir string) (manifest, error) {
+	var m manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{Seq: 0, WAL: walFileName(0)}, nil
+	}
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.WAL == "" {
+		m.WAL = walFileName(m.Seq)
+	}
+	return m, nil
+}
+
+// writeManifest commits a manifest atomically.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, manifestName, append(data, '\n'))
+}
+
+// sweepOrphans removes wal-*/seg-* files (and stray temp files) the
+// manifest does not reference — leftovers of a checkpoint that crashed
+// before or after its commit point. Best effort: an undeletable orphan is
+// harmless, it just occupies disk until the next sweep.
+func sweepOrphans(dir string, m manifest) {
+	referenced := map[string]bool{manifestName: true, m.WAL: true}
+	for _, r := range m.Relations {
+		referenced[r.Segment] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if referenced[name] || e.IsDir() {
+			continue
+		}
+		switch {
+		case len(name) > 4 && name[:4] == "wal-",
+			len(name) > 4 && name[:4] == "seg-",
+			filepath.Ext(name) == ".tmp",
+			manifestTmp(name):
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// manifestTmp reports whether name is a CreateTemp leftover of an atomic
+// write ("MANIFEST.tmp*", "seg-….seg.tmp*", …).
+func manifestTmp(name string) bool {
+	for i := 0; i+4 <= len(name); i++ {
+		if name[i:i+4] == ".tmp" {
+			return true
+		}
+	}
+	return false
+}

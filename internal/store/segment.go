@@ -1,0 +1,132 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Segment file layout:
+//
+//	[8B magic "KSJQSEG1"]
+//	[4B payload length][4B CRC-32C of payload]
+//	[payload]
+//
+// The payload is the relation's registry identity (name, version, window)
+// followed by the same columnar relation payload the WAL's RecRegister
+// uses: flat attrs block, band column, int32 key columns, symbol-table
+// footer. One segment is one relation snapshot at one registry version;
+// the checkpointer writes a fresh generation of segments and the manifest
+// names the current one per relation.
+var segmentMagic = [8]byte{'K', 'S', 'J', 'Q', 'S', 'E', 'G', '1'}
+
+// SegmentData is one decoded segment: a relation snapshot plus the
+// registry state (version, window) it was taken at.
+type SegmentData struct {
+	Name    string
+	Version uint64
+	Window  time.Duration
+	Rel     *dataset.Relation
+}
+
+// EncodeSegment renders a complete segment file image.
+func EncodeSegment(name string, version uint64, window time.Duration, c dataset.Columns) []byte {
+	p := &buf{}
+	p.str(name)
+	p.u64(version)
+	p.i64(int64(window))
+	encodeRelationPayload(p, c)
+
+	w := &buf{b: make([]byte, 0, len(segmentMagic)+frameHeader+len(p.b))}
+	w.b = append(w.b, segmentMagic[:]...)
+	w.u32(uint32(len(p.b)))
+	w.u32(crc32.Checksum(p.b, crcTable))
+	w.b = append(w.b, p.b...)
+	return w.b
+}
+
+// DecodeSegment parses a segment file image, verifying magic and checksum
+// and rebuilding the relation through the validating columnar constructor.
+func DecodeSegment(data []byte) (SegmentData, error) {
+	var sd SegmentData
+	if len(data) < len(segmentMagic)+frameHeader {
+		return sd, fmt.Errorf("%w: segment shorter than header", ErrCorrupt)
+	}
+	if string(data[:len(segmentMagic)]) != string(segmentMagic[:]) {
+		return sd, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	h := &rbuf{b: data[len(segmentMagic):]}
+	n := int(h.u32())
+	sum := h.u32()
+	if n < 0 || n > len(data)-len(segmentMagic)-frameHeader {
+		return sd, fmt.Errorf("%w: segment payload length %d exceeds file", ErrCorrupt, n)
+	}
+	payload := data[len(segmentMagic)+frameHeader : len(segmentMagic)+frameHeader+n]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return sd, fmt.Errorf("%w: segment checksum mismatch", ErrCorrupt)
+	}
+	r := &rbuf{b: payload}
+	sd.Name = r.str()
+	sd.Version = r.u64()
+	sd.Window = time.Duration(r.i64())
+	if r.err != nil {
+		return sd, r.err
+	}
+	if sd.Window < 0 {
+		return sd, fmt.Errorf("%w: negative window %d", ErrCorrupt, sd.Window)
+	}
+	rel, err := decodeRelationPayload(r, sd.Name)
+	if err != nil {
+		return sd, err
+	}
+	if r.remaining() != 0 {
+		return sd, fmt.Errorf("%w: %d trailing bytes after segment payload", ErrCorrupt, r.remaining())
+	}
+	sd.Rel = rel
+	return sd, nil
+}
+
+// writeFileAtomic writes data to dir/name via a temp file + rename, with
+// an fsync before the rename and one on the directory after, so the file
+// is either absent or complete — never half-written under its final name.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, fmt.Sprintf("%s/%s", dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,347 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// testRelation builds a small keyed relation with bands, 2 local + 1
+// aggregate attributes.
+func testRelation(t *testing.T, name string, n int, seed int64) *dataset.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]dataset.Tuple, n)
+	for i := range ts {
+		ts[i] = dataset.Tuple{
+			Key:   fmt.Sprintf("g%d", rng.Intn(4)),
+			Key2:  fmt.Sprintf("h%d", rng.Intn(3)),
+			Band:  rng.Float64(),
+			Attrs: []float64{rng.Float64(), rng.Float64(), rng.Float64()},
+		}
+	}
+	r, err := dataset.New(name, 2, 1, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	r := testRelation(t, "flights", 37, 1)
+	img := EncodeSegment("flights", 9, 45*time.Second, r.SnapshotColumns())
+	sd, err := DecodeSegment(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Name != "flights" || sd.Version != 9 || sd.Window != 45*time.Second {
+		t.Fatalf("decoded identity = (%q, %d, %v)", sd.Name, sd.Version, sd.Window)
+	}
+	if !r.EqualContents(sd.Rel) {
+		t.Fatal("decoded relation differs from the encoded one")
+	}
+}
+
+// TestSegmentCorruptionDetected flips every byte of a segment image in
+// turn: decode must either fail with ErrCorrupt or (for bytes that only
+// pad the symbol table's interning order) produce an equal relation —
+// never panic, never return silently different contents.
+func TestSegmentCorruptionDetected(t *testing.T) {
+	r := testRelation(t, "r", 5, 2)
+	img := EncodeSegment("r", 1, 0, r.SnapshotColumns())
+	for i := range img {
+		mut := append([]byte(nil), img...)
+		mut[i] ^= 0x41
+		sd, err := DecodeSegment(mut)
+		if err == nil && !r.EqualContents(sd.Rel) {
+			t.Fatalf("flipping byte %d: decode succeeded with different contents", i)
+		}
+	}
+}
+
+func walRecords(t *testing.T) []Record {
+	t.Helper()
+	return []Record{
+		{Type: RecRegister, Relation: "r1", Rel: testRelation(t, "r1", 11, 3), Window: time.Minute},
+		{Type: RecInsert, Relation: "r1", Tuples: []dataset.Tuple{
+			{Key: "g1", Band: 0.25, Attrs: []float64{1, 2, 3}},
+			{Key: "g2", Key2: "h1", Band: 0.5, Attrs: []float64{4, 5, 6}},
+		}},
+		{Type: RecDelete, Relation: "r1", IDs: []int{0, 4, 7}, Expiry: true},
+		{Type: RecUnregister, Relation: "r1"},
+	}
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	for _, want := range walRecords(t) {
+		got, err := DecodeRecord(EncodeRecord(want))
+		if err != nil {
+			t.Fatalf("%v record: %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.Relation != want.Relation ||
+			got.Window != want.Window || got.Expiry != want.Expiry {
+			t.Fatalf("%v record decoded to %+v", want.Type, got)
+		}
+		if len(got.Tuples) != len(want.Tuples) || len(got.IDs) != len(want.IDs) {
+			t.Fatalf("%v record: %d tuples / %d ids, want %d / %d",
+				want.Type, len(got.Tuples), len(got.IDs), len(want.Tuples), len(want.IDs))
+		}
+		for i := range want.IDs {
+			if got.IDs[i] != want.IDs[i] {
+				t.Fatalf("id %d = %d, want %d", i, got.IDs[i], want.IDs[i])
+			}
+		}
+		for i := range want.Tuples {
+			g, w := got.Tuples[i], want.Tuples[i]
+			if g.Key != w.Key || g.Key2 != w.Key2 || g.Band != w.Band || len(g.Attrs) != len(w.Attrs) {
+				t.Fatalf("tuple %d = %+v, want %+v", i, g, w)
+			}
+		}
+		if want.Rel != nil && !want.Rel.EqualContents(got.Rel) {
+			t.Fatal("register payload relation differs after round trip")
+		}
+	}
+}
+
+// TestDecodeWALTornTail truncates a multi-record WAL image at every byte
+// boundary: the decoder must recover exactly the records whose frames fit
+// and report the intact prefix length, never panicking.
+func TestDecodeWALTornTail(t *testing.T) {
+	var img []byte
+	var ends []int // byte offset after each complete record
+	recs := walRecords(t)
+	for _, rec := range recs {
+		img = append(img, FrameRecord(EncodeRecord(rec))...)
+		ends = append(ends, len(img))
+	}
+	for cut := 0; cut <= len(img); cut++ {
+		complete := 0
+		for _, e := range ends {
+			if e <= cut {
+				complete++
+			}
+		}
+		got, good := DecodeWAL(img[:cut])
+		if len(got) != complete {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), complete)
+		}
+		wantGood := 0
+		if complete > 0 {
+			wantGood = ends[complete-1]
+		}
+		if good != int64(wantGood) {
+			t.Fatalf("cut %d: good=%d, want %d", cut, good, wantGood)
+		}
+	}
+}
+
+func TestStoreAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Recovered()) != 0 || len(st.WALTail()) != 0 {
+		t.Fatal("fresh dir recovered state")
+	}
+	recs := walRecords(t)
+	for _, rec := range recs {
+		seq, err := st.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Sync(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	tail := st2.WALTail()
+	if len(tail) != len(recs) {
+		t.Fatalf("reopened tail has %d records, want %d", len(tail), len(recs))
+	}
+	for i, rec := range recs {
+		if tail[i].Type != rec.Type || tail[i].Relation != rec.Relation {
+			t.Fatalf("tail[%d] = (%v, %q), want (%v, %q)",
+				i, tail[i].Type, tail[i].Relation, rec.Type, rec.Relation)
+		}
+	}
+}
+
+// TestStoreTornTailTruncated appends garbage to the WAL file (a torn
+// final write) and reopens: the intact records survive, the torn bytes
+// are gone, and a fresh append lands on a clean frame boundary.
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Type: RecDelete, Relation: "r", IDs: []int{1, 2}}
+	seq, err := st.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(seq); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	walPath := filepath.Join(dir, walFileName(0))
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st2.WALTail()); got != 1 {
+		t.Fatalf("tail after torn write has %d records, want 1", got)
+	}
+	seq2, err := st2.Append(Record{Type: RecUnregister, Relation: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Sync(seq2); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if got := len(st3.WALTail()); got != 2 {
+		t.Fatalf("tail after post-truncation append has %d records, want 2", got)
+	}
+}
+
+func TestCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := testRelation(t, "r1", 20, 5)
+	r2 := testRelation(t, "r2", 15, 6)
+	for i := 0; i < 3; i++ {
+		seq, err := st.Append(Record{Type: RecDelete, Relation: "r1", IDs: []int{i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Sync(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = st.Checkpoint([]CheckpointRelation{
+		{Name: "r1", Version: 4, Cols: r1.SnapshotColumns()},
+		{Name: "r2", Version: 1, Window: time.Minute, Cols: r2.SnapshotColumns()},
+	}, []ResidentCombo{{R1: "r1", R2: "r2", Cond: "eq"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.WALRecords != 0 || s.WALBytes != 0 || s.Segments != 2 || s.Checkpoints != 1 {
+		t.Fatalf("post-checkpoint stats = %+v", s)
+	}
+	// The old generation's WAL is gone; only the new generation's files and
+	// the manifest remain.
+	if _, err := os.Stat(filepath.Join(dir, walFileName(0))); !os.IsNotExist(err) {
+		t.Fatalf("generation-0 WAL still present (err=%v)", err)
+	}
+	st.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovered()
+	if len(rec) != 2 || rec[0].Name != "r1" || rec[1].Name != "r2" {
+		t.Fatalf("recovered %d segments", len(rec))
+	}
+	if rec[0].Version != 4 || rec[1].Version != 1 || rec[1].Window != time.Minute {
+		t.Fatalf("recovered identities = %+v / %+v", rec[0], rec[1])
+	}
+	if !r1.EqualContents(rec[0].Rel) || !r2.EqualContents(rec[1].Rel) {
+		t.Fatal("recovered contents differ")
+	}
+	if len(st2.WALTail()) != 0 {
+		t.Fatal("checkpoint did not truncate the WAL")
+	}
+	combos := st2.ResidentCombos()
+	if len(combos) != 1 || combos[0] != (ResidentCombo{R1: "r1", R2: "r2", Cond: "eq"}) {
+		t.Fatalf("resident combos = %v", combos)
+	}
+}
+
+// TestOrphanSweep drops unreferenced generation files and stray temp
+// files into the dir; Open must remove them and leave the live ones.
+func TestOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := testRelation(t, "r", 8, 7)
+	if err := st.Checkpoint([]CheckpointRelation{{Name: "r", Version: 2, Cols: r.SnapshotColumns()}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	orphans := []string{"wal-000099.log", "seg-000099-000.seg", "MANIFEST.tmp123", "seg-000001-000.seg.tmp42"}
+	for _, name := range orphans {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep (err=%v)", name, err)
+		}
+	}
+	if len(st2.Recovered()) != 1 {
+		t.Fatal("sweep removed a live segment")
+	}
+}
+
+func TestClosedStoreRefuses(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := st.Append(Record{Type: RecUnregister, Relation: "r"}); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("Append after Close: %v", err)
+	}
+	if err := st.Sync(1); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+	if err := st.Checkpoint(nil, nil); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("Checkpoint after Close: %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// FuzzWALDecode throws arbitrary bytes at the WAL decoder. The invariants
+// under fuzzing are recovery's: never panic, never allocate absurdly off
+// a corrupt length prefix, report an intact prefix that re-decodes to the
+// same records, and accept appends after the reported cut — exactly what
+// Open relies on when it truncates a torn tail and resumes logging.
+func FuzzWALDecode(f *testing.F) {
+	rel, err := dataset.New("r", 1, 1, []dataset.Tuple{
+		{Key: "g1", Band: 0.5, Attrs: []float64{1, 2}},
+		{Key: "g2", Band: 0.25, Attrs: []float64{3, 4}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seedImg []byte
+	for _, rec := range []Record{
+		{Type: RecRegister, Relation: "r", Rel: rel, Window: time.Second},
+		{Type: RecInsert, Relation: "r", Tuples: []dataset.Tuple{{Key: "g3", Attrs: []float64{5, 6}}}},
+		{Type: RecDelete, Relation: "r", IDs: []int{0}, Expiry: true},
+		{Type: RecUnregister, Relation: "r"},
+	} {
+		seedImg = append(seedImg, FrameRecord(EncodeRecord(rec))...)
+	}
+	f.Add(seedImg)
+	f.Add(seedImg[:len(seedImg)-3]) // torn tail
+	mut := append([]byte(nil), seedImg...)
+	mut[9] ^= 0xff // corrupt the first record's checksum
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}) // absurd length prefix
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, good := DecodeWAL(data)
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("good=%d outside [0,%d]", good, len(data))
+		}
+		// The intact prefix must re-decode to the same record sequence:
+		// truncation at `good` loses nothing that was reported recovered.
+		again, good2 := DecodeWAL(data[:good])
+		if good2 != good || len(again) != len(recs) {
+			t.Fatalf("prefix re-decode: %d records / good=%d, want %d / %d",
+				len(again), good2, len(recs), good)
+		}
+		for i := range recs {
+			if again[i].Type != recs[i].Type || again[i].Relation != recs[i].Relation {
+				t.Fatalf("record %d differs on re-decode", i)
+			}
+		}
+		// Appending a fresh frame after the cut must extend the sequence by
+		// exactly one — the post-truncation WAL is writable.
+		ext := append(append([]byte(nil), data[:good]...),
+			FrameRecord(EncodeRecord(Record{Type: RecUnregister, Relation: "x"}))...)
+		extRecs, extGood := DecodeWAL(ext)
+		if len(extRecs) != len(recs)+1 || extGood != int64(len(ext)) {
+			t.Fatalf("append after cut: %d records / good=%d, want %d / %d",
+				len(extRecs), extGood, len(recs)+1, len(ext))
+		}
+	})
+}
+
+// FuzzDecodeRecord exercises the payload decoder alone (no framing): it
+// must never panic and, when it does accept a payload, re-encoding the
+// accepted record must be decodable again (not necessarily byte-identical
+// — uvarint lengths are canonical but the fuzzer may hand us non-minimal
+// encodings via crafted inputs that still parse).
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(EncodeRecord(Record{Type: RecDelete, Relation: "r", IDs: []int{1, 9}}))
+	f.Add(EncodeRecord(Record{Type: RecInsert, Relation: "r", Tuples: []dataset.Tuple{{Key: "a", Attrs: []float64{1}}}}))
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		rec, err := DecodeRecord(payload)
+		if err != nil {
+			return
+		}
+		re := EncodeRecord(rec)
+		rec2, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted record does not decode: %v", err)
+		}
+		if !bytes.Equal(EncodeRecord(rec2), re) {
+			t.Fatal("re-encode is not a fixed point")
+		}
+	})
+}

@@ -79,6 +79,12 @@ var (
 	ErrUnknownRelation = service.ErrUnknownRelation
 	// ErrDuplicateRelation is returned when registering a taken name.
 	ErrDuplicateRelation = service.ErrDuplicateRelation
+	// ErrDurability is returned by every mutation on a durable service
+	// (OpenService) after a WAL write has failed: the in-memory state may
+	// be ahead of the log, so further mutations are refused rather than
+	// risking acknowledged data missing recovery. Queries keep working;
+	// restart the process to recover.
+	ErrDurability = service.ErrDurability
 )
 
 // NewService builds a query service. Register relations, then Query and
@@ -98,6 +104,19 @@ var (
 // answer deltas arrive as mutations do.
 func NewService(cfg ServiceConfig) *Service {
 	return service.New(cfg)
+}
+
+// OpenService builds a durable query service backed by a data directory:
+// every acknowledged mutation is written to a write-ahead log before the
+// caller sees success, a background checkpointer folds the log into
+// columnar segment files, and reopening the same directory — after a
+// clean Close or a crash, including a torn final write — restores the
+// registry with contents and version numbers exactly as they were, with
+// the last checkpoint's resident join indexes rebuilt eagerly so the
+// restarted service answers warm (DESIGN.md §14). A missing or empty
+// directory starts fresh.
+func OpenService(cfg ServiceConfig, dir string) (*Service, error) {
+	return service.Open(cfg, dir)
 }
 
 // ParseCondition maps CLI and API spellings ("eq", "cross", "lt", "le",

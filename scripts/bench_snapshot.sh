@@ -21,7 +21,7 @@ fi
 out=$1
 benchtime=${BENCHTIME:-3x}
 count=${COUNT:-5}
-pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert|BenchmarkInsertLoop|BenchmarkInsertBatch|BenchmarkResidentExtend|BenchmarkResidentRebuild|BenchmarkMaintainedDelete|BenchmarkDeleteRecompute|BenchmarkWindowSweep|BenchmarkShardedQuery)$'
+pattern='^(BenchmarkFig1a|BenchmarkFig5a|BenchmarkAlgorithmGrouping|BenchmarkServiceCold|BenchmarkServiceWarm|BenchmarkServiceResident|BenchmarkServiceInsert|BenchmarkColumnarCategorize|BenchmarkColumnarChecker|BenchmarkColumnarAppend|BenchmarkPreparedCold|BenchmarkPreparedRun|BenchmarkPreparedResident|BenchmarkStreamFirstResult|BenchmarkWatchInsert|BenchmarkInsertLoop|BenchmarkInsertBatch|BenchmarkResidentExtend|BenchmarkResidentRebuild|BenchmarkMaintainedDelete|BenchmarkDeleteRecompute|BenchmarkWindowSweep|BenchmarkShardedQuery|BenchmarkWarmRestart|BenchmarkCSVReingest)$'
 # Benchmarks tracked outside the root package: the scheduling acceptance
 # benchmark (ROADMAP item 3) lives with the verification kernel.
 extra_pkg='./internal/core'
